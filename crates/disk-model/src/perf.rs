@@ -1,0 +1,89 @@
+//! Disk service-time model.
+//!
+//! A request costs positioning time (average seek + rotational latency)
+//! plus media transfer time. The buffer disk in EEVFS is used as a *log
+//! disk* precisely so that its accesses are sequential (§I of the paper:
+//! "data can be written onto the log disks in a sequential manner to
+//! improve performance"); sequential accesses skip the positioning cost.
+
+use crate::spec::DiskSpec;
+use sim_core::SimDuration;
+
+/// How a request lands on the platters, for positioning-cost purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Random access: pay seek + rotational latency.
+    Random,
+    /// Sequential access (log append / streaming scan): positioning free.
+    Sequential,
+}
+
+/// Time for a disk described by `spec` to service `bytes` of I/O.
+///
+/// Zero-byte requests still pay positioning when random (a metadata touch).
+pub fn service_time(spec: &DiskSpec, bytes: u64, kind: AccessKind) -> SimDuration {
+    let positioning = match kind {
+        AccessKind::Random => spec.avg_seek_s + spec.avg_rotation_s,
+        AccessKind::Sequential => 0.0,
+    };
+    let transfer = bytes as f64 / spec.bandwidth_bps as f64;
+    SimDuration::from_secs_f64(positioning + transfer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MB;
+
+    #[test]
+    fn transfer_dominates_large_reads() {
+        let spec = DiskSpec::ata133_type1(); // 58 MB/s
+        let t = service_time(&spec, 58 * MB, AccessKind::Random);
+        // 1 s transfer + ~12.7 ms positioning.
+        assert!((t.as_secs_f64() - 1.0127).abs() < 1e-3, "got {t}");
+    }
+
+    #[test]
+    fn sequential_skips_positioning() {
+        let spec = DiskSpec::ata133_type1();
+        let seq = service_time(&spec, 10 * MB, AccessKind::Sequential);
+        let rnd = service_time(&spec, 10 * MB, AccessKind::Random);
+        let diff = rnd.as_secs_f64() - seq.as_secs_f64();
+        assert!((diff - (spec.avg_seek_s + spec.avg_rotation_s)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_bytes_random_is_positioning_only() {
+        let spec = DiskSpec::ata133_type2();
+        let t = service_time(&spec, 0, AccessKind::Random);
+        assert!((t.as_secs_f64() - (spec.avg_seek_s + spec.avg_rotation_s)).abs() < 1e-9);
+        let t_seq = service_time(&spec, 0, AccessKind::Sequential);
+        assert!(t_seq.is_zero());
+    }
+
+    #[test]
+    fn slower_drive_takes_longer() {
+        let t1 = service_time(&DiskSpec::ata133_type1(), 10 * MB, AccessKind::Random);
+        let t2 = service_time(&DiskSpec::ata133_type2(), 10 * MB, AccessKind::Random);
+        assert!(t2 > t1, "34 MB/s drive must be slower than 58 MB/s drive");
+    }
+
+    #[test]
+    fn paper_scale_sanity_ten_megabytes() {
+        // 10 MB on the Type 2 drive: 10/34 s ≈ 294 ms transfer.
+        let t = service_time(&DiskSpec::ata133_type2(), 10 * MB, AccessKind::Random);
+        let secs = t.as_secs_f64();
+        assert!(secs > 0.29 && secs < 0.32, "got {secs}");
+    }
+
+    #[test]
+    fn service_time_is_monotone_in_bytes() {
+        let spec = DiskSpec::sata_server();
+        let mut prev = SimDuration::ZERO;
+        for mbs in [0u64, 1, 5, 10, 25, 50, 100] {
+            let t = service_time(&spec, mbs * MB, AccessKind::Sequential);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Criterion bench for the Fig 3 energy experiments.
+//!
+//! Each benchmark runs one full PF/NPF cluster replay at a swept parameter
+//! value and reports the simulated energy figures through Criterion's
+//! timing of the simulation itself. `cargo bench --bench fig3_energy`
+//! regenerates the Fig 3 series (printed once per configuration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eevfs::config::{ClusterSpec, EevfsConfig};
+use eevfs::driver::run_cluster;
+use sim_core::SimDuration;
+use workload::synthetic::{generate, SyntheticSpec};
+
+const BENCH_REQUESTS: u32 = 300;
+
+fn spec() -> SyntheticSpec {
+    SyntheticSpec {
+        requests: BENCH_REQUESTS,
+        ..SyntheticSpec::paper_default()
+    }
+}
+
+fn bench_panel_a_data_size(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper_testbed();
+    let mut group = c.benchmark_group("fig3a_energy_vs_data_size");
+    for mb in [1u64, 10, 25, 50] {
+        let trace = generate(&SyntheticSpec {
+            mean_size_bytes: mb * 1_000_000,
+            ..spec()
+        });
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+        let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+        println!(
+            "fig3a size={mb}MB: PF={:.0} J NPF={:.0} J savings={:.1}%",
+            pf.total_energy_j,
+            npf.total_energy_j,
+            pf.savings_vs(&npf) * 100.0
+        );
+        group.bench_with_input(BenchmarkId::new("pf", mb), &trace, |b, t| {
+            b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_pf(70), t))
+        });
+        group.bench_with_input(BenchmarkId::new("npf", mb), &trace, |b, t| {
+            b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_npf(), t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_panel_b_mu(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper_testbed();
+    let mut group = c.benchmark_group("fig3b_energy_vs_mu");
+    for mu in [1u64, 10, 100, 1000] {
+        let trace = generate(&SyntheticSpec {
+            mu: mu as f64,
+            ..spec()
+        });
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+        let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+        println!(
+            "fig3b mu={mu}: PF={:.0} J NPF={:.0} J savings={:.1}%",
+            pf.total_energy_j,
+            npf.total_energy_j,
+            pf.savings_vs(&npf) * 100.0
+        );
+        group.bench_with_input(BenchmarkId::new("pf", mu), &trace, |b, t| {
+            b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_pf(70), t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_panel_c_inter_arrival(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper_testbed();
+    let mut group = c.benchmark_group("fig3c_energy_vs_inter_arrival");
+    for ms in [0u64, 350, 700, 1000] {
+        let trace = generate(&SyntheticSpec {
+            inter_arrival: SimDuration::from_millis(ms),
+            ..spec()
+        });
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+        let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+        println!(
+            "fig3c delay={ms}ms: PF={:.0} J NPF={:.0} J savings={:.1}%",
+            pf.total_energy_j,
+            npf.total_energy_j,
+            pf.savings_vs(&npf) * 100.0
+        );
+        group.bench_with_input(BenchmarkId::new("pf", ms), &trace, |b, t| {
+            b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_pf(70), t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_panel_d_prefetch_k(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper_testbed();
+    let trace = generate(&spec());
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    let mut group = c.benchmark_group("fig3d_energy_vs_prefetch_k");
+    for k in [10u32, 40, 70, 100] {
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(k), &trace);
+        println!(
+            "fig3d k={k}: PF={:.0} J NPF={:.0} J savings={:.1}%",
+            pf.total_energy_j,
+            npf.total_energy_j,
+            pf.savings_vs(&npf) * 100.0
+        );
+        group.bench_with_input(BenchmarkId::new("pf", k), &trace, |b, t| {
+            b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_pf(k), t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = fig3;
+    config = Criterion::default().sample_size(10);
+    targets = bench_panel_a_data_size,
+        bench_panel_b_mu,
+        bench_panel_c_inter_arrival,
+        bench_panel_d_prefetch_k
+);
+criterion_main!(fig3);

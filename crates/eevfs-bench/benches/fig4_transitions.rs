@@ -1,0 +1,81 @@
+//! Criterion bench for the Fig 4 power-state-transition experiments.
+//!
+//! Prints the transition counts per swept parameter (the Fig 4 series) and
+//! times the simulation. The interesting invariants — transitions fall
+//! with data size and inter-arrival delay, collapse to ~0 for small MU and
+//! large K, peak at K=10 — are asserted in the integration tests; here we
+//! regenerate the raw series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eevfs::config::{ClusterSpec, EevfsConfig};
+use eevfs::driver::run_cluster;
+use sim_core::SimDuration;
+use workload::synthetic::{generate, SyntheticSpec};
+
+const BENCH_REQUESTS: u32 = 300;
+
+fn spec() -> SyntheticSpec {
+    SyntheticSpec {
+        requests: BENCH_REQUESTS,
+        ..SyntheticSpec::paper_default()
+    }
+}
+
+fn transitions_vs_everything(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper_testbed();
+    let mut group = c.benchmark_group("fig4_transitions");
+
+    for mb in [1u64, 10, 25, 50] {
+        let trace = generate(&SyntheticSpec {
+            mean_size_bytes: mb * 1_000_000,
+            ..spec()
+        });
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+        println!("fig4a size={mb}MB: transitions={}", pf.transitions.total());
+        group.bench_with_input(BenchmarkId::new("size_mb", mb), &trace, |b, t| {
+            b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_pf(70), t).transitions)
+        });
+    }
+
+    for mu in [1u64, 10, 100, 1000] {
+        let trace = generate(&SyntheticSpec {
+            mu: mu as f64,
+            ..spec()
+        });
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+        println!("fig4b mu={mu}: transitions={}", pf.transitions.total());
+        group.bench_with_input(BenchmarkId::new("mu", mu), &trace, |b, t| {
+            b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_pf(70), t).transitions)
+        });
+    }
+
+    for ms in [0u64, 350, 700, 1000] {
+        let trace = generate(&SyntheticSpec {
+            inter_arrival: SimDuration::from_millis(ms),
+            ..spec()
+        });
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+        println!("fig4c delay={ms}ms: transitions={}", pf.transitions.total());
+        group.bench_with_input(BenchmarkId::new("delay_ms", ms), &trace, |b, t| {
+            b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_pf(70), t).transitions)
+        });
+    }
+
+    let trace = generate(&spec());
+    for k in [10u32, 40, 70, 100] {
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(k), &trace);
+        println!("fig4d k={k}: transitions={}", pf.transitions.total());
+        group.bench_with_input(BenchmarkId::new("prefetch_k", k), &trace, |b, t| {
+            b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_pf(k), t).transitions)
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(
+    name = fig4;
+    config = Criterion::default().sample_size(10);
+    targets = transitions_vs_everything
+);
+criterion_main!(fig4);

@@ -1,0 +1,104 @@
+//! Criterion bench for the Fig 5 response-time experiments.
+//!
+//! Prints mean PF/NPF response time per swept parameter — the paper's
+//! penalty analysis ("121% increase in response time [at 1 MB], ... only a
+//! 4% increase [at 25 MB]") — and times the simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eevfs::config::{ClusterSpec, EevfsConfig};
+use eevfs::driver::run_cluster;
+use sim_core::SimDuration;
+use workload::synthetic::{generate, SyntheticSpec};
+
+const BENCH_REQUESTS: u32 = 300;
+
+fn spec() -> SyntheticSpec {
+    SyntheticSpec {
+        requests: BENCH_REQUESTS,
+        ..SyntheticSpec::paper_default()
+    }
+}
+
+fn response_vs_everything(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper_testbed();
+    let mut group = c.benchmark_group("fig5_response");
+
+    for mb in [1u64, 10, 25] {
+        // The paper omits 50 MB here for the same queueing reason.
+        let trace = generate(&SyntheticSpec {
+            mean_size_bytes: mb * 1_000_000,
+            ..spec()
+        });
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+        let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+        println!(
+            "fig5a size={mb}MB: rt_pf={:.3}s rt_npf={:.3}s penalty={:+.1}%",
+            pf.response.mean_s,
+            npf.response.mean_s,
+            pf.response_penalty_vs(&npf) * 100.0
+        );
+        group.bench_with_input(BenchmarkId::new("size_mb", mb), &trace, |b, t| {
+            b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_pf(70), t).response)
+        });
+    }
+
+    for mu in [1u64, 10, 100, 1000] {
+        let trace = generate(&SyntheticSpec {
+            mu: mu as f64,
+            ..spec()
+        });
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+        let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+        println!(
+            "fig5b mu={mu}: rt_pf={:.3}s rt_npf={:.3}s penalty={:+.1}%",
+            pf.response.mean_s,
+            npf.response.mean_s,
+            pf.response_penalty_vs(&npf) * 100.0
+        );
+        group.bench_with_input(BenchmarkId::new("mu", mu), &trace, |b, t| {
+            b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_pf(70), t).response)
+        });
+    }
+
+    for ms in [0u64, 350, 700, 1000] {
+        let trace = generate(&SyntheticSpec {
+            inter_arrival: SimDuration::from_millis(ms),
+            ..spec()
+        });
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+        let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+        println!(
+            "fig5c delay={ms}ms: rt_pf={:.3}s rt_npf={:.3}s penalty={:+.1}%",
+            pf.response.mean_s,
+            npf.response.mean_s,
+            pf.response_penalty_vs(&npf) * 100.0
+        );
+        group.bench_with_input(BenchmarkId::new("delay_ms", ms), &trace, |b, t| {
+            b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_pf(70), t).response)
+        });
+    }
+
+    let trace = generate(&spec());
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    for k in [10u32, 40, 70, 100] {
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(k), &trace);
+        println!(
+            "fig5d k={k}: rt_pf={:.3}s rt_npf={:.3}s penalty={:+.1}%",
+            pf.response.mean_s,
+            npf.response.mean_s,
+            pf.response_penalty_vs(&npf) * 100.0
+        );
+        group.bench_with_input(BenchmarkId::new("prefetch_k", k), &trace, |b, t| {
+            b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_pf(k), t).response)
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(
+    name = fig5;
+    config = Criterion::default().sample_size(10);
+    targets = response_vs_everything
+);
+criterion_main!(fig5);

@@ -1,0 +1,40 @@
+//! Criterion bench for the Fig 6 Berkeley-web-trace experiment.
+//!
+//! Prints the PF/NPF energy under the web-trace substitute — the paper's
+//! headline "17% energy efficiency improvement ... able to place all of
+//! the data disks in the standby for the entirety" — and times the run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eevfs::config::{ClusterSpec, EevfsConfig};
+use eevfs::driver::run_cluster;
+use workload::berkeley::{berkeley_web_trace, BerkeleySpec};
+
+fn berkeley(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper_testbed();
+    let trace = berkeley_web_trace(&BerkeleySpec {
+        requests: 300,
+        ..BerkeleySpec::paper_default()
+    });
+    let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    println!(
+        "fig6 berkeley: PF={:.0} J NPF={:.0} J savings={:.1}% spin_ups={}",
+        pf.total_energy_j,
+        npf.total_energy_j,
+        pf.savings_vs(&npf) * 100.0,
+        pf.transitions.spin_ups
+    );
+
+    let mut group = c.benchmark_group("fig6_berkeley");
+    group.sample_size(10);
+    group.bench_function("pf", |b| {
+        b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace))
+    });
+    group.bench_function("npf", |b| {
+        b.iter(|| run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace))
+    });
+    group.finish();
+}
+
+criterion_group!(fig6, berkeley);
+criterion_main!(fig6);

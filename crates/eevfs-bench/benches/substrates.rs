@@ -1,0 +1,118 @@
+//! Performance benches for the simulation substrates themselves — the
+//! design-choice ablations DESIGN.md calls out at the engine level: the
+//! stable-FIFO event queue, the O(mu) Poisson sampler, the lazy energy
+//! meter, whole-trace generation, placement planning, and a full cluster
+//! replay per second of simulated time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disk_model::perf::AccessKind;
+use disk_model::{Disk, DiskSpec};
+use eevfs::config::{ClusterSpec, EevfsConfig, PlacementPolicy};
+use eevfs::placement::place;
+use sim_core::{EventQueue, SimRng, SimTime};
+use workload::popularity::PopularityTable;
+use workload::synthetic::{generate, SyntheticSpec};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_core_event_queue");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("schedule_drain", n), &n, |b, &n| {
+            // Pre-generate pseudo-random times so only queue work is timed.
+            let mut rng = SimRng::seed_from_u64(1);
+            let times: Vec<u64> = (0..n).map(|_| rng.uniform_range(0, 1_000_000)).collect();
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule(SimTime::from_micros(t), i);
+                }
+                let mut count = 0;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_core_poisson");
+    for mu in [1.0f64, 100.0, 1000.0] {
+        group.bench_with_input(BenchmarkId::new("sample", mu as u64), &mu, |b, &mu| {
+            let mut rng = SimRng::seed_from_u64(2);
+            b.iter(|| rng.poisson(mu))
+        });
+    }
+    group.finish();
+}
+
+fn bench_disk_model(c: &mut Criterion) {
+    c.bench_function("disk_model_submit_sleep_cycle", |b| {
+        b.iter(|| {
+            let mut d = Disk::new(DiskSpec::ata133_type1());
+            let mut t = SimTime::ZERO;
+            for i in 0..100u64 {
+                let comp = d.submit(t, 10_000_000, AccessKind::Random);
+                t = comp.finish + sim_core::SimDuration::from_secs(10);
+                if i % 2 == 0 {
+                    d.sleep(comp.finish + sim_core::SimDuration::from_secs(1));
+                }
+            }
+            d.finalize(t);
+            d.total_joules()
+        })
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("workload_generate_paper_default", |b| {
+        b.iter(|| generate(&SyntheticSpec::paper_default()))
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let trace = generate(&SyntheticSpec::paper_default());
+    let pop = PopularityTable::from_trace(&trace);
+    let mut group = c.benchmark_group("eevfs_placement");
+    for policy in [
+        PlacementPolicy::PopularityRoundRobin,
+        PlacementPolicy::PlainRoundRobin,
+        PlacementPolicy::PdcConcentration,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("place_1000_files", format!("{policy:?}")),
+            &policy,
+            |b, &policy| b.iter(|| place(policy, &pop, &[2; 8])),
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_replay(c: &mut Criterion) {
+    let trace = generate(&SyntheticSpec {
+        requests: 1000,
+        ..SyntheticSpec::paper_default()
+    });
+    let cluster = ClusterSpec::paper_testbed();
+    let mut group = c.benchmark_group("eevfs_full_replay");
+    group.sample_size(10);
+    group.bench_function("pf70_1000_requests", |b| {
+        b.iter(|| eevfs::driver::run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace))
+    });
+    group.bench_function("npf_1000_requests", |b| {
+        b.iter(|| eevfs::driver::run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_event_queue,
+    bench_poisson,
+    bench_disk_model,
+    bench_trace_generation,
+    bench_placement,
+    bench_full_replay
+);
+criterion_main!(substrates);

@@ -1,0 +1,410 @@
+//! Ablations over EEVFS design choices (DESIGN.md §5).
+//!
+//! These go beyond the paper's own figures: they quantify the individual
+//! contributions of the mechanisms (§III/§IV) and run the §II baselines
+//! the paper only discusses qualitatively, plus the §VII scale-out
+//! prediction ("we believe this number will increase as more disks are
+//! added to each EEVFS storage node").
+
+use crate::sweeps::SweepParams;
+use eevfs::baselines;
+use eevfs::config::{ClusterSpec, EevfsConfig};
+use eevfs::driver::run_cluster;
+use eevfs::metrics::RunMetrics;
+use serde::{Deserialize, Serialize};
+use sim_core::SimDuration;
+use workload::synthetic::{generate, SyntheticSpec};
+
+/// A named configuration's run, compared against the NPF baseline on the
+/// same trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Configuration name.
+    pub name: String,
+    /// The run under test.
+    pub run: RunMetrics,
+    /// Savings vs the sweep's NPF run.
+    pub savings: f64,
+    /// Response penalty vs NPF.
+    pub penalty: f64,
+}
+
+/// An ablation: baseline + variants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ablation {
+    /// What is being ablated.
+    pub title: String,
+    /// Rows, baseline first.
+    pub rows: Vec<AblationRow>,
+}
+
+fn trace_default(p: &SweepParams, mu: f64) -> workload::record::Trace {
+    generate(&SyntheticSpec {
+        requests: p.requests,
+        seed: p.seed,
+        mu,
+        ..SyntheticSpec::paper_default()
+    })
+}
+
+fn row(
+    name: &str,
+    cluster: &ClusterSpec,
+    cfg: &EevfsConfig,
+    trace: &workload::record::Trace,
+    npf: &RunMetrics,
+) -> AblationRow {
+    let run = run_cluster(cluster, cfg, trace);
+    AblationRow {
+        name: name.into(),
+        savings: run.savings_vs(npf),
+        penalty: run.response_penalty_vs(npf),
+        run,
+    }
+}
+
+/// Idle threshold sweep (§VI-B: raising the threshold trades savings for
+/// fewer transitions).
+pub fn ablate_threshold(p: &SweepParams) -> Ablation {
+    let cluster = ClusterSpec::paper_testbed();
+    let trace = trace_default(p, 1000.0);
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    let mut rows = vec![AblationRow {
+        name: "NPF".into(),
+        savings: 0.0,
+        penalty: 0.0,
+        run: npf.clone(),
+    }];
+    for secs in [1u64, 5, 15, 30, 60] {
+        let cfg = baselines::pf_with_threshold(70, SimDuration::from_secs(secs));
+        rows.push(row(&format!("PF threshold={secs}s"), &cluster, &cfg, &trace, &npf));
+    }
+    Ablation {
+        title: "Disk idle threshold".into(),
+        rows,
+    }
+}
+
+/// Application hints on/off (§IV-C).
+pub fn ablate_hints(p: &SweepParams) -> Ablation {
+    let cluster = ClusterSpec::paper_testbed();
+    let trace = trace_default(p, 1000.0);
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    let rows = vec![
+        AblationRow {
+            name: "NPF".into(),
+            savings: 0.0,
+            penalty: 0.0,
+            run: npf.clone(),
+        },
+        row("PF with hints", &cluster, &EevfsConfig::paper_pf(70), &trace, &npf),
+        row(
+            "PF without hints (timer)",
+            &cluster,
+            &baselines::pf_without_hints(70),
+            &trace,
+            &npf,
+        ),
+    ];
+    Ablation {
+        title: "Application hints".into(),
+        rows,
+    }
+}
+
+/// Write-buffer area on/off (§III-C) under a mixed read/write workload.
+pub fn ablate_write_buffer(p: &SweepParams) -> Ablation {
+    let cluster = ClusterSpec::paper_testbed();
+    let trace = generate(&SyntheticSpec {
+        requests: p.requests,
+        seed: p.seed,
+        mu: 100.0,
+        write_fraction: 0.3,
+        ..SyntheticSpec::paper_default()
+    });
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    let mut no_wb = EevfsConfig::paper_pf(70);
+    no_wb.write_buffer = false;
+    let rows = vec![
+        AblationRow {
+            name: "NPF".into(),
+            savings: 0.0,
+            penalty: 0.0,
+            run: npf.clone(),
+        },
+        row("PF + write buffer", &cluster, &EevfsConfig::paper_pf(70), &trace, &npf),
+        row("PF, writes to data disks", &cluster, &no_wb, &trace, &npf),
+    ];
+    Ablation {
+        title: "Buffer-disk write area (30% writes)".into(),
+        rows,
+    }
+}
+
+/// Placement policies (§III-B vs naive vs PDC).
+pub fn ablate_placement(p: &SweepParams) -> Ablation {
+    let cluster = ClusterSpec::paper_testbed();
+    let trace = trace_default(p, 1000.0);
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    let mut plain = EevfsConfig::paper_pf(70);
+    plain.placement = eevfs::config::PlacementPolicy::PlainRoundRobin;
+    let rows = vec![
+        AblationRow {
+            name: "NPF".into(),
+            savings: 0.0,
+            penalty: 0.0,
+            run: npf.clone(),
+        },
+        row(
+            "PF + popularity round-robin",
+            &cluster,
+            &EevfsConfig::paper_pf(70),
+            &trace,
+            &npf,
+        ),
+        row("PF + plain round-robin", &cluster, &plain, &trace, &npf),
+        row("PDC concentration + timers", &cluster, &baselines::pdc(), &trace, &npf),
+    ];
+    Ablation {
+        title: "Placement policy".into(),
+        rows,
+    }
+}
+
+/// EEVFS prefetching vs MAID-style on-demand caching (§II "Disk as cache").
+pub fn ablate_maid(p: &SweepParams) -> Ablation {
+    let cluster = ClusterSpec::paper_testbed();
+    let trace = trace_default(p, 100.0);
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    let rows = vec![
+        AblationRow {
+            name: "NPF".into(),
+            savings: 0.0,
+            penalty: 0.0,
+            run: npf.clone(),
+        },
+        row("EEVFS PF (look-ahead)", &cluster, &EevfsConfig::paper_pf(70), &trace, &npf),
+        row(
+            "MAID (on-demand LRU)",
+            &cluster,
+            &baselines::maid(80_000_000_000),
+            &trace,
+            &npf,
+        ),
+        row(
+            "Energy-oblivious (PVFS-like)",
+            &cluster,
+            &baselines::energy_oblivious(),
+            &trace,
+            &npf,
+        ),
+    ];
+    Ablation {
+        title: "Caching strategy".into(),
+        rows,
+    }
+}
+
+/// Disks per node (§VII: savings should grow with more disks per node).
+pub fn ablate_scale(p: &SweepParams) -> Ablation {
+    let trace = trace_default(p, 1000.0);
+    let mut rows = Vec::new();
+    for disks in [1usize, 2, 4, 8] {
+        let cluster = ClusterSpec::paper_testbed_with(disks);
+        let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+        let mut r = row(
+            &format!("{disks} data disk(s) per node"),
+            &cluster,
+            &EevfsConfig::paper_pf(70),
+            &trace,
+            &npf,
+        );
+        r.name = format!("{disks} data disk(s)/node (PF vs own NPF)");
+        rows.push(r);
+    }
+    Ablation {
+        title: "Scale-out: data disks per node (§VII prediction)".into(),
+        rows,
+    }
+}
+
+/// Striping on/off (§VII future work: performance without losing the
+/// savings).
+pub fn ablate_striping(p: &SweepParams) -> Ablation {
+    let cluster = ClusterSpec::paper_testbed();
+    let trace = trace_default(p, 1000.0);
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    let rows = vec![
+        AblationRow {
+            name: "NPF".into(),
+            savings: 0.0,
+            penalty: 0.0,
+            run: npf.clone(),
+        },
+        row("PF, whole-file placement", &cluster, &EevfsConfig::paper_pf(70), &trace, &npf),
+        row(
+            "PF + intra-node striping",
+            &cluster,
+            &baselines::pf_striped(70),
+            &trace,
+            &npf,
+        ),
+    ];
+    Ablation {
+        title: "Striping (§VII)".into(),
+        rows,
+    }
+}
+
+/// Drive technology (§II related work): stock ATA vs a multi-speed
+/// (DRPM-emulated) drive vs a modern nearline drive, all under EEVFS-PF.
+pub fn ablate_disk_technology(p: &SweepParams) -> Ablation {
+    use disk_model::DiskSpec;
+    let trace = trace_default(p, 1000.0);
+    let mut rows = Vec::new();
+    for (name, spec) in [
+        ("stock ATA/133 (the paper's)", DiskSpec::ata133_type1()),
+        ("multi-speed DRPM emulation", DiskSpec::multispeed_emulated()),
+        ("modern nearline SATA", DiskSpec::nearline_sata()),
+    ] {
+        let mut cluster = ClusterSpec::paper_testbed();
+        for node in &mut cluster.nodes {
+            node.buffer_disk = spec.clone();
+            node.data_disks = vec![spec.clone(); node.data_disks.len()];
+        }
+        let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+        let mut r = row(name, &cluster, &EevfsConfig::paper_pf(70), &trace, &npf);
+        r.name = format!("{name} (PF vs own NPF)");
+        rows.push(r);
+    }
+    Ablation {
+        title: "Drive technology (§II): break-even vs savings".into(),
+        rows,
+    }
+}
+
+/// Open-loop vs closed-loop replay (the prototype's replayer feeds
+/// response time back into arrival times; the load generator does not).
+pub fn ablate_arrival_mode(p: &SweepParams) -> Ablation {
+    use eevfs::config::ArrivalMode;
+    let cluster = ClusterSpec::paper_testbed();
+    let mut rows = Vec::new();
+    for (name, mu) in [("MU=100 (full coverage)", 100.0), ("MU=1000 (23% misses)", 1000.0)] {
+        let trace = trace_default(p, mu);
+        for (mode_name, mode) in [
+            ("open loop", ArrivalMode::OpenLoop),
+            ("closed loop x4", ArrivalMode::ClosedLoop { streams: 4 }),
+        ] {
+            let mut pf_cfg = EevfsConfig::paper_pf(70);
+            pf_cfg.arrival = mode;
+            let mut npf_cfg = EevfsConfig::paper_npf();
+            npf_cfg.arrival = mode;
+            let npf = run_cluster(&cluster, &npf_cfg, &trace);
+            let mut r = row(name, &cluster, &pf_cfg, &trace, &npf);
+            r.name = format!("{name}, {mode_name}");
+            rows.push(r);
+        }
+    }
+    Ablation {
+        title: "Replay discipline: open vs closed loop".into(),
+        rows,
+    }
+}
+
+/// Every ablation in DESIGN.md order.
+pub fn all_ablations(p: &SweepParams) -> Vec<Ablation> {
+    vec![
+        ablate_threshold(p),
+        ablate_hints(p),
+        ablate_write_buffer(p),
+        ablate_placement(p),
+        ablate_maid(p),
+        ablate_scale(p),
+        ablate_striping(p),
+        ablate_disk_technology(p),
+        ablate_arrival_mode(p),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SweepParams {
+        SweepParams {
+            requests: 120,
+            ..SweepParams::default()
+        }
+    }
+
+    #[test]
+    fn threshold_ablation_trades_transitions_for_savings() {
+        let a = ablate_threshold(&quick());
+        assert_eq!(a.rows.len(), 6);
+        // Transitions at 1 s threshold >= transitions at 60 s threshold.
+        let t1 = a.rows[1].run.transitions.total();
+        let t60 = a.rows[5].run.transitions.total();
+        assert!(t1 >= t60, "t1={t1} t60={t60}");
+    }
+
+    #[test]
+    fn scale_ablation_savings_grow_with_disks() {
+        let a = ablate_scale(&quick());
+        let s: Vec<f64> = a.rows.iter().map(|r| r.savings).collect();
+        assert!(
+            s[3] > s[0],
+            "8 disks/node should save a larger fraction than 1: {s:?}"
+        );
+    }
+
+    #[test]
+    fn maid_ablation_runs_all_configs() {
+        let a = ablate_maid(&quick());
+        assert_eq!(a.rows.len(), 4);
+        // Energy-oblivious config saves nothing (same energy as NPF, which
+        // also never sleeps — modulo placement differences).
+        let oblivious = &a.rows[3];
+        assert!(oblivious.savings.abs() < 0.05, "savings {}", oblivious.savings);
+        // EEVFS prefetching beats on-demand MAID on a skewed read trace.
+        assert!(a.rows[1].savings >= a.rows[2].savings - 0.02);
+    }
+
+    #[test]
+    fn arrival_mode_ablation_shows_the_feedback() {
+        let a = ablate_arrival_mode(&quick());
+        assert_eq!(a.rows.len(), 4);
+        // Full coverage saves under both disciplines.
+        assert!(a.rows[0].savings > 0.08, "{:?}", a.rows[0].savings);
+        assert!(a.rows[1].savings > 0.08, "{:?}", a.rows[1].savings);
+        // With misses, closed loop erodes the open-loop savings.
+        assert!(a.rows[3].savings < a.rows[2].savings, "{a:?}");
+    }
+
+    #[test]
+    fn multispeed_drive_saves_at_least_as_much() {
+        let a = ablate_disk_technology(&quick());
+        // Smaller break-even means the same windows save no less energy
+        // relative to that drive's own NPF... except the DRPM "standby"
+        // draws more than a true standby; what must hold is that all
+        // configurations save something and the run completes.
+        for r in &a.rows {
+            assert!(r.savings > 0.0, "{}: {}", r.name, r.savings);
+        }
+    }
+
+    #[test]
+    fn striping_ablation_is_not_slower() {
+        let a = ablate_striping(&quick());
+        let plain = &a.rows[1];
+        let striped = &a.rows[2];
+        assert!(striped.penalty <= plain.penalty + 0.10, "{a:?}");
+        assert!(striped.savings > 0.0);
+    }
+
+    #[test]
+    fn write_buffer_ablation_buffers_writes() {
+        let a = ablate_write_buffer(&quick());
+        assert!(a.rows[1].run.writes_buffered > 0);
+        assert_eq!(a.rows[2].run.writes_buffered, 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Experiment harness: regenerates every table/figure in the paper.
+//!
+//! ```text
+//! harness [--requests N] [--seed S] [--json PATH] <command>
+//!
+//! commands:
+//!   all        every figure and ablation
+//!   fig3a..d   energy panels        (Fig 3)
+//!   fig4       transition panels    (Fig 4)
+//!   fig5       response panels      (Fig 5)
+//!   fig6       Berkeley web trace   (Fig 6)
+//!   sweeps     the raw sweep tables behind Figs 3-5
+//!   ablate     all ablations
+//!   power-curve  whole-cluster power over time, PF vs NPF
+//!   hist         response-time distributions, PF vs NPF
+//! ```
+
+use eevfs_bench::ablate::all_ablations;
+use eevfs_bench::figures::{fig3_view, fig4_view, fig5_view, fig6, Panel};
+use eevfs_bench::report::{render_ablation, render_figure, render_sweep};
+use eevfs_bench::sweeps::SweepParams;
+use std::process::ExitCode;
+
+struct Args {
+    params: SweepParams,
+    json_path: Option<String>,
+    command: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut params = SweepParams::default();
+    let mut json_path = None;
+    let mut command = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--requests" => {
+                let v = it.next().ok_or("--requests needs a value")?;
+                params.requests = v.parse().map_err(|_| format!("bad --requests {v}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                params.seed = v.parse().map_err(|_| format!("bad --seed {v}"))?;
+            }
+            "--json" => {
+                json_path = Some(it.next().ok_or("--json needs a path")?);
+            }
+            other if command.is_none() && !other.starts_with('-') => {
+                command = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Args {
+        params,
+        json_path,
+        command: command.unwrap_or_else(|| "all".into()),
+    })
+}
+
+/// Everything the harness can emit, JSON-serialisable for EXPERIMENTS.md.
+#[derive(serde::Serialize)]
+struct HarnessOutput {
+    requests: u32,
+    seed: u64,
+    sweeps: Vec<(String, Vec<eevfs_bench::sweeps::ExperimentPoint>)>,
+    ablations: Vec<eevfs_bench::ablate::Ablation>,
+}
+
+fn panel_of(name: &str) -> Option<Panel> {
+    match name {
+        "a" => Some(Panel::DataSize),
+        "b" => Some(Panel::Mu),
+        "c" => Some(Panel::InterArrival),
+        "d" => Some(Panel::PrefetchK),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let p = &args.params;
+    let mut output = HarnessOutput {
+        requests: p.requests,
+        seed: p.seed,
+        sweeps: Vec::new(),
+        ablations: Vec::new(),
+    };
+
+    let cmd = args.command.as_str();
+    match cmd {
+        "all" => {
+            for panel in Panel::ALL {
+                let pts = panel.run(p);
+                println!("{}", render_sweep(&format!("sweep: {}", panel.xlabel()), &pts));
+                println!("{}", render_figure(&fig3_view(panel, &pts)));
+                println!("{}", render_figure(&fig4_view(panel, &pts)));
+                println!("{}", render_figure(&fig5_view(panel, &pts)));
+                output.sweeps.push((panel.xlabel().to_string(), pts));
+            }
+            println!("{}", render_figure(&fig6(p)));
+            for a in all_ablations(p) {
+                println!("{}", render_ablation(&a));
+                output.ablations.push(a);
+            }
+        }
+        "sweeps" => {
+            for panel in Panel::ALL {
+                let pts = panel.run(p);
+                println!("{}", render_sweep(&format!("sweep: {}", panel.xlabel()), &pts));
+                output.sweeps.push((panel.xlabel().to_string(), pts));
+            }
+        }
+        "fig3a" | "fig3b" | "fig3c" | "fig3d" => {
+            let panel = panel_of(&cmd[4..]).expect("suffix checked");
+            let pts = panel.run(p);
+            println!("{}", render_figure(&fig3_view(panel, &pts)));
+            output.sweeps.push((panel.xlabel().to_string(), pts));
+        }
+        "fig4" => {
+            for panel in Panel::ALL {
+                let pts = panel.run(p);
+                println!("{}", render_figure(&fig4_view(panel, &pts)));
+                output.sweeps.push((panel.xlabel().to_string(), pts));
+            }
+        }
+        "fig5" => {
+            for panel in Panel::ALL {
+                let pts = panel.run(p);
+                println!("{}", render_figure(&fig5_view(panel, &pts)));
+                output.sweeps.push((panel.xlabel().to_string(), pts));
+            }
+        }
+        "fig6" => {
+            println!("{}", render_figure(&fig6(p)));
+        }
+        "power-curve" => {
+            use eevfs::config::{ClusterSpec, EevfsConfig};
+            use workload::synthetic::{generate, SyntheticSpec};
+            let trace = generate(&SyntheticSpec {
+                requests: p.requests,
+                seed: p.seed,
+                ..SyntheticSpec::paper_default()
+            });
+            let cluster = ClusterSpec::paper_testbed();
+            let (_, pf) = eevfs::driver::run_cluster_traced(&cluster, &EevfsConfig::paper_pf(70), &trace);
+            let (_, npf) = eevfs::driver::run_cluster_traced(&cluster, &EevfsConfig::paper_npf(), &trace);
+            println!("# whole-cluster power over time (W), PF(70) vs NPF, {} requests", p.requests);
+            println!("{:>10} {:>10} {:>10}", "t (s)", "P_pf (W)", "P_npf (W)");
+            let n = 60;
+            let pf_pts = pf.resample(n + 1);
+            let npf_pts = npf.resample(n + 1);
+            for i in 1..=n {
+                let (t1, e1) = pf_pts[i];
+                let (t0, e0) = pf_pts[i - 1];
+                let dt = (t1 - t0).as_secs_f64().max(1e-9);
+                let p_pf = (e1 - e0) / dt;
+                let (u1, f1) = npf_pts[(i * (npf_pts.len() - 1)) / n];
+                let (u0, f0) = npf_pts[((i - 1) * (npf_pts.len() - 1)) / n];
+                let p_npf = (f1 - f0) / (u1 - u0).as_secs_f64().max(1e-9);
+                println!("{:>10.1} {:>10.1} {:>10.1}", t1.as_secs_f64(), p_pf, p_npf);
+            }
+        }
+        "hist" => {
+            use eevfs::config::{ClusterSpec, EevfsConfig};
+            use eevfs_bench::report::render_response_histogram;
+            use workload::synthetic::{generate, SyntheticSpec};
+            let trace = generate(&SyntheticSpec {
+                requests: p.requests,
+                seed: p.seed,
+                ..SyntheticSpec::paper_default()
+            });
+            let cluster = ClusterSpec::paper_testbed();
+            let pf = eevfs::driver::run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+            let npf = eevfs::driver::run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+            println!("PF(70):\n{}", render_response_histogram(&pf, 16));
+            println!("NPF:\n{}", render_response_histogram(&npf, 16));
+        }
+        "ablate" => {
+            for a in all_ablations(p) {
+                println!("{}", render_ablation(&a));
+                output.ablations.push(a);
+            }
+        }
+        other => {
+            eprintln!("unknown command {other}; try: all, sweeps, fig3a-d, fig4, fig5, fig6, ablate");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = args.json_path {
+        match serde_json::to_string_pretty(&output) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("error writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("serialisation error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,32 @@
+//! # eevfs-bench
+//!
+//! Experiment harness reproducing every figure in the EEVFS paper's
+//! evaluation (§VI), plus the ablations DESIGN.md calls out.
+//!
+//! * [`sweeps`] — the Table II parameter sweeps. One sweep produces the
+//!   inputs for three figures at once, exactly like the paper: Fig 3
+//!   (energy), Fig 4 (power-state transitions) and Fig 5 (response time)
+//!   are three views of the same runs.
+//! * [`figures`] — named entry points, one per paper figure.
+//! * [`ablate`] — ablations over the design choices (idle threshold,
+//!   hints, write buffer, placement policy, MAID/PDC baselines, disks per
+//!   node, the paper's §VII scale-out prediction).
+//! * [`report`] — text tables and JSON dumps for EXPERIMENTS.md.
+//!
+//! The `harness` binary drives all of it:
+//!
+//! ```text
+//! harness all            # every figure + ablation, text tables
+//! harness fig3a          # one figure
+//! harness --json out.json all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablate;
+pub mod figures;
+pub mod report;
+pub mod sweeps;
+
+pub use figures::{fig3, fig4, fig5, fig6};
+pub use sweeps::{ExperimentPoint, SweepParams};

@@ -1,0 +1,175 @@
+//! Text-table and JSON rendering for the harness.
+
+use crate::ablate::Ablation;
+use crate::figures::Figure;
+use crate::sweeps::ExperimentPoint;
+use std::fmt::Write as _;
+
+/// Renders one figure as an aligned text table with the derived savings /
+/// penalty column the paper quotes in prose.
+pub fn render_figure(fig: &Figure) -> String {
+    let mut out = String::new();
+    writeln!(out, "{}  [{} vs {}]", fig.id, fig.ylabel, fig.xlabel).expect("write");
+    writeln!(
+        out,
+        "{:<22} {:>14} {:>14} {:>10}",
+        fig.xlabel, "PF", "NPF", "delta"
+    )
+    .expect("write");
+    for (label, pf, npf) in &fig.rows {
+        let delta = if *npf != 0.0 {
+            format!("{:+.1}%", (pf / npf - 1.0) * 100.0)
+        } else {
+            "-".into()
+        };
+        writeln!(out, "{label:<22} {pf:>14.1} {npf:>14.1} {delta:>10}").expect("write");
+    }
+    out
+}
+
+/// Renders a full sweep (all three metric views) as the paper reports it.
+pub fn render_sweep(title: &str, pts: &[ExperimentPoint]) -> String {
+    let mut out = String::new();
+    writeln!(out, "== {title} ==").expect("write");
+    writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>9} {:>7} {:>9} {:>9} {:>9} {:>8}",
+        "x", "E_pf (J)", "E_npf (J)", "savings", "trans", "rt_pf(s)", "rt_npf(s)", "penalty", "hit%"
+    )
+    .expect("write");
+    for p in pts {
+        writeln!(
+            out,
+            "{:<12} {:>12.0} {:>12.0} {:>8.1}% {:>7} {:>9.3} {:>9.3} {:>8.1}% {:>7.1}%",
+            p.label,
+            p.pf.total_energy_j,
+            p.npf.total_energy_j,
+            p.savings() * 100.0,
+            p.pf.transitions.total(),
+            p.pf.response.mean_s,
+            p.npf.response.mean_s,
+            p.penalty() * 100.0,
+            p.pf.hit_rate() * 100.0,
+        )
+        .expect("write");
+    }
+    out
+}
+
+/// Renders a response-time histogram as an ASCII bar chart (the paper's
+/// Fig 5 reports means; the distribution shows the bimodality that spin-up
+/// penalties create: a fast buffer-served mode and a slow wake mode).
+pub fn render_response_histogram(m: &eevfs::metrics::RunMetrics, bins: usize) -> String {
+    let mut out = String::new();
+    if m.response_samples_s.is_empty() {
+        return "no responses recorded\n".into();
+    }
+    let hi = m.response.max_s * 1.0001;
+    let mut h = sim_core::Histogram::new(0.0, hi.max(1e-6), bins);
+    for &x in &m.response_samples_s {
+        h.record(x);
+    }
+    let peak = (0..h.num_bins()).map(|i| h.bin_count(i)).max().unwrap_or(1).max(1);
+    writeln!(out, "response-time distribution ({} samples):", m.response_samples_s.len())
+        .expect("write");
+    for i in 0..h.num_bins() {
+        let (lo, hi) = h.bin_bounds(i);
+        let count = h.bin_count(i);
+        let width = (count * 50 / peak) as usize;
+        writeln!(
+            out,
+            "{:>7.2}-{:<7.2}s {:>5} |{}",
+            lo,
+            hi,
+            count,
+            "#".repeat(width)
+        )
+        .expect("write");
+    }
+    out
+}
+
+/// Renders an ablation table.
+pub fn render_ablation(a: &Ablation) -> String {
+    let mut out = String::new();
+    writeln!(out, "== Ablation: {} ==", a.title).expect("write");
+    writeln!(
+        out,
+        "{:<36} {:>12} {:>9} {:>9} {:>7} {:>9}",
+        "config", "energy (J)", "savings", "penalty", "trans", "standby"
+    )
+    .expect("write");
+    for r in &a.rows {
+        writeln!(
+            out,
+            "{:<36} {:>12.0} {:>8.1}% {:>8.1}% {:>7} {:>8.1}%",
+            r.name,
+            r.run.total_energy_j,
+            r.savings * 100.0,
+            r.penalty * 100.0,
+            r.run.transitions.total(),
+            r.run.mean_standby_fraction() * 100.0,
+        )
+        .expect("write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{fig6, Figure};
+    use crate::sweeps::SweepParams;
+
+    #[test]
+    fn figure_rendering_contains_all_rows() {
+        let fig = Figure {
+            id: "Fig X".into(),
+            ylabel: "Energy (J)".into(),
+            xlabel: "MU".into(),
+            rows: vec![("MU=1".into(), 90.0, 100.0), ("MU=10".into(), 95.0, 100.0)],
+        };
+        let text = render_figure(&fig);
+        assert!(text.contains("Fig X"));
+        assert!(text.contains("MU=1"));
+        assert!(text.contains("-10.0%"));
+        assert!(text.contains("-5.0%"));
+    }
+
+    #[test]
+    fn zero_npf_column_renders_dash() {
+        let fig = Figure {
+            id: "Fig 4".into(),
+            ylabel: "transitions".into(),
+            xlabel: "K".into(),
+            rows: vec![("K=10".into(), 447.0, 0.0)],
+        };
+        assert!(render_figure(&fig).contains('-'));
+    }
+
+    #[test]
+    fn histogram_renders_bimodal_penalties() {
+        use eevfs::config::{ClusterSpec, EevfsConfig};
+        use eevfs::driver::run_cluster;
+        use workload::synthetic::{generate, SyntheticSpec};
+        let trace = generate(&SyntheticSpec {
+            requests: 120,
+            ..SyntheticSpec::paper_default()
+        });
+        let m = run_cluster(&ClusterSpec::paper_testbed(), &EevfsConfig::paper_pf(70), &trace);
+        let text = render_response_histogram(&m, 12);
+        assert!(text.contains("response-time distribution"));
+        assert!(text.lines().count() >= 13);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn end_to_end_render_of_a_real_figure() {
+        let p = SweepParams {
+            requests: 60,
+            ..SweepParams::default()
+        };
+        let text = render_figure(&fig6(&p));
+        assert!(text.contains("Berkeley"));
+    }
+}

@@ -1,0 +1,434 @@
+//! Whole-cluster orchestration and the client API.
+//!
+//! [`ClusterHandle::start`] brings up the storage nodes and the server in
+//! background threads, runs the setup flow against a trace, and exposes
+//! the client view: [`ClusterHandle::get`] fetches one file through the
+//! full server→node→client push path; [`ClusterHandle::replay`] replays a
+//! trace sequentially with scaled inter-arrival delays (the prototype's
+//! single-threaded trace replayer) and reports response times plus the
+//! cluster's virtual-energy statistics.
+
+use crate::clock::VirtualClock;
+use crate::node::{NodeConfig, NodeDaemon};
+use crate::proto::{read_message, write_message, Message};
+use crate::server::{ClusterStats, ServerDaemon};
+use crate::store::verify_pattern;
+use disk_model::DiskSpec;
+use sim_core::SimDuration;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use workload::record::Trace;
+
+/// Prototype cluster configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of storage nodes.
+    pub nodes: usize,
+    /// Data disks per node.
+    pub data_disks_per_node: usize,
+    /// Files to prefetch (0 = NPF).
+    pub prefetch_k: u32,
+    /// Disk idle threshold, virtual seconds.
+    pub idle_threshold: SimDuration,
+    /// Virtual seconds per wall second (use large values in tests).
+    pub time_scale: f64,
+    /// Root directory for node stores.
+    pub root_dir: PathBuf,
+    /// Drive model used for power accounting.
+    pub disk_spec: DiskSpec,
+}
+
+impl RuntimeConfig {
+    /// A small fast-forwarded cluster for tests and examples: files live
+    /// under a unique temp directory, the clock runs 10 000× wall speed.
+    pub fn small(tag: &str) -> RuntimeConfig {
+        RuntimeConfig {
+            nodes: 2,
+            data_disks_per_node: 2,
+            prefetch_k: 8,
+            idle_threshold: SimDuration::from_secs(5),
+            time_scale: 10_000.0,
+            root_dir: std::env::temp_dir().join(format!(
+                "eevfs-runtime-{}-{tag}",
+                std::process::id()
+            )),
+            disk_spec: DiskSpec::ata133_type1(),
+        }
+    }
+}
+
+/// Result of one `get`.
+#[derive(Debug, Clone)]
+pub struct GetResult {
+    /// File contents.
+    pub data: Vec<u8>,
+    /// Wall-clock response time.
+    pub response: Duration,
+}
+
+/// Result of a trace replay.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Wall-clock response time per request, in trace order.
+    pub responses: Vec<Duration>,
+    /// Aggregated node statistics after the replay.
+    pub stats: ClusterStats,
+}
+
+impl ReplayReport {
+    /// Mean response time, seconds.
+    pub fn mean_response_s(&self) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        self.responses.iter().map(|d| d.as_secs_f64()).sum::<f64>() / self.responses.len() as f64
+    }
+
+    /// Buffer hit rate over the replay.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.stats.hits + self.stats.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A running prototype cluster.
+pub struct ClusterHandle {
+    cfg: RuntimeConfig,
+    clock: VirtualClock,
+    server: Option<ServerDaemon>,
+    nodes: Vec<NodeDaemon>,
+    server_conn: TcpStream,
+}
+
+impl ClusterHandle {
+    /// Boots nodes and server and runs the setup flow for `trace`.
+    pub fn start(cfg: RuntimeConfig, trace: &Trace) -> io::Result<ClusterHandle> {
+        trace
+            .validate()
+            .map_err(|e| io::Error::other(format!("bad trace: {e}")))?;
+        let clock = VirtualClock::start(cfg.time_scale);
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        for i in 0..cfg.nodes {
+            nodes.push(NodeDaemon::spawn(NodeConfig {
+                root: cfg.root_dir.join(format!("node{i}")),
+                data_disks: cfg.data_disks_per_node,
+                disk_spec: cfg.disk_spec.clone(),
+                idle_threshold: cfg.idle_threshold,
+                clock: clock.clone(),
+            })?);
+        }
+        let node_addrs: Vec<_> = nodes.iter().map(|n| n.addr).collect();
+        let server = ServerDaemon::spawn(
+            &node_addrs,
+            vec![cfg.data_disks_per_node; cfg.nodes],
+            trace,
+            cfg.prefetch_k,
+        )?;
+        let server_conn = TcpStream::connect(server.addr)?;
+        Ok(ClusterHandle {
+            cfg,
+            clock,
+            server: Some(server),
+            nodes,
+            server_conn,
+        })
+    }
+
+    /// The virtual clock (to convert durations in assertions).
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Waits for either a node callback connection on `listener` or an
+    /// early server reply (a routing failure): returns `Some(stream)` for
+    /// a callback, `None` when the server has already replied. This is
+    /// what keeps a request to a dead node from hanging the client.
+    fn accept_or_server_reply(&mut self, listener: &TcpListener) -> io::Result<Option<TcpStream>> {
+        listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match listener.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    return Ok(Some(s));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => return Err(e),
+            }
+            // An early byte on the control connection means the server
+            // replied before any node contacted us: a failure.
+            self.server_conn
+                .set_read_timeout(Some(std::time::Duration::from_millis(1)))?;
+            let mut probe = [0u8; 1];
+            let ready = match self.server_conn.peek(&mut probe) {
+                Ok(n) => n > 0,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    false
+                }
+                Err(e) => {
+                    self.server_conn.set_read_timeout(None)?;
+                    return Err(e);
+                }
+            };
+            self.server_conn.set_read_timeout(None)?;
+            if ready {
+                return Ok(None);
+            }
+            if Instant::now() > deadline {
+                return Err(io::Error::other("timed out waiting for the node callback"));
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
+    /// Reads and interprets the server's routing acknowledgement.
+    fn read_ack(&mut self) -> io::Result<()> {
+        match read_message(&mut self.server_conn).map_err(|e| io::Error::other(e.to_string()))? {
+            Message::Ok => Ok(()),
+            Message::Err { code } => Err(io::Error::other(format!("server error {code}"))),
+            other => Err(io::Error::other(format!("unexpected ack {other:?}"))),
+        }
+    }
+
+    /// Fetches one file end-to-end; verifies nothing (callers can check
+    /// [`verify_pattern`]).
+    pub fn get(&mut self, file: u32) -> io::Result<GetResult> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let port = listener.local_addr()?.port();
+        let start = Instant::now();
+        write_message(&mut self.server_conn, &Message::Get { file, client_port: port })
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        // The node pushes the data directly to our listener (step 6) —
+        // unless the server reports a routing failure first.
+        let (mut push, ack_pending) = match self.accept_or_server_reply(&listener)? {
+            Some(push) => (push, true),
+            None => {
+                // The server replied before the node connected. An error
+                // means the route failed (dead node / unknown file); Ok
+                // means the push already sits in the listener backlog.
+                self.read_ack()?;
+                listener.set_nonblocking(false)?;
+                let (push, _) = listener.accept()?;
+                (push, false)
+            }
+        };
+        let data = match read_message(&mut push).map_err(|e| io::Error::other(e.to_string()))? {
+            Message::FileData { file: got, data } if got == file => data.to_vec(),
+            other => return Err(io::Error::other(format!("unexpected push {other:?}"))),
+        };
+        let response = start.elapsed();
+        if ack_pending {
+            self.read_ack()?;
+        }
+        Ok(GetResult { data, response })
+    }
+
+    /// Writes a file through the cluster (the node pulls the payload from
+    /// us over the callback connection). Returns the wall response time.
+    /// The payload length must equal the file's creation size.
+    pub fn put(&mut self, file: u32, data: &[u8]) -> io::Result<Duration> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let port = listener.local_addr()?.port();
+        let start = Instant::now();
+        write_message(&mut self.server_conn, &Message::Put { file, client_port: port })
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        let (mut pull, ack_pending) = match self.accept_or_server_reply(&listener)? {
+            Some(pull) => (pull, true),
+            None => {
+                // Early server reply: an error fails the put; Ok cannot
+                // happen before we supplied the payload, but handle it by
+                // accepting the pending pull anyway.
+                self.read_ack()?;
+                listener.set_nonblocking(false)?;
+                let (pull, _) = listener.accept()?;
+                (pull, false)
+            }
+        };
+        write_message(
+            &mut pull,
+            &Message::FileData {
+                file,
+                data: bytes::Bytes::copy_from_slice(data),
+            },
+        )
+        .map_err(|e| io::Error::other(e.to_string()))?;
+        if ack_pending {
+            self.read_ack()?;
+        }
+        Ok(start.elapsed())
+    }
+
+    /// Fetches and verifies a file's contents against the deterministic
+    /// creation pattern.
+    pub fn get_verified(&mut self, file: u32) -> io::Result<GetResult> {
+        let r = self.get(file)?;
+        if !verify_pattern(file, &r.data) {
+            return Err(io::Error::other(format!("file {file} failed verification")));
+        }
+        Ok(r)
+    }
+
+    /// Replays a trace sequentially (the prototype's replayer): issues
+    /// each read, waits for the response, then sleeps the scaled
+    /// inter-arrival gap to the next record. Statistics cover the replay
+    /// window only (setup/prefetch energy is excluded, as in the paper's
+    /// measurements).
+    pub fn replay(&mut self, trace: &Trace) -> io::Result<ReplayReport> {
+        let before = self.stats()?;
+        let mut responses = Vec::with_capacity(trace.len());
+        let mut prev_at = None;
+        for r in &trace.records {
+            if let Some(prev) = prev_at {
+                let gap = r.at - prev;
+                if !gap.is_zero() {
+                    self.clock.sleep_virtual(gap);
+                }
+            }
+            prev_at = Some(r.at);
+            let got = self.get(r.file.0)?;
+            responses.push(got.response);
+        }
+        let stats = self.stats()? - before;
+        Ok(ReplayReport { responses, stats })
+    }
+
+    /// Failure injection: shuts down one storage node, leaving the rest
+    /// of the cluster (and the server) running. Requests for files on the
+    /// dead node will fail with a server error.
+    pub fn kill_node(&mut self, node: usize) -> io::Result<()> {
+        write_message(&mut self.server_conn, &Message::KillNode { node: node as u32 })
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        match read_message(&mut self.server_conn).map_err(|e| io::Error::other(e.to_string()))? {
+            Message::Ok => Ok(()),
+            other => Err(io::Error::other(format!("kill_node: unexpected {other:?}"))),
+        }
+    }
+
+    /// Collects cluster-wide statistics.
+    pub fn stats(&mut self) -> io::Result<ClusterStats> {
+        write_message(&mut self.server_conn, &Message::StatsRequest)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        match read_message(&mut self.server_conn).map_err(|e| io::Error::other(e.to_string()))? {
+            Message::Stats {
+                disk_joules,
+                spin_ups,
+                spin_downs,
+                hits,
+                misses,
+            } => Ok(ClusterStats {
+                disk_joules,
+                spin_ups,
+                spin_downs,
+                hits,
+                misses,
+            }),
+            other => Err(io::Error::other(format!("unexpected stats reply {other:?}"))),
+        }
+    }
+
+    /// Shuts the cluster down and removes its on-disk state.
+    pub fn shutdown(mut self) {
+        let _ = write_message(&mut self.server_conn, &Message::Shutdown);
+        let _ = read_message(&mut self.server_conn);
+        if let Some(server) = self.server.take() {
+            server.join();
+        }
+        for node in self.nodes.drain(..) {
+            node.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.cfg.root_dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::synthetic::{generate, SizeDist, SyntheticSpec};
+
+    fn small_trace(files: u32, requests: u32, mu: f64) -> Trace {
+        generate(&SyntheticSpec {
+            files,
+            requests,
+            mu,
+            mean_size_bytes: 16 * 1024,
+            size_dist: SizeDist::Fixed,
+            inter_arrival: SimDuration::from_millis(700),
+            ..SyntheticSpec::paper_default()
+        })
+    }
+
+    #[test]
+    fn boots_serves_and_shuts_down() {
+        let trace = small_trace(20, 10, 5.0);
+        let mut cluster =
+            ClusterHandle::start(RuntimeConfig::small("boot"), &trace).expect("start");
+        let r = cluster.get_verified(0).expect("get file 0");
+        assert_eq!(r.data.len(), 16 * 1024);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn replay_reports_hits_and_energy() {
+        let trace = small_trace(20, 30, 3.0);
+        let mut cluster =
+            ClusterHandle::start(RuntimeConfig::small("replay"), &trace).expect("start");
+        let report = cluster.replay(&trace).expect("replay");
+        assert_eq!(report.responses.len(), 30);
+        // MU=3 concentrates on a handful of files, all within top-8
+        // prefetch: replay should be dominated by buffer hits.
+        assert!(
+            report.hit_rate() > 0.9,
+            "hit rate {} stats {:?}",
+            report.hit_rate(),
+            report.stats
+        );
+        assert!(report.stats.disk_joules > 0.0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn put_then_get_roundtrips_through_the_buffer() {
+        let trace = small_trace(12, 8, 3.0);
+        let mut cluster =
+            ClusterHandle::start(RuntimeConfig::small("put"), &trace).expect("start");
+        let payload = vec![0x5Au8; 16 * 1024];
+        cluster.put(7, &payload).expect("put");
+        let got = cluster.get(7).expect("get after put");
+        assert_eq!(got.data, payload, "read must observe the write");
+        // The write was absorbed by the buffer area, so the read hits.
+        let stats = cluster.stats().expect("stats");
+        assert!(stats.hits >= 1, "stats {stats:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn put_with_wrong_size_is_rejected() {
+        let trace = small_trace(12, 8, 3.0);
+        let mut cluster =
+            ClusterHandle::start(RuntimeConfig::small("putbad"), &trace).expect("start");
+        let err = cluster.put(7, &[1, 2, 3]).expect_err("size mismatch");
+        assert!(err.to_string().contains("3"), "{err}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn npf_configuration_never_sleeps() {
+        let trace = small_trace(20, 15, 5.0);
+        let mut cfg = RuntimeConfig::small("npf");
+        cfg.prefetch_k = 0;
+        let mut cluster = ClusterHandle::start(cfg, &trace).expect("start");
+        let report = cluster.replay(&trace).expect("replay");
+        assert_eq!(report.stats.hits, 0);
+        assert_eq!(report.stats.spin_ups + report.stats.spin_downs, 0);
+        cluster.shutdown();
+    }
+}

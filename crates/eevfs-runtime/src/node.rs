@@ -1,0 +1,442 @@
+//! Storage-node daemon.
+//!
+//! One thread per node, serving its control connection sequentially (the
+//! node side of the paper's per-node server thread). The node owns:
+//!
+//! * a [`FileStore`] — real files under `disk*/` and `buffer/`,
+//! * one `disk_model::Disk` per drive — the same power/energy state
+//!   machine the simulator uses, driven here in virtual time,
+//! * a buffer catalog (reusing `eevfs::buffer::BufferCatalog`),
+//! * retroactive idle-window power management: when a physical request
+//!   arrives after a gap longer than the idle threshold, the disk is
+//!   accounted as having spun down at `last_touch + threshold` and the
+//!   request *really waits* the (scaled) spin-up time — so wake penalties
+//!   show up in measured response times, like the paper's §VI-C.
+//!
+//! Power management engages only once the node has been told to prefetch
+//! (the prediction-driven policy from §III-C: without buffer coverage the
+//! node does not trust any idle window).
+
+use crate::clock::VirtualClock;
+use crate::proto::{read_message, write_message, CodecError, Message};
+use crate::store::FileStore;
+use bytes::Bytes;
+use disk_model::perf::AccessKind;
+use disk_model::{Disk, DiskSpec};
+use eevfs::buffer::BufferCatalog;
+use sim_core::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+
+/// Configuration for one node daemon.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Node directory for the file store.
+    pub root: std::path::PathBuf,
+    /// Number of data disks.
+    pub data_disks: usize,
+    /// Drive model for power accounting.
+    pub disk_spec: DiskSpec,
+    /// Idle threshold in virtual time.
+    pub idle_threshold: SimDuration,
+    /// Shared virtual clock.
+    pub clock: VirtualClock,
+}
+
+struct NodeState {
+    store: FileStore,
+    clock: VirtualClock,
+    idle_threshold: SimDuration,
+    disk_of_file: HashMap<u32, usize>,
+    size_of_file: HashMap<u32, u64>,
+    catalog: BufferCatalog,
+    data_disks: Vec<Disk>,
+    buffer_disk: Disk,
+    /// Virtual completion time of each data disk's last request.
+    last_touch: Vec<SimTime>,
+    /// Power management engages once prefetching has populated the buffer.
+    power_enabled: bool,
+}
+
+impl NodeState {
+    fn new(cfg: &NodeConfig) -> std::io::Result<NodeState> {
+        let store = FileStore::create(&cfg.root, cfg.data_disks)?;
+        Ok(NodeState {
+            store,
+            clock: cfg.clock.clone(),
+            idle_threshold: cfg.idle_threshold,
+            disk_of_file: HashMap::new(),
+            size_of_file: HashMap::new(),
+            catalog: BufferCatalog::new(cfg.disk_spec.capacity_bytes),
+            data_disks: (0..cfg.data_disks).map(|_| Disk::new(cfg.disk_spec.clone())).collect(),
+            buffer_disk: Disk::new(cfg.disk_spec.clone()),
+            last_touch: vec![SimTime::ZERO; cfg.data_disks],
+            power_enabled: false,
+        })
+    }
+
+    /// Accounts a physical access on a data disk, applying the
+    /// retroactive idle-window sleep, and *really waits* out the scaled
+    /// service (and any spin-up).
+    fn access_data_disk(&mut self, disk: usize, bytes: u64) -> bool {
+        let now = self.clock.now();
+        if self.power_enabled {
+            let sleep_at = self.last_touch[disk] + self.idle_threshold;
+            if now > sleep_at && (now - sleep_at) > SimDuration::ZERO {
+                // The disk would have been spun down at the threshold;
+                // record it (no-op if it was busy or already down).
+                self.data_disks[disk].sleep(sleep_at);
+            }
+        }
+        let comp = self.data_disks[disk].submit(now, bytes, AccessKind::Random);
+        self.last_touch[disk] = comp.finish;
+        self.clock.sleep_virtual(comp.finish - now);
+        comp.spun_up
+    }
+
+    /// Accounts a buffer-disk access and waits out the scaled service.
+    fn access_buffer_disk(&mut self, bytes: u64, kind: AccessKind) {
+        let now = self.clock.now();
+        let comp = self.buffer_disk.submit(now, bytes, kind);
+        self.clock.sleep_virtual(comp.finish - now);
+    }
+
+    fn handle(&mut self, msg: Message) -> Result<Message, CodecError> {
+        match msg {
+            Message::CreateFile { file, size, disk } => {
+                let disk = disk as usize;
+                if disk >= self.store.data_disks() {
+                    return Ok(Message::Err { code: 3 });
+                }
+                match self.store.create_file(disk, file, size) {
+                    Ok(()) => {
+                        self.disk_of_file.insert(file, disk);
+                        self.size_of_file.insert(file, size);
+                        let now = self.clock.now();
+                        let comp = self.data_disks[disk].submit(now, size, AccessKind::Sequential);
+                        self.last_touch[disk] = comp.finish;
+                        Ok(Message::Ok)
+                    }
+                    Err(_) => Ok(Message::Err { code: 2 }),
+                }
+            }
+            Message::Prefetch { files } => {
+                for file in files {
+                    let Some(&disk) = self.disk_of_file.get(&file) else {
+                        return Ok(Message::Err { code: 1 });
+                    };
+                    let size = self.size_of_file[&file];
+                    if self.store.prefetch(disk, file).is_err() {
+                        return Ok(Message::Err { code: 2 });
+                    }
+                    // Read off the data disk, append to the buffer log.
+                    let now = self.clock.now();
+                    let comp = self.data_disks[disk].submit(now, size, AccessKind::Random);
+                    self.last_touch[disk] = comp.finish;
+                    self.access_buffer_disk(size, AccessKind::Sequential);
+                    if self
+                        .catalog
+                        .insert_pinned(workload::record::FileId(file), size)
+                        .is_err()
+                    {
+                        return Ok(Message::Err { code: 2 });
+                    }
+                    self.power_enabled = true;
+                }
+                Ok(Message::Ok)
+            }
+            Message::Hints { pattern } => {
+                // Disks with no expected physical accesses can be slept
+                // immediately (the paper's step-4 conservatism in reverse:
+                // hints *create* the trust needed to sleep right away).
+                if self.power_enabled {
+                    let mut touched = vec![false; self.data_disks.len()];
+                    for (_, file) in &pattern {
+                        if let Some(&d) = self.disk_of_file.get(file) {
+                            if !self.catalog.contains(workload::record::FileId(*file)) {
+                                touched[d] = true;
+                            }
+                        }
+                    }
+                    let now = self.clock.now();
+                    for (d, t) in touched.iter().enumerate() {
+                        if !t {
+                            self.data_disks[d].sleep(now);
+                        }
+                    }
+                }
+                Ok(Message::Ok)
+            }
+            Message::Get { file, client_port } => {
+                let fid = workload::record::FileId(file);
+                let Some(&disk) = self.disk_of_file.get(&file) else {
+                    return Ok(Message::Err { code: 1 });
+                };
+                let size = self.size_of_file[&file];
+                let data = if self.catalog.lookup(fid) {
+                    self.access_buffer_disk(size, AccessKind::Random);
+                    self.store.read_buffer(file)
+                } else {
+                    self.access_data_disk(disk, size);
+                    self.store.read_data(disk, file)
+                };
+                let data = match data {
+                    Ok(d) => d,
+                    Err(_) => return Ok(Message::Err { code: 2 }),
+                };
+                // Step 6: push the data to the client.
+                let addr = SocketAddr::from(([127, 0, 0, 1], client_port));
+                let mut conn = TcpStream::connect(addr)?;
+                write_message(
+                    &mut conn,
+                    &Message::FileData {
+                        file,
+                        data: Bytes::from(data),
+                    },
+                )?;
+                Ok(Message::Ok)
+            }
+            Message::Put { file, client_port } => {
+                let fid = workload::record::FileId(file);
+                let Some(&disk) = self.disk_of_file.get(&file) else {
+                    return Ok(Message::Err { code: 1 });
+                };
+                let size = self.size_of_file[&file];
+                // Pull the payload from the client (reverse push).
+                let addr = SocketAddr::from(([127, 0, 0, 1], client_port));
+                let mut conn = TcpStream::connect(addr)?;
+                let data = match read_message(&mut conn)? {
+                    Message::FileData { file: got, data } if got == file => data,
+                    _ => return Ok(Message::Err { code: 3 }),
+                };
+                if data.len() as u64 != size {
+                    return Ok(Message::Err { code: 3 });
+                }
+                // §III-C: absorb the write in the buffer area when it fits;
+                // it stays dirty there (the prototype does not destage).
+                if self.catalog.buffer_write(fid, size).is_ok() {
+                    if self.store.write_buffer_file(file, &data).is_err() {
+                        return Ok(Message::Err { code: 2 });
+                    }
+                    self.access_buffer_disk(size, AccessKind::Sequential);
+                } else {
+                    if self.store.write_data(disk, file, &data).is_err() {
+                        return Ok(Message::Err { code: 2 });
+                    }
+                    self.access_data_disk(disk, size);
+                }
+                Ok(Message::Ok)
+            }
+            Message::StatsRequest => {
+                let now = self.clock.now();
+                let mut joules = 0.0;
+                let mut ups = 0;
+                let mut downs = 0;
+                for (d, disk) in self.data_disks.iter_mut().enumerate() {
+                    if self.power_enabled {
+                        // Trailing idleness beyond the threshold counts as
+                        // standby too.
+                        let sleep_at = self.last_touch[d] + self.idle_threshold;
+                        if now > sleep_at {
+                            disk.sleep(sleep_at);
+                        }
+                    }
+                    disk.finalize(now);
+                    joules += disk.total_joules();
+                    ups += disk.transitions().spin_ups;
+                    downs += disk.transitions().spin_downs;
+                }
+                self.buffer_disk.finalize(now);
+                joules += self.buffer_disk.total_joules();
+                Ok(Message::Stats {
+                    disk_joules: joules,
+                    spin_ups: ups,
+                    spin_downs: downs,
+                    hits: self.catalog.hits(),
+                    misses: self.catalog.misses(),
+                })
+            }
+            Message::Shutdown => Ok(Message::Shutdown),
+            other => {
+                let _ = other;
+                Ok(Message::Err { code: 3 })
+            }
+        }
+    }
+}
+
+/// A running node daemon.
+pub struct NodeDaemon {
+    /// Address the control listener is bound to.
+    pub addr: SocketAddr,
+    handle: JoinHandle<()>,
+}
+
+impl NodeDaemon {
+    /// Spawns the daemon; returns once its listener is bound.
+    pub fn spawn(cfg: NodeConfig) -> std::io::Result<NodeDaemon> {
+        let mut state = NodeState::new(&cfg)?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let handle = std::thread::Builder::new()
+            .name(format!("eevfs-node-{}", addr.port()))
+            .spawn(move || {
+                // Serve control connections sequentially until Shutdown.
+                'outer: for stream in listener.incoming() {
+                    let Ok(mut stream) = stream else { continue };
+                    loop {
+                        let msg = match read_message(&mut stream) {
+                            Ok(m) => m,
+                            Err(_) => break, // peer closed; await next conn
+                        };
+                        let is_shutdown = matches!(msg, Message::Shutdown);
+                        match state.handle(msg) {
+                            Ok(reply) => {
+                                if write_message(&mut stream, &reply).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                        if is_shutdown {
+                            break 'outer;
+                        }
+                    }
+                }
+            })?;
+        Ok(NodeDaemon { addr, handle })
+    }
+
+    /// Waits for the daemon thread to exit (after a Shutdown message).
+    pub fn join(self) {
+        let _ = self.handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::verify_pattern;
+
+    fn test_cfg(name: &str) -> NodeConfig {
+        let root = std::env::temp_dir().join(format!(
+            "eevfs-node-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        NodeConfig {
+            root,
+            data_disks: 2,
+            disk_spec: DiskSpec::ata133_type1(),
+            idle_threshold: SimDuration::from_secs(5),
+            clock: VirtualClock::start(10_000.0),
+        }
+    }
+
+    fn rpc(stream: &mut TcpStream, msg: &Message) -> Message {
+        write_message(stream, msg).expect("write");
+        read_message(stream).expect("read")
+    }
+
+    #[test]
+    fn create_prefetch_get_end_to_end() {
+        let cfg = test_cfg("e2e");
+        let root = cfg.root.clone();
+        let node = NodeDaemon::spawn(cfg).expect("spawn");
+        let mut ctl = TcpStream::connect(node.addr).expect("connect");
+
+        assert_eq!(
+            rpc(&mut ctl, &Message::CreateFile { file: 1, size: 4096, disk: 0 }),
+            Message::Ok
+        );
+        assert_eq!(
+            rpc(&mut ctl, &Message::CreateFile { file: 2, size: 2048, disk: 1 }),
+            Message::Ok
+        );
+        assert_eq!(rpc(&mut ctl, &Message::Prefetch { files: vec![1] }), Message::Ok);
+
+        // Fetch file 2 (a data-disk miss) via the push-to-client path.
+        let client = TcpListener::bind("127.0.0.1:0").expect("client listener");
+        let port = client.local_addr().expect("addr").port();
+        write_message(&mut ctl, &Message::Get { file: 2, client_port: port }).expect("send");
+        let (mut push, _) = client.accept().expect("accept push");
+        let data = read_message(&mut push).expect("read push");
+        match data {
+            Message::FileData { file, data } => {
+                assert_eq!(file, 2);
+                assert_eq!(data.len(), 2048);
+                assert!(verify_pattern(2, &data));
+            }
+            other => panic!("expected FileData, got {other:?}"),
+        }
+        assert_eq!(read_message(&mut ctl).expect("ack"), Message::Ok);
+
+        // Stats reflect the buffer state: one prefetch, one miss.
+        match rpc(&mut ctl, &Message::StatsRequest) {
+            Message::Stats { hits, misses, disk_joules, .. } => {
+                assert_eq!(hits, 0);
+                assert_eq!(misses, 1);
+                assert!(disk_joules > 0.0);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+
+        assert_eq!(rpc(&mut ctl, &Message::Shutdown), Message::Shutdown);
+        node.join();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn buffer_hit_after_prefetch() {
+        let cfg = test_cfg("hit");
+        let root = cfg.root.clone();
+        let node = NodeDaemon::spawn(cfg).expect("spawn");
+        let mut ctl = TcpStream::connect(node.addr).expect("connect");
+        rpc(&mut ctl, &Message::CreateFile { file: 9, size: 1000, disk: 0 });
+        rpc(&mut ctl, &Message::Prefetch { files: vec![9] });
+
+        let client = TcpListener::bind("127.0.0.1:0").expect("listener");
+        let port = client.local_addr().expect("addr").port();
+        write_message(&mut ctl, &Message::Get { file: 9, client_port: port }).expect("send");
+        let (mut push, _) = client.accept().expect("accept");
+        assert!(matches!(
+            read_message(&mut push).expect("data"),
+            Message::FileData { file: 9, .. }
+        ));
+        read_message(&mut ctl).expect("ack");
+
+        match rpc(&mut ctl, &Message::StatsRequest) {
+            Message::Stats { hits, misses, .. } => {
+                assert_eq!((hits, misses), (1, 0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        rpc(&mut ctl, &Message::Shutdown);
+        node.join();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn unknown_file_yields_error() {
+        let cfg = test_cfg("err");
+        let root = cfg.root.clone();
+        let node = NodeDaemon::spawn(cfg).expect("spawn");
+        let mut ctl = TcpStream::connect(node.addr).expect("connect");
+        assert_eq!(
+            rpc(&mut ctl, &Message::Get { file: 404, client_port: 1 }),
+            Message::Err { code: 1 }
+        );
+        assert_eq!(
+            rpc(&mut ctl, &Message::Prefetch { files: vec![404] }),
+            Message::Err { code: 1 }
+        );
+        assert_eq!(
+            rpc(&mut ctl, &Message::CreateFile { file: 1, size: 10, disk: 99 }),
+            Message::Err { code: 3 }
+        );
+        rpc(&mut ctl, &Message::Shutdown);
+        node.join();
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

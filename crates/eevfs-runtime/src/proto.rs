@@ -1,0 +1,498 @@
+//! Wire protocol for the prototype.
+//!
+//! Hand-rolled length-prefixed binary framing over TCP (the 2010
+//! prototype predates serde; a fixed binary layout keeps the runtime
+//! dependency-light and the frames inspectable):
+//!
+//! ```text
+//! u32 frame_len (excluding itself) | u8 tag | payload...
+//! ```
+//!
+//! All integers are little-endian. File payloads are capped at
+//! [`MAX_FRAME`] to bound allocations from untrusted peers.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+/// Upper bound on a frame, 256 MiB (the paper's largest file is 50 MB).
+pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Server → node: create a file of `size` bytes on data disk `disk`.
+    CreateFile {
+        /// File id.
+        file: u32,
+        /// File size in bytes.
+        size: u64,
+        /// Local data-disk index chosen by placement.
+        disk: u32,
+    },
+    /// Server → node: copy these files into the buffer area (step 3).
+    Prefetch {
+        /// Files to prefetch, popularity order.
+        files: Vec<u32>,
+    },
+    /// Server → node: expected access pattern for this node (step 4), as
+    /// `(virtual_time_us, file)` pairs.
+    Hints {
+        /// Expected accesses in time order.
+        pattern: Vec<(u64, u32)>,
+    },
+    /// Client → server, then server → node: fetch `file`; the node must
+    /// push the data to `127.0.0.1:client_port` (steps 5-6).
+    Get {
+        /// File id.
+        file: u32,
+        /// Client callback port.
+        client_port: u16,
+    },
+    /// Node → client: the file contents.
+    FileData {
+        /// File id.
+        file: u32,
+        /// Contents.
+        data: Bytes,
+    },
+    /// Generic acknowledgement.
+    Ok,
+    /// Failure with an error code.
+    Err {
+        /// Error code (1 = no such file, 2 = io error, 3 = bad request).
+        code: u16,
+    },
+    /// Server → node: report energy statistics.
+    StatsRequest,
+    /// Node → server: energy statistics in response.
+    Stats {
+        /// Total joules across this node's disks (virtual time).
+        disk_joules: f64,
+        /// Spin-ups across data disks.
+        spin_ups: u64,
+        /// Spin-downs across data disks.
+        spin_downs: u64,
+        /// Buffer hits.
+        hits: u64,
+        /// Buffer misses.
+        misses: u64,
+    },
+    /// Orderly shutdown.
+    Shutdown,
+    /// Client → server, then server → node: write `file`; the node
+    /// connects to `127.0.0.1:client_port` and *reads* a [`Message::FileData`]
+    /// frame from the client (the push pattern, reversed).
+    Put {
+        /// File id.
+        file: u32,
+        /// Client callback port.
+        client_port: u16,
+    },
+    /// Client → server (admin / failure injection): shut down one storage
+    /// node, leaving the rest of the cluster running.
+    KillNode {
+        /// Node index.
+        node: u32,
+    },
+}
+
+/// Codec errors.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying I/O failed.
+    Io(std::io::Error),
+    /// Frame violated the protocol.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "io: {e}"),
+            CodecError::Malformed(why) => write!(f, "malformed frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::CreateFile { .. } => 1,
+            Message::Prefetch { .. } => 2,
+            Message::Hints { .. } => 3,
+            Message::Get { .. } => 4,
+            Message::FileData { .. } => 5,
+            Message::Ok => 6,
+            Message::Err { .. } => 7,
+            Message::StatsRequest => 8,
+            Message::Stats { .. } => 9,
+            Message::Shutdown => 10,
+            Message::Put { .. } => 11,
+            Message::KillNode { .. } => 12,
+        }
+    }
+
+    /// Encodes into a self-contained frame.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        body.put_u8(self.tag());
+        match self {
+            Message::CreateFile { file, size, disk } => {
+                body.put_u32_le(*file);
+                body.put_u64_le(*size);
+                body.put_u32_le(*disk);
+            }
+            Message::Prefetch { files } => {
+                body.put_u32_le(files.len() as u32);
+                for f in files {
+                    body.put_u32_le(*f);
+                }
+            }
+            Message::Hints { pattern } => {
+                body.put_u32_le(pattern.len() as u32);
+                for (t, f) in pattern {
+                    body.put_u64_le(*t);
+                    body.put_u32_le(*f);
+                }
+            }
+            Message::Get { file, client_port } => {
+                body.put_u32_le(*file);
+                body.put_u16_le(*client_port);
+            }
+            Message::FileData { file, data } => {
+                body.put_u32_le(*file);
+                body.put_u64_le(data.len() as u64);
+                body.extend_from_slice(data);
+            }
+            Message::Ok | Message::StatsRequest | Message::Shutdown => {}
+            Message::Put { file, client_port } => {
+                body.put_u32_le(*file);
+                body.put_u16_le(*client_port);
+            }
+            Message::KillNode { node } => body.put_u32_le(*node),
+            Message::Err { code } => body.put_u16_le(*code),
+            Message::Stats {
+                disk_joules,
+                spin_ups,
+                spin_downs,
+                hits,
+                misses,
+            } => {
+                body.put_f64_le(*disk_joules);
+                body.put_u64_le(*spin_ups);
+                body.put_u64_le(*spin_downs);
+                body.put_u64_le(*hits);
+                body.put_u64_le(*misses);
+            }
+        }
+        let mut framed = BytesMut::with_capacity(4 + body.len());
+        framed.put_u32_le(body.len() as u32);
+        framed.extend_from_slice(&body);
+        framed.freeze()
+    }
+
+    /// Decodes one frame body (without the length prefix).
+    pub fn decode(mut body: Bytes) -> Result<Message, CodecError> {
+        use CodecError::Malformed;
+        macro_rules! need {
+            ($n:expr, $what:literal) => {
+                if body.remaining() < $n {
+                    return Err(Malformed(concat!("truncated ", $what)));
+                }
+            };
+        }
+        need!(1, "tag");
+        let tag = body.get_u8();
+        let msg = match tag {
+            1 => {
+                need!(16, "CreateFile");
+                Message::CreateFile {
+                    file: body.get_u32_le(),
+                    size: body.get_u64_le(),
+                    disk: body.get_u32_le(),
+                }
+            }
+            2 => {
+                need!(4, "Prefetch count");
+                let n = body.get_u32_le() as usize;
+                if body.remaining() < n * 4 {
+                    return Err(Malformed("truncated Prefetch list"));
+                }
+                Message::Prefetch {
+                    files: (0..n).map(|_| body.get_u32_le()).collect(),
+                }
+            }
+            3 => {
+                need!(4, "Hints count");
+                let n = body.get_u32_le() as usize;
+                if body.remaining() < n * 12 {
+                    return Err(Malformed("truncated Hints list"));
+                }
+                Message::Hints {
+                    pattern: (0..n).map(|_| (body.get_u64_le(), body.get_u32_le())).collect(),
+                }
+            }
+            4 => {
+                need!(6, "Get");
+                Message::Get {
+                    file: body.get_u32_le(),
+                    client_port: body.get_u16_le(),
+                }
+            }
+            5 => {
+                need!(12, "FileData header");
+                let file = body.get_u32_le();
+                let len = body.get_u64_le() as usize;
+                if body.remaining() != len {
+                    return Err(Malformed("FileData length mismatch"));
+                }
+                Message::FileData {
+                    file,
+                    data: body.copy_to_bytes(len),
+                }
+            }
+            6 => Message::Ok,
+            7 => {
+                need!(2, "Err");
+                Message::Err {
+                    code: body.get_u16_le(),
+                }
+            }
+            8 => Message::StatsRequest,
+            9 => {
+                need!(40, "Stats");
+                Message::Stats {
+                    disk_joules: body.get_f64_le(),
+                    spin_ups: body.get_u64_le(),
+                    spin_downs: body.get_u64_le(),
+                    hits: body.get_u64_le(),
+                    misses: body.get_u64_le(),
+                }
+            }
+            10 => Message::Shutdown,
+            11 => {
+                need!(6, "Put");
+                Message::Put {
+                    file: body.get_u32_le(),
+                    client_port: body.get_u16_le(),
+                }
+            }
+            12 => {
+                need!(4, "KillNode");
+                Message::KillNode {
+                    node: body.get_u32_le(),
+                }
+            }
+            _ => return Err(Malformed("unknown tag")),
+        };
+        if body.has_remaining() && !matches!(msg, Message::FileData { .. }) {
+            return Err(Malformed("trailing bytes"));
+        }
+        Ok(msg)
+    }
+}
+
+/// Writes one message to a stream.
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> Result<(), CodecError> {
+    w.write_all(&msg.encode())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one message from a stream.
+pub fn read_message<R: Read>(r: &mut R) -> Result<Message, CodecError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(CodecError::Malformed("frame exceeds MAX_FRAME"));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Message::decode(Bytes::from(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let framed = msg.encode();
+        // Strip the length prefix, decode the body.
+        let body = framed.slice(4..);
+        let back = Message::decode(body).expect("decode");
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Message::CreateFile {
+            file: 7,
+            size: 123456,
+            disk: 1,
+        });
+        roundtrip(Message::Prefetch {
+            files: vec![1, 2, 3, 99],
+        });
+        roundtrip(Message::Prefetch { files: vec![] });
+        roundtrip(Message::Hints {
+            pattern: vec![(1000, 1), (2000, 2)],
+        });
+        roundtrip(Message::Get {
+            file: 3,
+            client_port: 54321,
+        });
+        roundtrip(Message::FileData {
+            file: 3,
+            data: Bytes::from_static(b"hello world"),
+        });
+        roundtrip(Message::FileData {
+            file: 0,
+            data: Bytes::new(),
+        });
+        roundtrip(Message::Ok);
+        roundtrip(Message::Err { code: 2 });
+        roundtrip(Message::StatsRequest);
+        roundtrip(Message::Stats {
+            disk_joules: 1234.5,
+            spin_ups: 3,
+            spin_downs: 4,
+            hits: 10,
+            misses: 2,
+        });
+        roundtrip(Message::Shutdown);
+        roundtrip(Message::Put {
+            file: 8,
+            client_port: 4242,
+        });
+        roundtrip(Message::KillNode { node: 3 });
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let mut buf = Vec::new();
+        let msgs = vec![
+            Message::Ok,
+            Message::Get {
+                file: 1,
+                client_port: 1000,
+            },
+            Message::FileData {
+                file: 1,
+                data: Bytes::from(vec![42u8; 1024]),
+            },
+        ];
+        for m in &msgs {
+            write_message(&mut buf, m).expect("write");
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for m in &msgs {
+            let got = read_message(&mut cursor).expect("read");
+            assert_eq!(&got, m);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        assert!(Message::decode(Bytes::new()).is_err());
+        assert!(Message::decode(Bytes::from_static(&[1, 0, 0])).is_err());
+        // Prefetch claiming 100 entries with none present.
+        assert!(Message::decode(Bytes::from_static(&[2, 100, 0, 0, 0])).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            Message::decode(Bytes::from_static(&[200])),
+            Err(CodecError::Malformed("unknown tag"))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        // Ok frame with junk appended.
+        assert!(Message::decode(Bytes::from_static(&[6, 1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        buf.push(6);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_message(&mut cursor),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_message() -> impl Strategy<Value = Message> {
+            prop_oneof![
+                (any::<u32>(), any::<u64>(), any::<u32>())
+                    .prop_map(|(file, size, disk)| Message::CreateFile { file, size, disk }),
+                proptest::collection::vec(any::<u32>(), 0..64)
+                    .prop_map(|files| Message::Prefetch { files }),
+                proptest::collection::vec((any::<u64>(), any::<u32>()), 0..64)
+                    .prop_map(|pattern| Message::Hints { pattern }),
+                (any::<u32>(), any::<u16>())
+                    .prop_map(|(file, client_port)| Message::Get { file, client_port }),
+                (any::<u32>(), any::<u16>())
+                    .prop_map(|(file, client_port)| Message::Put { file, client_port }),
+                any::<u32>().prop_map(|node| Message::KillNode { node }),
+                (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..2048))
+                    .prop_map(|(file, data)| Message::FileData { file, data: Bytes::from(data) }),
+                Just(Message::Ok),
+                any::<u16>().prop_map(|code| Message::Err { code }),
+                Just(Message::StatsRequest),
+                (any::<f64>().prop_filter("finite", |f| f.is_finite()), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+                    .prop_map(|(disk_joules, spin_ups, spin_downs, hits, misses)| Message::Stats {
+                        disk_joules, spin_ups, spin_downs, hits, misses,
+                    }),
+                Just(Message::Shutdown),
+            ]
+        }
+
+        proptest! {
+            /// Every message survives encode -> frame -> decode.
+            #[test]
+            fn any_message_roundtrips(msg in arb_message()) {
+                let framed = msg.encode();
+                let back = Message::decode(framed.slice(4..)).expect("decode");
+                prop_assert_eq!(msg, back);
+            }
+
+            /// Arbitrary byte soup never panics the decoder, and never
+            /// produces a frame that re-encodes differently.
+            #[test]
+            fn fuzz_decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                if let Ok(msg) = Message::decode(Bytes::from(bytes)) {
+                    let reframed = msg.clone().encode();
+                    let again = Message::decode(reframed.slice(4..)).expect("re-decode");
+                    prop_assert_eq!(msg, again);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filedata_length_mismatch_rejected() {
+        let mut body = BytesMut::new();
+        body.put_u8(5);
+        body.put_u32_le(1);
+        body.put_u64_le(100); // claims 100 bytes
+        body.put_u8(0); // provides 1
+        assert!(Message::decode(body.freeze()).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Storage-server daemon.
+//!
+//! The thin metadata tier of the prototype (§III-A): it owns the
+//! file → node map, performs the popularity round-robin placement during
+//! setup (steps 1–4 of the process flow), and at run time resolves each
+//! client request and forwards it to the owning node (step 5). It never
+//! touches file data — responses flow node → client directly.
+
+use crate::proto::{read_message, write_message, CodecError, Message};
+use eevfs::config::PlacementPolicy;
+use eevfs::placement::place;
+use sim_core::SimTime;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use workload::popularity::PopularityTable;
+use workload::record::Trace;
+
+/// Aggregated node statistics. Cumulative from cluster boot; subtract two
+/// snapshots to measure a window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClusterStats {
+    /// Total disk joules across all nodes (virtual time).
+    pub disk_joules: f64,
+    /// Spin-ups across all data disks.
+    pub spin_ups: u64,
+    /// Spin-downs across all data disks.
+    pub spin_downs: u64,
+    /// Buffer hits.
+    pub hits: u64,
+    /// Buffer misses.
+    pub misses: u64,
+}
+
+impl std::ops::Sub for ClusterStats {
+    type Output = ClusterStats;
+    fn sub(self, earlier: ClusterStats) -> ClusterStats {
+        ClusterStats {
+            disk_joules: self.disk_joules - earlier.disk_joules,
+            spin_ups: self.spin_ups - earlier.spin_ups,
+            spin_downs: self.spin_downs - earlier.spin_downs,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+struct ServerState {
+    node_conns: Vec<TcpStream>,
+    node_of_file: HashMap<u32, usize>,
+}
+
+impl ServerState {
+    fn rpc(&mut self, node: usize, msg: &Message) -> Result<Message, CodecError> {
+        let conn = &mut self.node_conns[node];
+        write_message(conn, msg)?;
+        read_message(conn)
+    }
+
+    /// Steps 1-4: placement, creation, prefetch, hints.
+    fn setup(&mut self, trace: &Trace, prefetch_k: u32, disks_per_node: &[usize]) -> Result<(), CodecError> {
+        let popularity = PopularityTable::from_trace(trace);
+        let plan = place(PlacementPolicy::PopularityRoundRobin, &popularity, disks_per_node);
+
+        // Step 3a: create every file on its node, popularity order (the
+        // node-local disk round-robin is encoded in the plan).
+        for node in 0..disks_per_node.len() {
+            for &file in plan.files_on(node) {
+                let size = trace.file_sizes[file.index()];
+                let disk = plan.disk_of_file[file.index()];
+                self.node_of_file.insert(file.0, node);
+                match self.rpc(
+                    node,
+                    &Message::CreateFile {
+                        file: file.0,
+                        size,
+                        disk,
+                    },
+                )? {
+                    Message::Ok => {}
+                    other => {
+                        return Err(CodecError::Malformed(match other {
+                            Message::Err { .. } => "node failed to create file",
+                            _ => "unexpected reply to CreateFile",
+                        }))
+                    }
+                }
+            }
+        }
+
+        // Step 3b: prefetch the global top-K, grouped by owner.
+        let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); disks_per_node.len()];
+        for &file in popularity.top_k(prefetch_k as usize) {
+            per_node[plan.node_of_file[file.index()] as usize].push(file.0);
+        }
+        let prefetched: Vec<Vec<u32>> = per_node.clone();
+        for (node, files) in per_node.into_iter().enumerate() {
+            if files.is_empty() {
+                continue;
+            }
+            match self.rpc(node, &Message::Prefetch { files })? {
+                Message::Ok => {}
+                _ => return Err(CodecError::Malformed("node failed to prefetch")),
+            }
+        }
+
+        // Step 4: forward each node its expected *physical* pattern.
+        let mut patterns: Vec<Vec<(u64, u32)>> = vec![Vec::new(); disks_per_node.len()];
+        for r in &trace.records {
+            let node = plan.node_of_file[r.file.index()] as usize;
+            if !prefetched[node].contains(&r.file.0) {
+                patterns[node].push((r.at.as_micros(), r.file.0));
+            }
+        }
+        for (node, pattern) in patterns.into_iter().enumerate() {
+            match self.rpc(node, &Message::Hints { pattern })? {
+                Message::Ok => {}
+                _ => return Err(CodecError::Malformed("node rejected hints")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Step 5: resolve and forward one client request (read or write).
+    fn route(&mut self, msg: Message) -> Result<Message, CodecError> {
+        let file = match &msg {
+            Message::Get { file, .. } | Message::Put { file, .. } => *file,
+            _ => return Ok(Message::Err { code: 3 }),
+        };
+        match self.node_of_file.get(&file).copied() {
+            Some(node) => self.rpc(node, &msg),
+            None => Ok(Message::Err { code: 1 }),
+        }
+    }
+
+    fn collect_stats(&mut self) -> Result<ClusterStats, CodecError> {
+        let mut total = ClusterStats::default();
+        for node in 0..self.node_conns.len() {
+            match self.rpc(node, &Message::StatsRequest)? {
+                Message::Stats {
+                    disk_joules,
+                    spin_ups,
+                    spin_downs,
+                    hits,
+                    misses,
+                } => {
+                    total.disk_joules += disk_joules;
+                    total.spin_ups += spin_ups;
+                    total.spin_downs += spin_downs;
+                    total.hits += hits;
+                    total.misses += misses;
+                }
+                _ => return Err(CodecError::Malformed("unexpected reply to StatsRequest")),
+            }
+        }
+        Ok(total)
+    }
+
+    fn shutdown_nodes(&mut self) {
+        for node in 0..self.node_conns.len() {
+            let _ = self.rpc(node, &Message::Shutdown);
+        }
+    }
+}
+
+/// A running server daemon.
+pub struct ServerDaemon {
+    /// Address clients talk to.
+    pub addr: SocketAddr,
+    handle: JoinHandle<()>,
+}
+
+impl ServerDaemon {
+    /// Connects to the nodes (step 1), performs setup (steps 2–4), then
+    /// serves client requests until it receives `Shutdown` from a client.
+    pub fn spawn(
+        node_addrs: &[SocketAddr],
+        disks_per_node: Vec<usize>,
+        trace: &Trace,
+        prefetch_k: u32,
+    ) -> std::io::Result<ServerDaemon> {
+        let mut conns = Vec::with_capacity(node_addrs.len());
+        for addr in node_addrs {
+            conns.push(TcpStream::connect(addr)?);
+        }
+        let mut state = ServerState {
+            node_conns: conns,
+            node_of_file: HashMap::new(),
+        };
+        state
+            .setup(trace, prefetch_k, &disks_per_node)
+            .map_err(|e| std::io::Error::other(format!("setup failed: {e}")))?;
+
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let handle = std::thread::Builder::new()
+            .name("eevfs-server".into())
+            .spawn(move || {
+                'outer: for stream in listener.incoming() {
+                    let Ok(mut stream) = stream else { continue };
+                    loop {
+                        let msg = match read_message(&mut stream) {
+                            Ok(m) => m,
+                            Err(_) => break,
+                        };
+                        let reply = match msg {
+                            msg @ (Message::Get { .. } | Message::Put { .. }) => {
+                                state.route(msg).unwrap_or(Message::Err { code: 2 })
+                            }
+                            Message::StatsRequest => match state.collect_stats() {
+                                Ok(s) => Message::Stats {
+                                    disk_joules: s.disk_joules,
+                                    spin_ups: s.spin_ups,
+                                    spin_downs: s.spin_downs,
+                                    hits: s.hits,
+                                    misses: s.misses,
+                                },
+                                Err(_) => Message::Err { code: 2 },
+                            },
+                            Message::KillNode { node } => {
+                                let n = node as usize;
+                                if n < state.node_conns.len() {
+                                    // Best effort: the node acks Shutdown
+                                    // and its thread exits.
+                                    let _ = state.rpc(n, &Message::Shutdown);
+                                    Message::Ok
+                                } else {
+                                    Message::Err { code: 3 }
+                                }
+                            }
+                            Message::Shutdown => {
+                                state.shutdown_nodes();
+                                let _ = write_message(&mut stream, &Message::Shutdown);
+                                break 'outer;
+                            }
+                            _ => Message::Err { code: 3 },
+                        };
+                        if write_message(&mut stream, &reply).is_err() {
+                            break;
+                        }
+                    }
+                }
+            })?;
+        Ok(ServerDaemon { addr, handle })
+    }
+
+    /// Waits for the server thread to exit.
+    pub fn join(self) {
+        let _ = self.handle.join();
+    }
+}
+
+/// Splits a trace record time into the form hints carry.
+pub fn hint_time(t: SimTime) -> u64 {
+    t.as_micros()
+}

@@ -1,0 +1,207 @@
+//! Node-local file store.
+//!
+//! One directory per node, with one subdirectory per data disk plus a
+//! `buffer/` area — the runtime analogue of the storage node's drives.
+//! File contents are deterministic (a cheap xorshift pattern keyed by the
+//! file id) so integrity can be verified end-to-end after travelling the
+//! whole request path.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Deterministic file contents for file `id` of length `size`.
+///
+/// Every byte is a function of `(id, offset)`, so a flipped block anywhere
+/// in the pipeline fails verification.
+pub fn file_pattern(id: u32, size: u64) -> Vec<u8> {
+    let mut state = (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut out = Vec::with_capacity(size as usize);
+    while (out.len() as u64) < size {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let word = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        for b in word.to_le_bytes() {
+            if (out.len() as u64) == size {
+                break;
+            }
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Verifies contents against [`file_pattern`].
+pub fn verify_pattern(id: u32, data: &[u8]) -> bool {
+    file_pattern(id, data.len() as u64) == data
+}
+
+/// Storage layout of one node.
+#[derive(Debug)]
+pub struct FileStore {
+    root: PathBuf,
+    data_disks: usize,
+}
+
+impl FileStore {
+    /// Creates (or reuses) the node directory with `data_disks` disk
+    /// subdirectories and a buffer area.
+    pub fn create(root: impl Into<PathBuf>, data_disks: usize) -> io::Result<FileStore> {
+        assert!(data_disks > 0, "a node needs at least one data disk");
+        let root = root.into();
+        for d in 0..data_disks {
+            fs::create_dir_all(root.join(format!("disk{d}")))?;
+        }
+        fs::create_dir_all(root.join("buffer"))?;
+        Ok(FileStore { root, data_disks })
+    }
+
+    /// Number of data disks.
+    pub fn data_disks(&self) -> usize {
+        self.data_disks
+    }
+
+    /// Node root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn data_path(&self, disk: usize, file: u32) -> PathBuf {
+        self.root.join(format!("disk{disk}")).join(format!("f{file:08}"))
+    }
+
+    fn buffer_path(&self, file: u32) -> PathBuf {
+        self.root.join("buffer").join(format!("f{file:08}"))
+    }
+
+    /// Creates a file with deterministic contents on a data disk.
+    pub fn create_file(&self, disk: usize, file: u32, size: u64) -> io::Result<()> {
+        assert!(disk < self.data_disks, "disk {disk} out of range");
+        let mut f = fs::File::create(self.data_path(disk, file))?;
+        f.write_all(&file_pattern(file, size))?;
+        Ok(())
+    }
+
+    /// Reads a file from a data disk.
+    pub fn read_data(&self, disk: usize, file: u32) -> io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        fs::File::open(self.data_path(disk, file))?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Copies a file from a data disk into the buffer area (prefetch).
+    pub fn prefetch(&self, disk: usize, file: u32) -> io::Result<u64> {
+        fs::copy(self.data_path(disk, file), self.buffer_path(file))
+    }
+
+    /// Writes client-supplied data into the buffer area (write buffering).
+    pub fn write_buffer_file(&self, file: u32, data: &[u8]) -> io::Result<()> {
+        let mut f = fs::File::create(self.buffer_path(file))?;
+        f.write_all(data)?;
+        Ok(())
+    }
+
+    /// Overwrites a file on a data disk with client-supplied data.
+    pub fn write_data(&self, disk: usize, file: u32, data: &[u8]) -> io::Result<()> {
+        assert!(disk < self.data_disks, "disk {disk} out of range");
+        let mut f = fs::File::create(self.data_path(disk, file))?;
+        f.write_all(data)?;
+        Ok(())
+    }
+
+    /// Reads a file from the buffer area.
+    pub fn read_buffer(&self, file: u32) -> io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        fs::File::open(self.buffer_path(file))?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// True when the buffer area holds the file.
+    pub fn in_buffer(&self, file: u32) -> bool {
+        self.buffer_path(file).exists()
+    }
+
+    /// Size of a file on a data disk, if present.
+    pub fn data_size(&self, disk: usize, file: u32) -> Option<u64> {
+        fs::metadata(self.data_path(disk, file)).ok().map(|m| m.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "eevfs-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn pattern_is_deterministic_and_id_sensitive() {
+        assert_eq!(file_pattern(1, 100), file_pattern(1, 100));
+        assert_ne!(file_pattern(1, 100), file_pattern(2, 100));
+        assert!(verify_pattern(1, &file_pattern(1, 1000)));
+        let mut corrupted = file_pattern(1, 1000);
+        corrupted[500] ^= 0xFF;
+        assert!(!verify_pattern(1, &corrupted));
+    }
+
+    #[test]
+    fn pattern_lengths_exact() {
+        for len in [0u64, 1, 7, 8, 9, 1000] {
+            assert_eq!(file_pattern(3, len).len() as u64, len);
+        }
+    }
+
+    #[test]
+    fn create_read_roundtrip() {
+        let store = FileStore::create(tmp(), 2).expect("create store");
+        store.create_file(1, 42, 4096).expect("create file");
+        let data = store.read_data(1, 42).expect("read");
+        assert_eq!(data.len(), 4096);
+        assert!(verify_pattern(42, &data));
+        assert_eq!(store.data_size(1, 42), Some(4096));
+        assert_eq!(store.data_size(0, 42), None);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn prefetch_copies_into_buffer() {
+        let store = FileStore::create(tmp(), 1).expect("create store");
+        store.create_file(0, 7, 1024).expect("create");
+        assert!(!store.in_buffer(7));
+        let copied = store.prefetch(0, 7).expect("prefetch");
+        assert_eq!(copied, 1024);
+        assert!(store.in_buffer(7));
+        let data = store.read_buffer(7).expect("read buffer");
+        assert!(verify_pattern(7, &data));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn client_writes_roundtrip() {
+        let store = FileStore::create(tmp(), 1).expect("create store");
+        store.create_file(0, 3, 64).expect("create");
+        let payload = vec![0xABu8; 64];
+        store.write_buffer_file(3, &payload).expect("buffer write");
+        assert_eq!(store.read_buffer(3).expect("read"), payload);
+        store.write_data(0, 3, &payload).expect("data write");
+        assert_eq!(store.read_data(0, 3).expect("read"), payload);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let store = FileStore::create(tmp(), 1).expect("create store");
+        assert!(store.read_data(0, 999).is_err());
+        assert!(store.read_buffer(999).is_err());
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

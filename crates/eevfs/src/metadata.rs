@@ -1,0 +1,164 @@
+//! Distributed metadata (§III-A, §IV-D).
+//!
+//! The storage server is deliberately thin: it knows only which storage
+//! node holds each file ("the storage server node contains the storage
+//! node location of a file, but does not know which data disk the file is
+//! located on or if the file has been prefetched", §IV-A). Each storage
+//! node keeps its own local map from file to data disk plus the buffer
+//! residency set. This split is what lets the server stay off the data
+//! path and scale.
+
+use serde::{Deserialize, Serialize};
+use workload::record::FileId;
+
+/// The server's global metadata: file → storage node, file size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerMetadata {
+    node_of_file: Vec<u32>,
+    size_of_file: Vec<u64>,
+}
+
+impl ServerMetadata {
+    /// Builds the map; `node_of_file[f]` must index a real node.
+    pub fn new(node_of_file: Vec<u32>, size_of_file: Vec<u64>) -> Self {
+        assert_eq!(
+            node_of_file.len(),
+            size_of_file.len(),
+            "placement and size tables must cover the same files"
+        );
+        ServerMetadata {
+            node_of_file,
+            size_of_file,
+        }
+    }
+
+    /// Number of files tracked.
+    pub fn file_count(&self) -> usize {
+        self.node_of_file.len()
+    }
+
+    /// The storage node holding a file.
+    pub fn node_of(&self, file: FileId) -> usize {
+        self.node_of_file[file.index()] as usize
+    }
+
+    /// File size (the paper's example of server-side metadata).
+    pub fn size_of(&self, file: FileId) -> u64 {
+        self.size_of_file[file.index()]
+    }
+
+    /// Files hosted by one node, in file-id order.
+    pub fn files_on_node(&self, node: usize) -> Vec<FileId> {
+        self.node_of_file
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n as usize == node)
+            .map(|(i, _)| FileId(i as u32))
+            .collect()
+    }
+}
+
+/// One node's local metadata: file → local data-disk index.
+///
+/// Buffer residency is tracked separately by the buffer catalog; this type
+/// answers only "which of my spindles owns the authoritative copy".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeMetadata {
+    /// Sparse map over the global file space: `u32::MAX` = not hosted.
+    disk_of_file: Vec<u32>,
+    hosted: Vec<FileId>,
+}
+
+/// Sentinel for "file not hosted here".
+const NOT_HOSTED: u32 = u32::MAX;
+
+impl NodeMetadata {
+    /// An empty map over a population of `files`.
+    pub fn new(files: usize) -> Self {
+        NodeMetadata {
+            disk_of_file: vec![NOT_HOSTED; files],
+            hosted: Vec::new(),
+        }
+    }
+
+    /// Registers a file on a local data disk (the node-side half of the
+    /// paper's step-3 file creation).
+    pub fn create(&mut self, file: FileId, disk: usize) {
+        let slot = &mut self.disk_of_file[file.index()];
+        assert_eq!(*slot, NOT_HOSTED, "file {} created twice on this node", file.0);
+        *slot = disk as u32;
+        self.hosted.push(file);
+    }
+
+    /// The local data disk holding a file, if hosted here.
+    pub fn disk_of(&self, file: FileId) -> Option<usize> {
+        match self.disk_of_file.get(file.index()) {
+            Some(&d) if d != NOT_HOSTED => Some(d as usize),
+            _ => None,
+        }
+    }
+
+    /// Files hosted by this node in creation order (the order placement
+    /// assigned them, most popular first under the paper's policy).
+    pub fn hosted(&self) -> &[FileId] {
+        &self.hosted
+    }
+
+    /// Number of files hosted.
+    pub fn len(&self) -> usize {
+        self.hosted.len()
+    }
+
+    /// True when this node hosts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.hosted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_metadata_lookup() {
+        let m = ServerMetadata::new(vec![0, 1, 0, 2], vec![10, 20, 30, 40]);
+        assert_eq!(m.file_count(), 4);
+        assert_eq!(m.node_of(FileId(1)), 1);
+        assert_eq!(m.size_of(FileId(3)), 40);
+        assert_eq!(m.files_on_node(0), vec![FileId(0), FileId(2)]);
+        assert_eq!(m.files_on_node(9), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same files")]
+    fn server_metadata_rejects_mismatched_tables() {
+        let _ = ServerMetadata::new(vec![0, 1], vec![10]);
+    }
+
+    #[test]
+    fn node_metadata_create_and_lookup() {
+        let mut m = NodeMetadata::new(10);
+        assert!(m.is_empty());
+        m.create(FileId(3), 0);
+        m.create(FileId(7), 1);
+        assert_eq!(m.disk_of(FileId(3)), Some(0));
+        assert_eq!(m.disk_of(FileId(7)), Some(1));
+        assert_eq!(m.disk_of(FileId(0)), None);
+        assert_eq!(m.hosted(), &[FileId(3), FileId(7)]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "created twice")]
+    fn double_create_panics() {
+        let mut m = NodeMetadata::new(5);
+        m.create(FileId(1), 0);
+        m.create(FileId(1), 1);
+    }
+
+    #[test]
+    fn lookup_outside_population_is_none() {
+        let m = NodeMetadata::new(2);
+        assert_eq!(m.disk_of(FileId(99)), None);
+    }
+}

@@ -1,0 +1,255 @@
+//! Run metrics — the paper's three measured quantities (§V-C) plus the
+//! internals needed to explain them.
+
+use disk_model::TransitionCounts;
+use serde::{Deserialize, Serialize};
+use sim_core::stats::percentile;
+use sim_core::OnlineStats;
+
+/// Response-time summary over all requests, seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ResponseStats {
+    /// Number of completed requests.
+    pub count: u64,
+    /// Mean response time.
+    pub mean_s: f64,
+    /// Median.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// Worst case.
+    pub max_s: f64,
+}
+
+impl ResponseStats {
+    /// Summarises raw samples (seconds).
+    pub fn from_samples(samples: &[f64]) -> ResponseStats {
+        if samples.is_empty() {
+            return ResponseStats::default();
+        }
+        let mut s = OnlineStats::new();
+        for &x in samples {
+            s.push(x);
+        }
+        ResponseStats {
+            count: s.count(),
+            mean_s: s.mean(),
+            p50_s: percentile(samples, 0.50).expect("non-empty"),
+            p95_s: percentile(samples, 0.95).expect("non-empty"),
+            max_s: s.max(),
+        }
+    }
+}
+
+/// Per-node breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeMetrics {
+    /// Node name from the cluster spec.
+    pub name: String,
+    /// Base (CPU/RAM/NIC) energy, joules.
+    pub base_energy_j: f64,
+    /// Buffer-disk energy, joules.
+    pub buffer_disk_energy_j: f64,
+    /// Data-disk energy, joules.
+    pub data_disk_energy_j: f64,
+    /// Spin transitions across the node's data disks.
+    pub transitions: TransitionCounts,
+    /// Mean standby fraction across data disks.
+    pub standby_fraction: f64,
+    /// Buffer-disk read hits.
+    pub buffer_hits: u64,
+    /// Buffer-disk read misses.
+    pub buffer_misses: u64,
+    /// NIC utilisation over the run.
+    pub nic_utilization: f64,
+}
+
+impl NodeMetrics {
+    /// Total node energy.
+    pub fn total_j(&self) -> f64 {
+        self.base_energy_j + self.buffer_disk_energy_j + self.data_disk_energy_j
+    }
+}
+
+/// Prefetch-phase accounting.
+///
+/// The paper's energy figures cover the trace replay; the prefetch
+/// warm-up that precedes it is accounted here instead of in
+/// [`RunMetrics::total_energy_j`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct PrefetchStats {
+    /// Files copied into buffer disks.
+    pub files: u64,
+    /// Bytes copied.
+    pub bytes: u64,
+    /// Files dropped for capacity.
+    pub dropped: u64,
+    /// Warm-up duration before the trace replay began, microseconds.
+    pub warmup_us: u64,
+    /// Whole-cluster energy spent during the warm-up, joules.
+    pub energy_j: f64,
+}
+
+/// Everything one cluster run produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Wall time of the trace replay, seconds (excludes the prefetch
+    /// warm-up, which [`PrefetchStats`] reports; stretches past the trace
+    /// span under queueing, which is the paper's 50 MB effect).
+    pub duration_s: f64,
+    /// Cluster-wide energy over the replay (server + all nodes), joules —
+    /// Fig 3/6's axis. Warm-up energy is in [`PrefetchStats::energy_j`].
+    pub total_energy_j: f64,
+    /// Portion consumed by drives.
+    pub disk_energy_j: f64,
+    /// Portion consumed by node/server base power.
+    pub base_energy_j: f64,
+    /// Storage-server energy (base + its disk).
+    pub server_energy_j: f64,
+    /// Spin transitions summed over all data disks — Fig 4's axis.
+    pub transitions: TransitionCounts,
+    /// Response times — Fig 5's axis.
+    pub response: ResponseStats,
+    /// Raw response samples, seconds, in request order (kept for
+    /// percentile work and the paper's linear-relationship check).
+    pub response_samples_s: Vec<f64>,
+    /// Requests served from buffer disks.
+    pub buffer_hits: u64,
+    /// Requests served from data disks.
+    pub buffer_misses: u64,
+    /// Requests that waited on a spin-up.
+    pub spun_up_requests: u64,
+    /// Writes absorbed by buffer-disk write areas.
+    pub writes_buffered: u64,
+    /// Dirty files destaged to data disks during the run.
+    pub destages: u64,
+    /// Dirty files still buffered at the end of the run.
+    pub dirty_at_end: u64,
+    /// MAID copy-ins (on-demand fills), zero for PF/NPF.
+    pub maid_fills: u64,
+    /// Prefetch-phase accounting.
+    pub prefetch: PrefetchStats,
+    /// Net predicted benefit from the energy model (joules).
+    pub predicted_benefit_j: f64,
+    /// Whether power management engaged this run.
+    pub power_engaged: bool,
+    /// Per-node breakdown.
+    pub per_node: Vec<NodeMetrics>,
+}
+
+impl RunMetrics {
+    /// Energy-efficiency gain of `self` versus a baseline run, as the
+    /// paper reports it: `1 - E_self / E_baseline` (positive = saved).
+    pub fn savings_vs(&self, baseline: &RunMetrics) -> f64 {
+        if baseline.total_energy_j <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.total_energy_j / baseline.total_energy_j
+    }
+
+    /// Response-time degradation versus a baseline, as the paper reports
+    /// it: `mean_self / mean_baseline - 1` (positive = slower).
+    pub fn response_penalty_vs(&self, baseline: &RunMetrics) -> f64 {
+        if baseline.response.mean_s <= 0.0 {
+            return 0.0;
+        }
+        self.response.mean_s / baseline.response.mean_s - 1.0
+    }
+
+    /// Buffer hit rate over read traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.buffer_hits + self.buffer_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.buffer_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean standby fraction across all data disks.
+    pub fn mean_standby_fraction(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        self.per_node.iter().map(|n| n.standby_fraction).sum::<f64>() / self.per_node.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics_with_energy(e: f64, mean_rt: f64) -> RunMetrics {
+        RunMetrics {
+            duration_s: 100.0,
+            total_energy_j: e,
+            disk_energy_j: e * 0.3,
+            base_energy_j: e * 0.7,
+            server_energy_j: e * 0.1,
+            transitions: TransitionCounts::default(),
+            response: ResponseStats {
+                count: 10,
+                mean_s: mean_rt,
+                p50_s: mean_rt,
+                p95_s: mean_rt,
+                max_s: mean_rt,
+            },
+            response_samples_s: vec![mean_rt; 10],
+            buffer_hits: 6,
+            buffer_misses: 4,
+            spun_up_requests: 0,
+            writes_buffered: 0,
+            destages: 0,
+            dirty_at_end: 0,
+            maid_fills: 0,
+            prefetch: PrefetchStats::default(),
+            predicted_benefit_j: 0.0,
+            power_engaged: true,
+            per_node: vec![],
+        }
+    }
+
+    #[test]
+    fn savings_math() {
+        let pf = metrics_with_energy(85.0, 1.2);
+        let npf = metrics_with_energy(100.0, 1.0);
+        assert!((pf.savings_vs(&npf) - 0.15).abs() < 1e-12);
+        assert!((npf.savings_vs(&pf) + 0.1765).abs() < 1e-3);
+        assert!((pf.response_penalty_vs(&npf) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_baselines_are_safe() {
+        let a = metrics_with_energy(10.0, 1.0);
+        let zero = metrics_with_energy(0.0, 0.0);
+        assert_eq!(a.savings_vs(&zero), 0.0);
+        assert_eq!(a.response_penalty_vs(&zero), 0.0);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let m = metrics_with_energy(1.0, 1.0);
+        assert!((m.hit_rate() - 0.6).abs() < 1e-12);
+        let mut none = metrics_with_energy(1.0, 1.0);
+        none.buffer_hits = 0;
+        none.buffer_misses = 0;
+        assert_eq!(none.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn response_stats_from_samples() {
+        let samples = vec![1.0, 2.0, 3.0, 4.0, 100.0];
+        let r = ResponseStats::from_samples(&samples);
+        assert_eq!(r.count, 5);
+        assert!((r.mean_s - 22.0).abs() < 1e-12);
+        assert_eq!(r.p50_s, 3.0);
+        assert_eq!(r.max_s, 100.0);
+        assert!(r.p95_s > 4.0);
+    }
+
+    #[test]
+    fn empty_samples_yield_default() {
+        let r = ResponseStats::from_samples(&[]);
+        assert_eq!(r, ResponseStats::default());
+    }
+}

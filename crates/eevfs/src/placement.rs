@@ -1,0 +1,207 @@
+//! Data placement (§III-B / §IV-A step 3).
+//!
+//! "The most popular data is placed on storage node 1 and the second most
+//! popular data is placed on storage node 2 and so on. ... The first file
+//! a storage node creates is then placed on the first storage disk and the
+//! second file a storage node creates is placed on the second storage
+//! disk." — i.e. round-robin over nodes *in popularity order*, then
+//! round-robin over each node's data disks in creation order. The effect
+//! is load balancing by construction: each node receives an equal share of
+//! every popularity stratum.
+//!
+//! The PDC-style concentration policy from related work (§II) is included
+//! as a baseline for the placement ablation.
+
+use crate::config::PlacementPolicy;
+use serde::{Deserialize, Serialize};
+use workload::popularity::PopularityTable;
+use workload::record::FileId;
+
+/// Result of placement: per-file node and local-disk assignments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// `node_of_file[f]` = index of the owning storage node.
+    pub node_of_file: Vec<u32>,
+    /// `disk_of_file[f]` = index of the data disk within that node.
+    pub disk_of_file: Vec<u32>,
+    /// The order in which each node saw create requests (popularity order
+    /// under the paper's policy) — what node-local metadata records.
+    pub creation_order: Vec<Vec<FileId>>,
+}
+
+impl PlacementPlan {
+    /// Number of files placed.
+    pub fn file_count(&self) -> usize {
+        self.node_of_file.len()
+    }
+
+    /// Files on `node`, creation order.
+    pub fn files_on(&self, node: usize) -> &[FileId] {
+        &self.creation_order[node]
+    }
+}
+
+/// Places every file in `popularity`'s population across `disks_per_node`
+/// (one entry per storage node, counting data disks only).
+pub fn place(
+    policy: PlacementPolicy,
+    popularity: &PopularityTable,
+    disks_per_node: &[usize],
+) -> PlacementPlan {
+    assert!(!disks_per_node.is_empty(), "no storage nodes to place on");
+    assert!(
+        disks_per_node.iter().all(|&d| d > 0),
+        "every node needs at least one data disk"
+    );
+    let files = popularity.file_count();
+    let n_nodes = disks_per_node.len();
+    let mut node_of_file = vec![0u32; files];
+    let mut disk_of_file = vec![0u32; files];
+    let mut creation_order: Vec<Vec<FileId>> = vec![Vec::new(); n_nodes];
+
+    // The sequence in which the server issues create requests.
+    let sequence: Vec<FileId> = match policy {
+        PlacementPolicy::PopularityRoundRobin | PlacementPolicy::PdcConcentration => {
+            popularity.ranked().to_vec()
+        }
+        PlacementPolicy::PlainRoundRobin => (0..files as u32).map(FileId).collect(),
+    };
+
+    match policy {
+        PlacementPolicy::PopularityRoundRobin | PlacementPolicy::PlainRoundRobin => {
+            for (i, &file) in sequence.iter().enumerate() {
+                let node = i % n_nodes;
+                let local_seq = creation_order[node].len();
+                let disk = local_seq % disks_per_node[node];
+                node_of_file[file.index()] = node as u32;
+                disk_of_file[file.index()] = disk as u32;
+                creation_order[node].push(file);
+            }
+        }
+        PlacementPolicy::PdcConcentration => {
+            // Fill disk 0 of node 0 with the hottest stratum, then disk 1,
+            // ... spreading files evenly across the total disk population
+            // but *concentrated* rather than interleaved.
+            let total_disks: usize = disks_per_node.iter().sum();
+            let per_disk = files.div_ceil(total_disks);
+            // Flatten (node, disk) pairs in fill order.
+            let mut slots = Vec::with_capacity(total_disks);
+            for (node, &d) in disks_per_node.iter().enumerate() {
+                for disk in 0..d {
+                    slots.push((node, disk));
+                }
+            }
+            for (i, &file) in sequence.iter().enumerate() {
+                let (node, disk) = slots[(i / per_disk).min(total_disks - 1)];
+                node_of_file[file.index()] = node as u32;
+                disk_of_file[file.index()] = disk as u32;
+                creation_order[node].push(file);
+            }
+        }
+    }
+
+    PlacementPlan {
+        node_of_file,
+        disk_of_file,
+        creation_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Popularity where file id i has count (n - i): rank order = id order.
+    fn descending_popularity(n: usize) -> PopularityTable {
+        PopularityTable::from_counts((0..n as u64).map(|i| n as u64 - i).collect())
+    }
+
+    #[test]
+    fn popularity_round_robin_interleaves_ranks() {
+        let pop = descending_popularity(8);
+        let plan = place(PlacementPolicy::PopularityRoundRobin, &pop, &[2, 2]);
+        // Ranked = file 0,1,2,...: node pattern 0,1,0,1,...
+        assert_eq!(plan.node_of_file, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        // Within node 0 files 0,2,4,6 alternate between its 2 disks.
+        assert_eq!(plan.disk_of_file[0], 0);
+        assert_eq!(plan.disk_of_file[2], 1);
+        assert_eq!(plan.disk_of_file[4], 0);
+        assert_eq!(plan.disk_of_file[6], 1);
+        assert_eq!(
+            plan.files_on(0),
+            &[FileId(0), FileId(2), FileId(4), FileId(6)]
+        );
+    }
+
+    #[test]
+    fn popularity_round_robin_balances_hot_load() {
+        // 100 files, counts descending; each of 4 nodes should get ~1/4 of
+        // the total access mass.
+        let pop = descending_popularity(100);
+        let plan = place(PlacementPolicy::PopularityRoundRobin, &pop, &[1; 4]);
+        let mut mass = [0u64; 4];
+        for f in 0..100u32 {
+            mass[plan.node_of_file[f as usize] as usize] += pop.count(FileId(f));
+        }
+        let total: u64 = mass.iter().sum();
+        for &m in &mass {
+            let share = m as f64 / total as f64;
+            assert!((share - 0.25).abs() < 0.02, "unbalanced share {share}");
+        }
+    }
+
+    #[test]
+    fn plain_round_robin_ignores_popularity() {
+        // Reverse popularity (file 0 coldest): plain RR still goes by id.
+        let pop = PopularityTable::from_counts((0..6u64).collect());
+        let plan = place(PlacementPolicy::PlainRoundRobin, &pop, &[1, 1, 1]);
+        assert_eq!(plan.node_of_file, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn pdc_concentrates_hot_files() {
+        let pop = descending_popularity(8);
+        let plan = place(PlacementPolicy::PdcConcentration, &pop, &[2, 2]);
+        // 8 files over 4 disks = 2 per disk, hottest first.
+        // Files 0,1 -> node0/disk0; 2,3 -> node0/disk1; 4,5 -> node1/disk0...
+        assert_eq!(plan.node_of_file, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(plan.disk_of_file, vec![0, 0, 1, 1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn pdc_overflow_lands_on_last_disk() {
+        let pop = descending_popularity(7);
+        let plan = place(PlacementPolicy::PdcConcentration, &pop, &[1, 1]);
+        // ceil(7/2)=4 per disk: files 0-3 on node0, 4-6 on node1.
+        assert_eq!(plan.node_of_file, vec![0, 0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn every_file_is_placed_exactly_once() {
+        let pop = descending_popularity(103);
+        for policy in [
+            PlacementPolicy::PopularityRoundRobin,
+            PlacementPolicy::PlainRoundRobin,
+            PlacementPolicy::PdcConcentration,
+        ] {
+            let plan = place(policy, &pop, &[2, 3, 1]);
+            assert_eq!(plan.file_count(), 103);
+            let total_created: usize = (0..3).map(|n| plan.files_on(n).len()).sum();
+            assert_eq!(total_created, 103, "{policy:?}");
+            // Disk indices within bounds.
+            for f in 0..103 {
+                let node = plan.node_of_file[f] as usize;
+                let disk = plan.disk_of_file[f] as usize;
+                assert!(node < 3);
+                assert!(disk < [2, 3, 1][node], "{policy:?}: disk {disk} on node {node}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one data disk")]
+    fn zero_disk_node_rejected() {
+        let pop = descending_popularity(4);
+        let _ = place(PlacementPolicy::PopularityRoundRobin, &pop, &[1, 0]);
+    }
+}

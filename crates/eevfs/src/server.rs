@@ -1,0 +1,140 @@
+//! The storage server (§III-A, §IV-A steps 1–5).
+//!
+//! The server is intentionally thin — it resolves file → storage node and
+//! forwards, never touching data — but it is still a *serialised* software
+//! stage in the prototype, and under a 0 ms inter-arrival burst it is the
+//! queue that builds first (the paper notes "a large amount of queuing
+//! that took place on the storage server node" for 50 MB runs).
+//! [`ServerQueue`] models that stage: FIFO, fixed per-request service
+//! time.
+
+use crate::metadata::ServerMetadata;
+use sim_core::{SimDuration, SimTime};
+use workload::record::FileId;
+
+/// The serialised request-processing stage of the storage server.
+#[derive(Debug, Clone)]
+pub struct ServerQueue {
+    proc_time: SimDuration,
+    free_at: SimTime,
+    processed: u64,
+    busy_us: u64,
+}
+
+impl ServerQueue {
+    /// A new idle server stage.
+    pub fn new(proc_time: SimDuration) -> Self {
+        ServerQueue {
+            proc_time,
+            free_at: SimTime::ZERO,
+            processed: 0,
+            busy_us: 0,
+        }
+    }
+
+    /// Admits a request arriving at `now`; returns when the server is done
+    /// with it (metadata resolved, forward underway).
+    pub fn process(&mut self, now: SimTime) -> SimTime {
+        let start = now.max(self.free_at);
+        let done = start + self.proc_time;
+        self.free_at = done;
+        self.processed += 1;
+        self.busy_us += self.proc_time.as_micros();
+        done
+    }
+
+    /// Requests processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Utilisation over a horizon.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            0.0
+        } else {
+            (self.busy_us as f64 / 1e6) / horizon.as_secs_f64()
+        }
+    }
+}
+
+/// The full server state: metadata plus the processing stage.
+#[derive(Debug, Clone)]
+pub struct StorageServer {
+    metadata: ServerMetadata,
+    queue: ServerQueue,
+}
+
+impl StorageServer {
+    /// Builds the server from resolved metadata.
+    pub fn new(metadata: ServerMetadata, proc_time: SimDuration) -> Self {
+        StorageServer {
+            metadata,
+            queue: ServerQueue::new(proc_time),
+        }
+    }
+
+    /// Handles one request: resolves the owning node and returns
+    /// `(node, done_time)`.
+    pub fn route(&mut self, now: SimTime, file: FileId) -> (usize, SimTime) {
+        let node = self.metadata.node_of(file);
+        let done = self.queue.process(now);
+        (node, done)
+    }
+
+    /// The metadata table.
+    pub fn metadata(&self) -> &ServerMetadata {
+        &self.metadata
+    }
+
+    /// The processing stage (for utilisation reporting).
+    pub fn queue(&self) -> &ServerQueue {
+        &self.queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_serialisation() {
+        let mut q = ServerQueue::new(SimDuration::from_millis(10));
+        let a = q.process(SimTime::ZERO);
+        let b = q.process(SimTime::ZERO);
+        let c = q.process(SimTime::from_millis(100));
+        assert_eq!(a, SimTime::from_millis(10));
+        assert_eq!(b, SimTime::from_millis(20));
+        assert_eq!(c, SimTime::from_millis(110));
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn burst_builds_queue_linearly() {
+        let mut q = ServerQueue::new(SimDuration::from_millis(8));
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            last = q.process(SimTime::ZERO);
+        }
+        assert_eq!(last, SimTime::from_millis(800));
+    }
+
+    #[test]
+    fn utilization() {
+        let mut q = ServerQueue::new(SimDuration::from_millis(10));
+        q.process(SimTime::ZERO);
+        assert!((q.utilization(SimTime::from_secs(1)) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routing_uses_metadata() {
+        let meta = ServerMetadata::new(vec![2, 0, 1], vec![10, 10, 10]);
+        let mut s = StorageServer::new(meta, SimDuration::from_millis(5));
+        let (node, done) = s.route(SimTime::ZERO, FileId(0));
+        assert_eq!(node, 2);
+        assert_eq!(done, SimTime::from_millis(5));
+        let (node2, done2) = s.route(SimTime::ZERO, FileId(2));
+        assert_eq!(node2, 1);
+        assert_eq!(done2, SimTime::from_millis(10), "second request queues");
+    }
+}

@@ -1,0 +1,27 @@
+//! # net-model
+//!
+//! Network substrate for the EEVFS cluster simulation.
+//!
+//! The paper's testbed wires one storage server and eight storage nodes
+//! through a switching fabric: the server and Type 1 nodes on 1 Gb/s
+//! Ethernet, the Type 2 nodes on 100 Mb/s (Table I). Response time in the
+//! paper is disk service + network transfer + queueing; this crate models
+//! the network part:
+//!
+//! * [`link`] — a point-to-point [`link::Link`]: bandwidth + latency, with
+//!   store-and-forward composition across the switch.
+//! * [`nic`] — a FIFO-serialised port ([`nic::Nic`]): one large file
+//!   transfer occupies the node's NIC for `size/bandwidth`, which is what
+//!   creates the server/node queueing the paper observes at 50 MB files.
+//! * [`message`] — small fixed-cost control messages (request, metadata
+//!   lookup, hint propagation).
+
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod message;
+pub mod nic;
+
+pub use link::Link;
+pub use message::control_message_time;
+pub use nic::Nic;

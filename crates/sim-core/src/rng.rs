@@ -1,0 +1,328 @@
+//! Seeded randomness and the distributions the EEVFS workloads need.
+//!
+//! The paper's synthetic traces draw file indices from a Poisson
+//! distribution whose mean ("the MU value") runs from 1 to 1000, so the
+//! Poisson sampler must stay numerically sound for large means — the
+//! classic Knuth product-of-uniforms method underflows `exp(-mu)` around
+//! `mu > 700`. We instead count unit-rate exponential arrivals until their
+//! sum exceeds `mu`, which is exact for any mean and costs `O(mu)` draws,
+//! cheap at trace-generation scale.
+//!
+//! A hand-rolled Zipf sampler (inverse-CDF over a precomputed table) backs
+//! the Berkeley-web-trace substitute, whose defining property in the paper
+//! is a heavy skew toward a small working set.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic simulation RNG. All workload randomness flows from one of
+/// these, seeded from the experiment config, so runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Splits off an independent child RNG. Deriving children from draws of
+    /// the parent keeps sub-streams decoupled: adding draws to one consumer
+    /// does not perturb another.
+    pub fn split(&mut self) -> SimRng {
+        let seed = self.inner.gen::<u64>();
+        SimRng::seed_from_u64(seed)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn uniform_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform choice of an index in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() over an empty collection");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Exponential variate with the given mean (`mean > 0`).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0 && mean.is_finite(), "bad exponential mean {mean}");
+        // Inverse CDF; guard the log against u == 0.
+        let u = 1.0 - self.uniform();
+        -mean * u.ln()
+    }
+
+    /// Poisson variate with mean `mu >= 0`.
+    ///
+    /// Counts unit-rate exponential inter-arrivals until the running sum
+    /// passes `mu`. Exact for all `mu` (no `exp(-mu)` underflow) and costs
+    /// `O(mu)` uniform draws.
+    pub fn poisson(&mut self, mu: f64) -> u64 {
+        assert!(mu >= 0.0 && mu.is_finite(), "bad poisson mean {mu}");
+        if mu == 0.0 {
+            return 0;
+        }
+        let mut sum = 0.0f64;
+        let mut k = 0u64;
+        loop {
+            sum += self.exponential(1.0);
+            if sum > mu {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Standard normal variate (Box–Muller, one value per call).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative std dev {std_dev}");
+        let u1: f64 = 1.0 - self.uniform();
+        let u2: f64 = self.uniform();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Log-normal variate parameterised by the *target* mean and the sigma
+    /// of the underlying normal. Used for file-size distributions where the
+    /// paper reports only a mean.
+    pub fn log_normal_with_mean(&mut self, mean: f64, sigma: f64) -> f64 {
+        assert!(mean > 0.0, "log-normal mean must be positive, got {mean}");
+        // If X = exp(N(m, s)), E[X] = exp(m + s^2/2); solve m for target mean.
+        let m = mean.ln() - sigma * sigma / 2.0;
+        self.normal(m, sigma).exp()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// Zipf sampler over ranks `0..n` with exponent `alpha`.
+///
+/// Precomputes the CDF once (`O(n)`), then samples by binary search
+/// (`O(log n)`). Rank 0 is the most popular item.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler for `n > 0` ranks with skew `alpha >= 0`
+    /// (`alpha = 0` is uniform; larger is more skewed).
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "bad Zipf alpha {alpha}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against accumulated float error at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is exactly one rank (degenerate sampler).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let hi = self.cdf[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        hi - lo
+    }
+
+    /// Draws a rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.uniform();
+        // partition_point: first index whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "seeds 1 and 2 produced near-identical streams");
+    }
+
+    #[test]
+    fn split_streams_are_decoupled() {
+        let mut parent1 = SimRng::seed_from_u64(7);
+        let mut parent2 = SimRng::seed_from_u64(7);
+        let mut child1 = parent1.split();
+        let mut child2 = parent2.split();
+        // Consuming extra draws from parent2 must not change child2's stream.
+        for _ in 0..10 {
+            parent2.next_u64();
+        }
+        for _ in 0..50 {
+            assert_eq!(child1.next_u64(), child2.next_u64());
+        }
+    }
+
+    #[test]
+    fn poisson_small_mean_matches_expectation() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.poisson(4.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "poisson(4) sample mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_no_underflow() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let n = 2_000;
+        let samples: Vec<u64> = (0..n).map(|_| rng.poisson(1000.0)).collect();
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        assert!((mean - 1000.0).abs() < 5.0, "poisson(1000) sample mean {mean}");
+        // Variance of Poisson equals its mean.
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((var - 1000.0).abs() < 150.0, "poisson(1000) sample var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..10 {
+            assert_eq!(rng.poisson(0.0), 0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(0.7)).sum::<f64>() / n as f64;
+        assert!((mean - 0.7).abs() < 0.02, "exp(0.7) sample mean {mean}");
+    }
+
+    #[test]
+    fn log_normal_hits_target_mean() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.log_normal_with_mean(10.0, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.3, "log-normal sample mean {mean}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SimRng::seed_from_u64(8);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[99]);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(137, 1.3);
+        let sum: f64 = (0..z.len()).map(|r| z.pmf(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_sample_always_in_range() {
+        let z = Zipf::new(5, 2.0);
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from_u64(10);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.15);
+    }
+}

@@ -1,0 +1,195 @@
+//! Append-only time series.
+//!
+//! The disk energy meters record `(time, cumulative joules)` samples and the
+//! harness needs power-over-time curves for the figures; [`TimeSeries`]
+//! stores strictly time-ordered samples and supports interpolation and
+//! uniform resampling.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A time-ordered sequence of `(SimTime, f64)` samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. `t` must be `>=` the last recorded time; equal
+    /// timestamps overwrite the previous value (last-writer-wins), which is
+    /// what energy meters want when several state changes land on the same
+    /// microsecond.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t >= last, "time series went backwards: {t} after {last}");
+            if t == last {
+                *self.values.last_mut().expect("times/values in sync") = v;
+                return;
+            }
+        }
+        self.times.push(t);
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample by index.
+    pub fn get(&self, i: usize) -> (SimTime, f64) {
+        (self.times[i], self.values[i])
+    }
+
+    /// Last sample, if any.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        match (self.times.last(), self.values.last()) {
+            (Some(&t), Some(&v)) => Some((t, v)),
+            _ => None,
+        }
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Linear interpolation at time `t`. Clamps to the first/last value
+    /// outside the recorded range. Returns `None` for an empty series.
+    pub fn interpolate(&self, t: SimTime) -> Option<f64> {
+        if self.times.is_empty() {
+            return None;
+        }
+        if t <= self.times[0] {
+            return Some(self.values[0]);
+        }
+        let n = self.times.len();
+        if t >= self.times[n - 1] {
+            return Some(self.values[n - 1]);
+        }
+        // First index with time > t; since t < last, idx is in [1, n-1].
+        let idx = self.times.partition_point(|&x| x <= t);
+        let (t0, v0) = (self.times[idx - 1], self.values[idx - 1]);
+        let (t1, v1) = (self.times[idx], self.values[idx]);
+        let span = (t1 - t0).as_micros() as f64;
+        let frac = (t - t0).as_micros() as f64 / span;
+        Some(v0 + (v1 - v0) * frac)
+    }
+
+    /// Resamples onto `n >= 2` uniformly spaced points across the recorded
+    /// span. Returns an empty vector for an empty series.
+    pub fn resample(&self, n: usize) -> Vec<(SimTime, f64)> {
+        assert!(n >= 2, "resample needs at least two points");
+        if self.times.is_empty() {
+            return Vec::new();
+        }
+        let t0 = self.times[0].as_micros();
+        let t1 = self.times[self.times.len() - 1].as_micros();
+        (0..n)
+            .map(|i| {
+                let t = SimTime::from_micros(t0 + (t1 - t0) * i as u64 / (n as u64 - 1));
+                (t, self.interpolate(t).expect("non-empty series"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut ts = TimeSeries::new();
+        ts.push(secs(0), 0.0);
+        ts.push(secs(10), 100.0);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.get(1), (secs(10), 100.0));
+        assert_eq!(ts.last(), Some((secs(10), 100.0)));
+    }
+
+    #[test]
+    fn equal_timestamp_overwrites() {
+        let mut ts = TimeSeries::new();
+        ts.push(secs(1), 5.0);
+        ts.push(secs(1), 7.0);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.get(0), (secs(1), 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn rejects_out_of_order() {
+        let mut ts = TimeSeries::new();
+        ts.push(secs(2), 1.0);
+        ts.push(secs(1), 2.0);
+    }
+
+    #[test]
+    fn interpolation_midpoint_and_clamp() {
+        let mut ts = TimeSeries::new();
+        ts.push(secs(0), 0.0);
+        ts.push(secs(10), 100.0);
+        assert_eq!(ts.interpolate(secs(5)), Some(50.0));
+        assert_eq!(ts.interpolate(SimTime::ZERO), Some(0.0));
+        assert_eq!(ts.interpolate(secs(99)), Some(100.0));
+    }
+
+    #[test]
+    fn interpolation_multi_segment() {
+        let mut ts = TimeSeries::new();
+        ts.push(secs(0), 0.0);
+        ts.push(secs(2), 20.0);
+        ts.push(secs(4), 0.0);
+        assert_eq!(ts.interpolate(secs(1)), Some(10.0));
+        assert_eq!(ts.interpolate(secs(3)), Some(10.0));
+        assert_eq!(ts.interpolate(secs(2)), Some(20.0));
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        assert_eq!(ts.interpolate(secs(1)), None);
+        assert!(ts.resample(5).is_empty());
+        assert_eq!(ts.last(), None);
+    }
+
+    #[test]
+    fn resample_endpoints_match() {
+        let mut ts = TimeSeries::new();
+        ts.push(secs(0), 1.0);
+        ts.push(secs(3), 4.0);
+        ts.push(secs(6), 7.0);
+        let r = ts.resample(4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], (secs(0), 1.0));
+        assert_eq!(r[3], (secs(6), 7.0));
+        // Linear ramp: interior points follow the line v = t + 1.
+        assert!((r[1].1 - (r[1].0.as_secs_f64() + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut ts = TimeSeries::new();
+        ts.push(secs(1), 1.0);
+        ts.push(secs(2), 2.0);
+        let all: Vec<_> = ts.iter().collect();
+        assert_eq!(all, vec![(secs(1), 1.0), (secs(2), 2.0)]);
+    }
+}

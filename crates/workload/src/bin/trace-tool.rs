@@ -1,0 +1,174 @@
+//! Trace utility: generate, inspect, and convert EEVFS traces.
+//!
+//! ```text
+//! trace-tool gen      [--files N] [--requests N] [--mu F] [--size-mb N]
+//!                     [--delay-ms N] [--write-frac F] [--seed N] [--out PATH]
+//! trace-tool berkeley [--requests N] [--working-set N] [--seed N] [--out PATH]
+//! trace-tool stats    PATH          # counts, skew, idle-window summary
+//! trace-tool convert  IN OUT        # text <-> json by extension
+//! ```
+
+use sim_core::SimDuration;
+use std::process::ExitCode;
+use workload::berkeley::{berkeley_web_trace, BerkeleySpec};
+use workload::lookahead::idle_windows;
+use workload::popularity::PopularityTable;
+use workload::record::Trace;
+use workload::synthetic::{generate, SyntheticSpec};
+use workload::trace_io;
+
+fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut map = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a}"));
+        };
+        let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), val.clone());
+    }
+    Ok(map)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &std::collections::HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("bad --{key} value {v}")),
+        None => Ok(default),
+    }
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if path.ends_with(".json") {
+        trace_io::from_json(&text)
+    } else {
+        trace_io::from_text(&text).map_err(|e| e.to_string())
+    }
+}
+
+fn save(trace: &Trace, path: &str) -> Result<(), String> {
+    let out = if path.ends_with(".json") {
+        trace_io::to_json(trace)
+    } else {
+        trace_io::to_text(trace)
+    };
+    std::fs::write(path, out).map_err(|e| format!("write {path}: {e}"))
+}
+
+fn cmd_gen(flags: &std::collections::HashMap<String, String>) -> Result<(), String> {
+    let spec = SyntheticSpec {
+        files: get(flags, "files", 1000u32)?,
+        requests: get(flags, "requests", 1000u32)?,
+        mu: get(flags, "mu", 1000.0f64)?,
+        mean_size_bytes: get(flags, "size-mb", 10u64)? * 1_000_000,
+        inter_arrival: SimDuration::from_millis(get(flags, "delay-ms", 700u64)?),
+        write_fraction: get(flags, "write-frac", 0.0f64)?,
+        seed: get(flags, "seed", 0x5EED_EEF5u64)?,
+        ..SyntheticSpec::paper_default()
+    };
+    spec.validate()?;
+    let trace = generate(&spec);
+    match flags.get("out") {
+        Some(path) => {
+            save(&trace, path)?;
+            eprintln!("wrote {} records to {path}", trace.len());
+        }
+        None => print!("{}", trace_io::to_text(&trace)),
+    }
+    Ok(())
+}
+
+fn cmd_berkeley(flags: &std::collections::HashMap<String, String>) -> Result<(), String> {
+    let spec = BerkeleySpec {
+        requests: get(flags, "requests", 1000u32)?,
+        working_set: get(flags, "working-set", 60u32)?,
+        seed: get(flags, "seed", 0xBE27_EE1Eu64)?,
+        ..BerkeleySpec::paper_default()
+    };
+    spec.validate()?;
+    let trace = berkeley_web_trace(&spec);
+    match flags.get("out") {
+        Some(path) => {
+            save(&trace, path)?;
+            eprintln!("wrote {} records to {path}", trace.len());
+        }
+        None => print!("{}", trace_io::to_text(&trace)),
+    }
+    Ok(())
+}
+
+fn cmd_stats(path: &str) -> Result<(), String> {
+    let trace = load(path)?;
+    let pop = PopularityTable::from_trace(&trace);
+    println!("requests:        {}", trace.len());
+    println!("file population: {}", trace.file_count());
+    println!("distinct files:  {}", trace.distinct_files());
+    println!("trace span:      {:.1} s", trace.duration().as_secs_f64());
+    println!("total bytes:     {:.1} MB", trace.total_bytes() as f64 / 1e6);
+    for k in [10usize, 40, 70, 100] {
+        println!(
+            "top-{k:<3} coverage: {:5.1}%  (fraction of accesses a {k}-file prefetch absorbs)",
+            pop.coverage_of_top_k(k) * 100.0
+        );
+    }
+    // Idle-window preview for the paper's defaults: per-"disk" windows if
+    // placed round-robin over 16 disks with a 5 s threshold.
+    let disks = 16usize;
+    let threshold = SimDuration::from_secs(5);
+    let mut total_windows = 0usize;
+    let mut total_idle = 0.0f64;
+    for d in 0..disks {
+        let touches: Vec<_> = trace
+            .records
+            .iter()
+            .filter(|r| (r.file.0 as usize) % disks == d)
+            .map(|r| r.at)
+            .collect();
+        let ws = idle_windows(&touches, sim_core::SimTime::ZERO, trace.end_time(), threshold);
+        total_windows += ws.len();
+        total_idle += ws.iter().map(|w| w.len().as_secs_f64()).sum::<f64>();
+    }
+    println!(
+        "idle windows >= 5 s over {disks} round-robin disks (no prefetch): {total_windows} \
+         windows, {total_idle:.0} disk-seconds"
+    );
+    Ok(())
+}
+
+fn cmd_convert(input: &str, output: &str) -> Result<(), String> {
+    let trace = load(input)?;
+    save(&trace, output)?;
+    eprintln!("converted {input} -> {output} ({} records)", trace.len());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("gen") => cmd_gen(&parse_flags(&args[1..])?),
+        Some("berkeley") => cmd_berkeley(&parse_flags(&args[1..])?),
+        Some("stats") => match args.get(1) {
+            Some(path) => cmd_stats(path),
+            None => Err("stats needs a path".into()),
+        },
+        Some("convert") => match (args.get(1), args.get(2)) {
+            (Some(i), Some(o)) => cmd_convert(i, o),
+            _ => Err("convert needs IN and OUT paths".into()),
+        },
+        _ => Err("usage: trace-tool gen|berkeley|stats|convert ...".into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Trace data model.
+//!
+//! A [`Trace`] is what the EEVFS storage server consumes twice: once ahead
+//! of time to derive popularity and placement (the paper's append-only log
+//! of file access patterns, §IV), and once at run time when the client
+//! replays it against the cluster.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{SimDuration, SimTime};
+
+/// Identifier of a file in the traced file set (dense, 0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// The dense index of this file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Request type. The paper's evaluation traces are read-dominated (web
+/// workload); writes exercise the buffer disk's write-buffer area (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Whole-file read.
+    Read,
+    /// Whole-file write (absorbed by the buffer disk when possible).
+    Write,
+}
+
+/// One request in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Arrival time of the request at the client.
+    pub at: SimTime,
+    /// Target file.
+    pub file: FileId,
+    /// Read or write.
+    pub op: Op,
+    /// Bytes moved (whole-file access in the paper's prototype).
+    pub size: u64,
+}
+
+/// A complete workload: the file population plus the request sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Size of each file, indexed by [`FileId`]. The population may be
+    /// larger than the set of files actually requested (the paper's file
+    /// system holds 1000 files; a trace may touch only a few).
+    pub file_sizes: Vec<u64>,
+    /// Requests in non-decreasing arrival order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Number of files in the population.
+    pub fn file_count(&self) -> usize {
+        self.file_sizes.len()
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the trace has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Arrival span of the trace (zero when empty).
+    pub fn duration(&self) -> SimDuration {
+        match (self.records.first(), self.records.last()) {
+            (Some(f), Some(l)) => l.at - f.at,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Arrival time of the last request (zero when empty).
+    pub fn end_time(&self) -> SimTime {
+        self.records.last().map(|r| r.at).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total bytes requested.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.size).sum()
+    }
+
+    /// Number of distinct files requested.
+    pub fn distinct_files(&self) -> usize {
+        let mut seen = vec![false; self.file_count()];
+        let mut n = 0;
+        for r in &self.records {
+            let i = r.file.index();
+            if !seen[i] {
+                seen[i] = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Structural validation: ordering, file-id bounds, size consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut prev = SimTime::ZERO;
+        for (i, r) in self.records.iter().enumerate() {
+            if r.at < prev {
+                return Err(format!("record {i} out of order: {} after {prev}", r.at));
+            }
+            prev = r.at;
+            if r.file.index() >= self.file_count() {
+                return Err(format!(
+                    "record {i} references file {} outside population of {}",
+                    r.file.0,
+                    self.file_count()
+                ));
+            }
+            if r.size != self.file_sizes[r.file.index()] {
+                return Err(format!(
+                    "record {i} size {} disagrees with file {} size {}",
+                    r.size,
+                    r.file.0,
+                    self.file_sizes[r.file.index()]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Trace {
+        Trace {
+            file_sizes: vec![100, 200, 300],
+            records: vec![
+                TraceRecord {
+                    at: SimTime::from_millis(0),
+                    file: FileId(0),
+                    op: Op::Read,
+                    size: 100,
+                },
+                TraceRecord {
+                    at: SimTime::from_millis(700),
+                    file: FileId(2),
+                    op: Op::Read,
+                    size: 300,
+                },
+                TraceRecord {
+                    at: SimTime::from_millis(1400),
+                    file: FileId(0),
+                    op: Op::Write,
+                    size: 100,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let t = tiny();
+        assert_eq!(t.file_count(), 3);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.duration(), SimDuration::from_millis(1400));
+        assert_eq!(t.end_time(), SimTime::from_millis(1400));
+        assert_eq!(t.total_bytes(), 500);
+        assert_eq!(t.distinct_files(), 2);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace {
+            file_sizes: vec![10; 5],
+            records: vec![],
+        };
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), SimDuration::ZERO);
+        assert_eq!(t.distinct_files(), 0);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_order() {
+        let mut t = tiny();
+        t.records.swap(0, 1);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_file_id() {
+        let mut t = tiny();
+        t.records[0].file = FileId(99);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_size_mismatch() {
+        let mut t = tiny();
+        t.records[1].size = 42;
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! Synthetic trace generator (the paper's §V-B parameters).
+//!
+//! * **File popularity — the MU value.** Each request's file index is a
+//!   Poisson(MU) draw taken modulo the population size, exactly the
+//!   paper's description: "MU value for the Poisson distribution of file
+//!   requests ... 1 skewing the file access patterns to a small number of
+//!   files and 1000 spreading out the distribution of files accessed".
+//!   MU = 1 touches a handful of files; MU = 100 touches ~60; MU = 1000
+//!   touches a couple hundred — which is what makes the paper's
+//!   70-file-prefetch cover everything at MU ≤ 100 (Fig 3(b)).
+//! * **Data size.** Per *file*, drawn once from [`SizeDist`] and inherited
+//!   by every request for that file (the prototype does whole-file I/O).
+//! * **Inter-arrival delay.** A fixed delay inserted between consecutive
+//!   requests ("we have added 0 to 1000 ms of inter-arrival delay between
+//!   requests"), with optional jitter for ablations.
+
+use crate::record::{FileId, Op, Trace, TraceRecord};
+use serde::{Deserialize, Serialize};
+use sim_core::{SimDuration, SimRng, SimTime};
+
+/// Per-file size distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeDist {
+    /// Every file has exactly the mean size (the paper's "data size is
+    /// X MB" experiments).
+    Fixed,
+    /// Exponentially distributed around the mean.
+    Exponential,
+    /// Log-normal with the given sigma, mean preserved.
+    LogNormal {
+        /// Sigma of the underlying normal.
+        sigma: f64,
+    },
+    /// Uniform over `[mean*(1-spread), mean*(1+spread)]`.
+    Uniform {
+        /// Half-width as a fraction of the mean, in `[0, 1]`.
+        spread: f64,
+    },
+}
+
+/// Arrival-process jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Jitter {
+    /// Deterministic arrivals every `inter_arrival` (the paper's replay).
+    None,
+    /// Poisson arrivals with the same mean rate.
+    Exponential,
+}
+
+/// Full description of a synthetic workload (Table II parameters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    /// File population ("total number of files in our test file system is
+    /// 1000").
+    pub files: u32,
+    /// Number of requests to generate.
+    pub requests: u32,
+    /// The MU value: mean of the Poisson file-index distribution.
+    pub mu: f64,
+    /// Mean file size in bytes.
+    pub mean_size_bytes: u64,
+    /// Per-file size distribution.
+    pub size_dist: SizeDist,
+    /// Delay inserted between consecutive requests.
+    pub inter_arrival: SimDuration,
+    /// Arrival jitter.
+    pub jitter: Jitter,
+    /// Fraction of requests that are writes, in `[0, 1]` (0 reproduces the
+    /// paper's read traces; >0 exercises the write-buffer area).
+    pub write_fraction: f64,
+    /// RNG seed; same spec + same seed = identical trace.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// The paper's default operating point: 1000 files, MU 1000, 10 MB
+    /// files, 700 ms inter-arrival, read-only.
+    pub fn paper_default() -> SyntheticSpec {
+        SyntheticSpec {
+            files: 1000,
+            requests: 1000,
+            mu: 1000.0,
+            mean_size_bytes: 10_000_000,
+            size_dist: SizeDist::Fixed,
+            inter_arrival: SimDuration::from_millis(700),
+            jitter: Jitter::None,
+            write_fraction: 0.0,
+            seed: 0x5EED_EEF5,
+        }
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.files == 0 {
+            return Err("file population must be positive".into());
+        }
+        if self.mu < 0.0 || !self.mu.is_finite() {
+            return Err(format!("MU must be non-negative, got {}", self.mu));
+        }
+        if self.mean_size_bytes == 0 {
+            return Err("mean size must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.write_fraction) {
+            return Err(format!("write fraction {} outside [0,1]", self.write_fraction));
+        }
+        if let SizeDist::Uniform { spread } = self.size_dist {
+            if !(0.0..=1.0).contains(&spread) {
+                return Err(format!("uniform spread {spread} outside [0,1]"));
+            }
+        }
+        if let SizeDist::LogNormal { sigma } = self.size_dist {
+            if !(sigma >= 0.0 && sigma.is_finite()) {
+                return Err(format!("log-normal sigma {sigma} invalid"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Draws one file size.
+fn draw_size(dist: SizeDist, mean: u64, rng: &mut SimRng) -> u64 {
+    let v = match dist {
+        SizeDist::Fixed => mean as f64,
+        SizeDist::Exponential => rng.exponential(mean as f64),
+        SizeDist::LogNormal { sigma } => rng.log_normal_with_mean(mean as f64, sigma),
+        SizeDist::Uniform { spread } => {
+            let lo = mean as f64 * (1.0 - spread);
+            let hi = mean as f64 * (1.0 + spread);
+            lo + (hi - lo) * rng.uniform()
+        }
+    };
+    // Floor at 1 byte so every file is materialisable.
+    v.round().max(1.0) as u64
+}
+
+/// Generates a synthetic trace. Deterministic in `(spec, spec.seed)`.
+///
+/// # Panics
+/// Panics when the spec fails [`SyntheticSpec::validate`].
+pub fn generate(spec: &SyntheticSpec) -> Trace {
+    spec.validate().unwrap_or_else(|e| panic!("bad synthetic spec: {e}"));
+    let mut rng = SimRng::seed_from_u64(spec.seed);
+    // Independent sub-streams so changing the request count does not
+    // perturb file sizes and vice versa.
+    let mut size_rng = rng.split();
+    let mut file_rng = rng.split();
+    let mut op_rng = rng.split();
+    let mut jitter_rng = rng.split();
+
+    let file_sizes: Vec<u64> = (0..spec.files)
+        .map(|_| draw_size(spec.size_dist, spec.mean_size_bytes, &mut size_rng))
+        .collect();
+
+    let mut records = Vec::with_capacity(spec.requests as usize);
+    let mut at = SimTime::ZERO;
+    for i in 0..spec.requests {
+        if i > 0 {
+            let gap = match spec.jitter {
+                Jitter::None => spec.inter_arrival,
+                Jitter::Exponential => SimDuration::from_secs_f64(
+                    jitter_rng.exponential(spec.inter_arrival.as_secs_f64().max(1e-9)),
+                ),
+            };
+            at += gap;
+        }
+        let idx = (file_rng.poisson(spec.mu) % spec.files as u64) as u32;
+        let op = if spec.write_fraction > 0.0 && op_rng.uniform() < spec.write_fraction {
+            Op::Write
+        } else {
+            Op::Read
+        };
+        records.push(TraceRecord {
+            at,
+            file: FileId(idx),
+            op,
+            size: file_sizes[idx as usize],
+        });
+    }
+    Trace {
+        file_sizes,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = SyntheticSpec::paper_default();
+        assert_eq!(generate(&spec), generate(&spec));
+        let other = SyntheticSpec {
+            seed: 999,
+            ..spec
+        };
+        assert_ne!(generate(&other), generate(&spec));
+    }
+
+    #[test]
+    fn trace_validates_and_has_right_shape() {
+        let spec = SyntheticSpec::paper_default();
+        let t = generate(&spec);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.file_count(), 1000);
+        // 999 gaps of 700 ms.
+        assert_eq!(t.duration(), SimDuration::from_millis(700 * 999));
+    }
+
+    #[test]
+    fn small_mu_touches_few_files() {
+        let spec = SyntheticSpec {
+            mu: 1.0,
+            ..SyntheticSpec::paper_default()
+        };
+        let t = generate(&spec);
+        assert!(
+            t.distinct_files() <= 10,
+            "MU=1 touched {} files",
+            t.distinct_files()
+        );
+    }
+
+    #[test]
+    fn mu_100_fits_under_seventy_files() {
+        // The paper's Fig 3(b) finding hinges on this: with 70 files
+        // prefetched, MU <= 100 is fully covered.
+        let spec = SyntheticSpec {
+            mu: 100.0,
+            ..SyntheticSpec::paper_default()
+        };
+        let t = generate(&spec);
+        let d = t.distinct_files();
+        assert!(d <= 70, "MU=100 touched {d} files; paper needs <= 70");
+        assert!(d >= 30, "MU=100 touched only {d} files; too narrow");
+    }
+
+    #[test]
+    fn large_mu_spreads_accesses() {
+        let spec = SyntheticSpec::paper_default(); // MU = 1000
+        let t = generate(&spec);
+        let d = t.distinct_files();
+        assert!(
+            d > 100 && d < 500,
+            "MU=1000 touched {d} files; expected a spread-out but skewed set"
+        );
+    }
+
+    #[test]
+    fn distinct_files_monotone_in_mu() {
+        let base = SyntheticSpec::paper_default();
+        let counts: Vec<usize> = [1.0, 10.0, 100.0, 1000.0]
+            .iter()
+            .map(|&mu| generate(&SyntheticSpec { mu, ..base.clone() }).distinct_files())
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] < w[1]),
+            "distinct files not increasing in MU: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn fixed_sizes_are_exact() {
+        let t = generate(&SyntheticSpec::paper_default());
+        assert!(t.file_sizes.iter().all(|&s| s == 10_000_000));
+    }
+
+    #[test]
+    fn exponential_sizes_hit_mean() {
+        let spec = SyntheticSpec {
+            files: 20_000,
+            size_dist: SizeDist::Exponential,
+            ..SyntheticSpec::paper_default()
+        };
+        let t = generate(&spec);
+        let mean =
+            t.file_sizes.iter().map(|&s| s as f64).sum::<f64>() / t.file_sizes.len() as f64;
+        assert!(
+            (mean / 10_000_000.0 - 1.0).abs() < 0.05,
+            "sample mean {mean}"
+        );
+    }
+
+    #[test]
+    fn uniform_sizes_stay_in_band() {
+        let spec = SyntheticSpec {
+            size_dist: SizeDist::Uniform { spread: 0.5 },
+            ..SyntheticSpec::paper_default()
+        };
+        let t = generate(&spec);
+        assert!(t
+            .file_sizes
+            .iter()
+            .all(|&s| (5_000_000..=15_000_000).contains(&s)));
+    }
+
+    #[test]
+    fn write_fraction_generates_writes() {
+        let spec = SyntheticSpec {
+            write_fraction: 0.3,
+            ..SyntheticSpec::paper_default()
+        };
+        let t = generate(&spec);
+        let writes = t.records.iter().filter(|r| r.op == Op::Write).count();
+        let frac = writes as f64 / t.len() as f64;
+        assert!((frac - 0.3).abs() < 0.06, "write fraction {frac}");
+    }
+
+    #[test]
+    fn read_only_by_default() {
+        let t = generate(&SyntheticSpec::paper_default());
+        assert!(t.records.iter().all(|r| r.op == Op::Read));
+    }
+
+    #[test]
+    fn zero_inter_arrival_is_a_burst() {
+        let spec = SyntheticSpec {
+            inter_arrival: SimDuration::ZERO,
+            ..SyntheticSpec::paper_default()
+        };
+        let t = generate(&spec);
+        assert_eq!(t.duration(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn exponential_jitter_preserves_mean_rate() {
+        let spec = SyntheticSpec {
+            requests: 20_000,
+            jitter: Jitter::Exponential,
+            ..SyntheticSpec::paper_default()
+        };
+        let t = generate(&spec);
+        let mean_gap = t.duration().as_secs_f64() / (t.len() - 1) as f64;
+        assert!((mean_gap - 0.7).abs() < 0.02, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn spec_validation_rejects_nonsense() {
+        let mut s = SyntheticSpec::paper_default();
+        s.files = 0;
+        assert!(s.validate().is_err());
+        let mut s = SyntheticSpec::paper_default();
+        s.mu = -1.0;
+        assert!(s.validate().is_err());
+        let mut s = SyntheticSpec::paper_default();
+        s.write_fraction = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = SyntheticSpec::paper_default();
+        s.size_dist = SizeDist::Uniform { spread: 2.0 };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn changing_request_count_keeps_file_sizes() {
+        // Sub-stream isolation: more requests must not reshuffle sizes.
+        let a = generate(&SyntheticSpec {
+            size_dist: SizeDist::Exponential,
+            requests: 10,
+            ..SyntheticSpec::paper_default()
+        });
+        let b = generate(&SyntheticSpec {
+            size_dist: SizeDist::Exponential,
+            requests: 2000,
+            ..SyntheticSpec::paper_default()
+        });
+        assert_eq!(a.file_sizes, b.file_sizes);
+    }
+}

@@ -1,0 +1,238 @@
+//! Trace serialisation.
+//!
+//! Two formats:
+//!
+//! * **Text** — one line per event, human-diffable, close to classic trace
+//!   archives (and to the paper's append-only request log). Comments start
+//!   with `#`.
+//! * **JSON** — the full [`Trace`] via serde, used by the harness to stash
+//!   generated workloads next to experiment results.
+//!
+//! Text grammar (v1):
+//!
+//! ```text
+//! # anything
+//! eevfs-trace v1
+//! F <file-id> <size-bytes>          (one per file, ascending id)
+//! R <time-us> <file-id>             (read)
+//! W <time-us> <file-id>             (write)
+//! ```
+
+use crate::record::{FileId, Op, Trace, TraceRecord};
+use sim_core::SimTime;
+use std::fmt::Write as _;
+
+/// Errors from parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The `eevfs-trace v1` header line is missing or wrong.
+    BadHeader,
+    /// A line failed to parse; carries the 1-based line number and reason.
+    BadLine(usize, String),
+    /// The assembled trace failed [`Trace::validate`].
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing 'eevfs-trace v1' header"),
+            ParseError::BadLine(n, why) => write!(f, "line {n}: {why}"),
+            ParseError::Inconsistent(why) => write!(f, "inconsistent trace: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Renders a trace in the v1 text format.
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("eevfs-trace v1\n");
+    for (i, &size) in trace.file_sizes.iter().enumerate() {
+        writeln!(out, "F {i} {size}").expect("write to String");
+    }
+    for r in &trace.records {
+        let tag = match r.op {
+            Op::Read => 'R',
+            Op::Write => 'W',
+        };
+        writeln!(out, "{tag} {} {}", r.at.as_micros(), r.file.0).expect("write to String");
+    }
+    out
+}
+
+/// Parses the v1 text format.
+pub fn from_text(text: &str) -> Result<Trace, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    match lines.next() {
+        Some((_, "eevfs-trace v1")) => {}
+        _ => return Err(ParseError::BadHeader),
+    }
+
+    let mut file_sizes: Vec<u64> = Vec::new();
+    let mut records: Vec<TraceRecord> = Vec::new();
+    for (n, line) in lines {
+        let mut parts = line.split_ascii_whitespace();
+        let tag = parts.next().expect("non-empty line has a first token");
+        let bad = |why: &str| ParseError::BadLine(n, why.to_string());
+        match tag {
+            "F" => {
+                let id: usize = parts
+                    .next()
+                    .ok_or_else(|| bad("missing file id"))?
+                    .parse()
+                    .map_err(|_| bad("file id not a number"))?;
+                let size: u64 = parts
+                    .next()
+                    .ok_or_else(|| bad("missing size"))?
+                    .parse()
+                    .map_err(|_| bad("size not a number"))?;
+                if id != file_sizes.len() {
+                    return Err(bad(&format!(
+                        "file ids must be dense ascending; expected {}, got {id}",
+                        file_sizes.len()
+                    )));
+                }
+                file_sizes.push(size);
+            }
+            "R" | "W" => {
+                let t: u64 = parts
+                    .next()
+                    .ok_or_else(|| bad("missing timestamp"))?
+                    .parse()
+                    .map_err(|_| bad("timestamp not a number"))?;
+                let id: u32 = parts
+                    .next()
+                    .ok_or_else(|| bad("missing file id"))?
+                    .parse()
+                    .map_err(|_| bad("file id not a number"))?;
+                let size = *file_sizes
+                    .get(id as usize)
+                    .ok_or_else(|| bad(&format!("request for undeclared file {id}")))?;
+                records.push(TraceRecord {
+                    at: SimTime::from_micros(t),
+                    file: FileId(id),
+                    op: if tag == "R" { Op::Read } else { Op::Write },
+                    size,
+                });
+            }
+            other => return Err(bad(&format!("unknown tag {other:?}"))),
+        }
+        if parts.next().is_some() {
+            return Err(ParseError::BadLine(n, "trailing tokens".into()));
+        }
+    }
+
+    let trace = Trace {
+        file_sizes,
+        records,
+    };
+    trace.validate().map_err(ParseError::Inconsistent)?;
+    Ok(trace)
+}
+
+/// Serialises a trace as JSON.
+pub fn to_json(trace: &Trace) -> String {
+    serde_json::to_string(trace).expect("Trace is always serialisable")
+}
+
+/// Parses a JSON trace and validates it.
+pub fn from_json(json: &str) -> Result<Trace, String> {
+    let trace: Trace = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    trace.validate()?;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticSpec};
+
+    fn sample() -> Trace {
+        let spec = SyntheticSpec {
+            files: 20,
+            requests: 50,
+            mu: 5.0,
+            write_fraction: 0.2,
+            ..SyntheticSpec::paper_default()
+        };
+        generate(&spec)
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = sample();
+        let text = to_text(&t);
+        let back = from_text(&text).expect("roundtrip parse");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let back = from_json(&to_json(&t)).expect("roundtrip parse");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header comment\n\neevfs-trace v1\n# files\nF 0 100\n\nR 0 0\n";
+        let t = from_text(text).expect("parse with comments");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.file_count(), 1);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(from_text("F 0 100\n"), Err(ParseError::BadHeader));
+        assert_eq!(from_text(""), Err(ParseError::BadHeader));
+    }
+
+    #[test]
+    fn bad_lines_carry_line_numbers() {
+        let text = "eevfs-trace v1\nF 0 100\nR zero 0\n";
+        match from_text(text) {
+            Err(ParseError::BadLine(3, why)) => assert!(why.contains("timestamp")),
+            other => panic!("expected BadLine(3, ..), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_file_rejected() {
+        let text = "eevfs-trace v1\nF 0 100\nR 0 7\n";
+        assert!(matches!(from_text(text), Err(ParseError::BadLine(3, _))));
+    }
+
+    #[test]
+    fn non_dense_file_ids_rejected() {
+        let text = "eevfs-trace v1\nF 1 100\n";
+        assert!(matches!(from_text(text), Err(ParseError::BadLine(2, _))));
+    }
+
+    #[test]
+    fn out_of_order_records_rejected_via_validate() {
+        let text = "eevfs-trace v1\nF 0 100\nR 50 0\nR 10 0\n";
+        assert!(matches!(from_text(text), Err(ParseError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let text = "eevfs-trace v1\nF 0 100 junk\n";
+        assert!(matches!(from_text(text), Err(ParseError::BadLine(2, _))));
+    }
+
+    #[test]
+    fn write_ops_roundtrip() {
+        let text = "eevfs-trace v1\nF 0 64\nW 0 0\nR 5 0\n";
+        let t = from_text(text).expect("parse");
+        assert_eq!(t.records[0].op, Op::Write);
+        assert_eq!(t.records[1].op, Op::Read);
+        assert_eq!(from_text(&to_text(&t)).expect("re-parse"), t);
+    }
+}

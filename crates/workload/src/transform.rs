@@ -1,0 +1,238 @@
+//! Trace transformations.
+//!
+//! The paper replays "a **section** of the web trace collection" and
+//! overrides its data sizes and inter-arrival delays ("we modified the
+//! data size and the inter-arrival delay for requests to prevent a large
+//! amount of queuing"). These are generic trace operations; this module
+//! provides them for any trace:
+//!
+//! * [`slice`] — take a request range (a "section").
+//! * [`override_sizes`] — set every file to a fixed size, as the paper
+//!   did for the Berkeley trace.
+//! * [`override_inter_arrival`] — re-time requests on a fixed delay.
+//! * [`scale_time`] — stretch/compress the arrival timeline.
+//! * [`merge`] — interleave two traces by arrival time (multi-tenant
+//!   workloads).
+
+use crate::record::{Trace, TraceRecord};
+use sim_core::{SimDuration, SimTime};
+
+/// Takes a contiguous section of a trace: records `[from, to)`, re-based
+/// so the first kept record arrives at `t = 0`. The file population is
+/// preserved (ids stay valid).
+pub fn slice(trace: &Trace, from: usize, to: usize) -> Trace {
+    assert!(from <= to && to <= trace.len(), "bad slice [{from}, {to})");
+    let base = trace
+        .records
+        .get(from)
+        .map(|r| r.at)
+        .unwrap_or(SimTime::ZERO);
+    Trace {
+        file_sizes: trace.file_sizes.clone(),
+        records: trace.records[from..to]
+            .iter()
+            .map(|r| TraceRecord {
+                at: SimTime::from_micros(r.at.as_micros() - base.as_micros()),
+                ..*r
+            })
+            .collect(),
+    }
+}
+
+/// Sets every file (and every request) to a fixed size — the paper's
+/// Berkeley-trace override.
+pub fn override_sizes(trace: &Trace, size: u64) -> Trace {
+    assert!(size > 0, "size must be positive");
+    Trace {
+        file_sizes: vec![size; trace.file_count()],
+        records: trace
+            .records
+            .iter()
+            .map(|r| TraceRecord { size, ..*r })
+            .collect(),
+    }
+}
+
+/// Re-times the trace onto a fixed inter-arrival delay, preserving order —
+/// the paper's other Berkeley-trace override.
+pub fn override_inter_arrival(trace: &Trace, delay: SimDuration) -> Trace {
+    Trace {
+        file_sizes: trace.file_sizes.clone(),
+        records: trace
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| TraceRecord {
+                at: SimTime::from_micros(delay.as_micros() * i as u64),
+                ..*r
+            })
+            .collect(),
+    }
+}
+
+/// Scales every arrival time by `factor` (> 0): 2.0 halves the load,
+/// 0.5 doubles it.
+pub fn scale_time(trace: &Trace, factor: f64) -> Trace {
+    assert!(factor > 0.0 && factor.is_finite(), "bad scale factor {factor}");
+    Trace {
+        file_sizes: trace.file_sizes.clone(),
+        records: trace
+            .records
+            .iter()
+            .map(|r| TraceRecord {
+                at: SimTime::from_micros((r.at.as_micros() as f64 * factor).round() as u64),
+                ..*r
+            })
+            .collect(),
+    }
+}
+
+/// Interleaves two traces over the same file population by arrival time
+/// (stable: `a` wins ties).
+///
+/// # Panics
+/// Panics when the populations differ — merging traces over different
+/// file sets has no single sensible semantics.
+pub fn merge(a: &Trace, b: &Trace) -> Trace {
+    assert_eq!(
+        a.file_sizes, b.file_sizes,
+        "can only merge traces over the same file population"
+    );
+    let mut records = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.records.len() || j < b.records.len() {
+        let take_a = match (a.records.get(i), b.records.get(j)) {
+            (Some(ra), Some(rb)) => ra.at <= rb.at,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_a {
+            records.push(a.records[i]);
+            i += 1;
+        } else {
+            records.push(b.records[j]);
+            j += 1;
+        }
+    }
+    Trace {
+        file_sizes: a.file_sizes.clone(),
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticSpec};
+
+    fn sample() -> Trace {
+        generate(&SyntheticSpec {
+            files: 30,
+            requests: 50,
+            mu: 10.0,
+            ..SyntheticSpec::paper_default()
+        })
+    }
+
+    #[test]
+    fn slice_rebases_to_zero() {
+        let t = sample();
+        let s = slice(&t, 10, 30);
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.records[0].at, SimTime::ZERO);
+        assert!(s.validate().is_ok());
+        // Gaps preserved.
+        assert_eq!(
+            s.records[1].at - s.records[0].at,
+            t.records[11].at - t.records[10].at
+        );
+    }
+
+    #[test]
+    fn slice_edges() {
+        let t = sample();
+        assert_eq!(slice(&t, 0, t.len()).records, t.records);
+        assert!(slice(&t, 5, 5).is_empty());
+        assert!(slice(&t, t.len(), t.len()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad slice")]
+    fn slice_rejects_inverted_range() {
+        let t = sample();
+        let _ = slice(&t, 10, 5);
+    }
+
+    #[test]
+    fn override_sizes_applies_everywhere() {
+        let t = override_sizes(&sample(), 12345);
+        assert!(t.file_sizes.iter().all(|&s| s == 12345));
+        assert!(t.records.iter().all(|r| r.size == 12345));
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn override_inter_arrival_retimes() {
+        let t = override_inter_arrival(&sample(), SimDuration::from_millis(100));
+        assert_eq!(t.records[0].at, SimTime::ZERO);
+        assert_eq!(t.records[7].at, SimTime::from_millis(700));
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn scale_time_halves_and_doubles() {
+        let t = sample();
+        let slow = scale_time(&t, 2.0);
+        let fast = scale_time(&t, 0.5);
+        assert_eq!(slow.duration().as_micros(), t.duration().as_micros() * 2);
+        assert_eq!(fast.duration().as_micros(), t.duration().as_micros() / 2);
+        assert!(slow.validate().is_ok());
+        assert!(fast.validate().is_ok());
+    }
+
+    #[test]
+    fn merge_interleaves_by_time() {
+        let t = sample();
+        let a = slice(&t, 0, 25);
+        // Shift b by half a gap so it interleaves between a's records.
+        let b = scale_time(&slice(&t, 25, 50), 1.0);
+        let m = merge(&a, &b);
+        assert_eq!(m.len(), 50);
+        assert!(m.validate().is_ok(), "{:?}", m.validate());
+        // Total bytes preserved.
+        assert_eq!(m.total_bytes(), a.total_bytes() + b.total_bytes());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let t = sample();
+        let empty = slice(&t, 0, 0);
+        let m = merge(&t, &empty);
+        assert_eq!(m.records, t.records);
+    }
+
+    #[test]
+    #[should_panic(expected = "same file population")]
+    fn merge_rejects_different_populations() {
+        let a = sample();
+        let b = override_sizes(&a, 999);
+        let _ = merge(&a, &b);
+    }
+
+    #[test]
+    fn paper_berkeley_overrides_compose() {
+        // The paper's exact recipe: take a section, force 10 MB sizes,
+        // force a fixed delay.
+        let t = sample();
+        let section = slice(&t, 5, 45);
+        let resized = override_sizes(&section, 10_000_000);
+        let retimed = override_inter_arrival(&resized, SimDuration::from_millis(700));
+        assert_eq!(retimed.len(), 40);
+        assert!(retimed.records.iter().all(|r| r.size == 10_000_000));
+        assert_eq!(
+            retimed.duration(),
+            SimDuration::from_millis(700 * 39)
+        );
+        assert!(retimed.validate().is_ok());
+    }
+}

@@ -1,0 +1,78 @@
+//! Boot the *real* EEVFS prototype and fetch files through it.
+//!
+//! This runs the `eevfs-runtime` crate: actual storage-node and server
+//! threads wired over loopback TCP, real files on the local filesystem,
+//! and the paper's push data path (the node connects back to the client).
+//! Disk power is accounted in accelerated virtual time; spin-up penalties
+//! are genuinely slept, so the PF/NPF response-time difference below is
+//! measured, not simulated.
+//!
+//! ```text
+//! cargo run --release --example cluster_prototype
+//! ```
+
+use eevfs_runtime::{ClusterHandle, RuntimeConfig};
+use sim_core::SimDuration;
+use workload::synthetic::{generate, SizeDist, SyntheticSpec};
+
+fn trace() -> workload::record::Trace {
+    generate(&SyntheticSpec {
+        files: 64,
+        requests: 120,
+        mu: 8.0,
+        mean_size_bytes: 256 * 1024,
+        size_dist: SizeDist::Fixed,
+        inter_arrival: SimDuration::from_millis(700),
+        ..SyntheticSpec::paper_default()
+    })
+}
+
+fn run(tag: &str, prefetch_k: u32) -> (f64, f64, eevfs_runtime::server::ClusterStats) {
+    let mut cfg = RuntimeConfig::small(tag);
+    cfg.nodes = 3;
+    cfg.prefetch_k = prefetch_k;
+    let t = trace();
+    let mut cluster = ClusterHandle::start(cfg, &t).expect("cluster start");
+    let report = cluster.replay(&t).expect("replay");
+    let mean_rt = report.mean_response_s();
+    let stats = report.stats;
+    cluster.shutdown();
+    (mean_rt, stats.disk_joules, stats)
+}
+
+fn main() {
+    println!("booting 3-node prototype clusters on loopback TCP (virtual clock at 10000x)...\n");
+
+    let (rt_pf, joules_pf, stats_pf) = run("pf", 16);
+    let (rt_npf, joules_npf, stats_npf) = run("npf", 0);
+
+    println!("{:<24} {:>14} {:>14}", "", "PF(16)", "NPF");
+    println!("{:<24} {:>14.1} {:>14.1}", "disk energy (virtual J)", joules_pf, joules_npf);
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "spin-downs", stats_pf.spin_downs, stats_npf.spin_downs
+    );
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "buffer hits",
+        stats_pf.hits,
+        stats_npf.hits
+    );
+    println!("{:<24} {:>14.4} {:>14.4}", "mean response (wall s)", rt_pf, rt_npf);
+    println!(
+        "\ndisk energy saved by prefetching: {:.1}%",
+        (1.0 - joules_pf / joules_npf) * 100.0
+    );
+    println!("(file contents verified end-to-end against the deterministic creation pattern)");
+
+    // Demonstrate integrity verification explicitly on a fresh cluster.
+    let t = trace();
+    let mut cluster = ClusterHandle::start(RuntimeConfig::small("verify"), &t).expect("start");
+    let got = cluster.get_verified(0).expect("verified get");
+    println!(
+        "\nfetched file 0: {} bytes in {:.3} ms wall, contents verified",
+        got.data.len(),
+        got.response.as_secs_f64() * 1e3
+    );
+    cluster.shutdown();
+}

@@ -1,0 +1,82 @@
+//! Quickstart: measure what EEVFS prefetching buys on the paper's testbed.
+//!
+//! Generates the paper's default synthetic workload (1000 files, MU=1000,
+//! 10 MB files, 700 ms inter-arrival), replays it on the simulated 8-node
+//! cluster with and without prefetching, and prints the three paper
+//! metrics side by side.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use eevfs::config::{ClusterSpec, EevfsConfig};
+use eevfs::driver::run_cluster;
+use workload::synthetic::{generate, SyntheticSpec};
+
+fn main() {
+    let spec = SyntheticSpec::paper_default();
+    println!(
+        "workload: {} requests over {} files, MU={}, {} MB files, {} ms inter-arrival",
+        spec.requests,
+        spec.files,
+        spec.mu,
+        spec.mean_size_bytes / 1_000_000,
+        spec.inter_arrival.as_millis()
+    );
+    let trace = generate(&spec);
+    println!(
+        "  distinct files touched: {} (top-70 prefetch will cover the hot set)",
+        trace.distinct_files()
+    );
+
+    let cluster = ClusterSpec::paper_testbed();
+    println!(
+        "cluster: {} storage nodes, {} data disks each + 1 buffer disk\n",
+        cluster.node_count(),
+        cluster.nodes[0].data_disks.len()
+    );
+
+    let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+
+    println!("{:<28} {:>14} {:>14}", "", "EEVFS PF(70)", "EEVFS NPF");
+    println!(
+        "{:<28} {:>14.0} {:>14.0}",
+        "energy (J)", pf.total_energy_j, npf.total_energy_j
+    );
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "power-state transitions",
+        pf.transitions.total(),
+        npf.transitions.total()
+    );
+    println!(
+        "{:<28} {:>14.3} {:>14.3}",
+        "mean response (s)", pf.response.mean_s, npf.response.mean_s
+    );
+    println!(
+        "{:<28} {:>13.1}% {:>14}",
+        "buffer hit rate",
+        pf.hit_rate() * 100.0,
+        "-"
+    );
+    println!(
+        "{:<28} {:>13.1}% {:>14}",
+        "mean standby fraction",
+        pf.mean_standby_fraction() * 100.0,
+        "0.0%"
+    );
+    println!();
+    println!(
+        "energy savings: {:.1}%   response-time penalty: {:.1}%",
+        pf.savings_vs(&npf) * 100.0,
+        pf.response_penalty_vs(&npf) * 100.0
+    );
+    println!(
+        "prefetch warm-up: {} files, {:.1} MB, {:.1} s, {:.0} J (reported separately, as the paper does)",
+        pf.prefetch.files,
+        pf.prefetch.bytes as f64 / 1e6,
+        pf.prefetch.warmup_us as f64 / 1e6,
+        pf.prefetch.energy_j
+    );
+}

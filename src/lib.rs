@@ -1,0 +1,13 @@
+//! Umbrella crate for the EEVFS reproduction workspace.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). Re-exports the member crates so the
+//! examples can `use eevfs_suite::...` or the crates directly.
+
+pub use disk_model;
+pub use eevfs;
+pub use eevfs_bench;
+pub use eevfs_runtime;
+pub use net_model;
+pub use sim_core;
+pub use workload;

@@ -1,0 +1,143 @@
+//! Cross-crate consistency: traces survive serialisation and still drive
+//! the cluster identically; run metrics are internally consistent.
+
+use eevfs::config::{ClusterSpec, EevfsConfig};
+use eevfs::driver::run_cluster;
+use workload::record::Op;
+use workload::synthetic::{generate, SizeDist, SyntheticSpec};
+use workload::trace_io;
+
+fn small_spec() -> SyntheticSpec {
+    SyntheticSpec {
+        requests: 200,
+        mu: 100.0,
+        write_fraction: 0.2,
+        size_dist: SizeDist::Exponential,
+        ..SyntheticSpec::paper_default()
+    }
+}
+
+#[test]
+fn serialised_trace_drives_identical_runs() {
+    let trace = generate(&small_spec());
+    let text = trace_io::to_text(&trace);
+    let reparsed = trace_io::from_text(&text).expect("text roundtrip");
+    let json = trace_io::to_json(&trace);
+    let rejsoned = trace_io::from_json(&json).expect("json roundtrip");
+
+    let cluster = ClusterSpec::paper_testbed();
+    let cfg = EevfsConfig::paper_pf(70);
+    let a = run_cluster(&cluster, &cfg, &trace);
+    let b = run_cluster(&cluster, &cfg, &reparsed);
+    let c = run_cluster(&cluster, &cfg, &rejsoned);
+    assert_eq!(a, b, "text roundtrip changed behaviour");
+    assert_eq!(a, c, "json roundtrip changed behaviour");
+}
+
+#[test]
+fn hits_plus_misses_cover_every_read() {
+    let trace = generate(&small_spec());
+    let reads = trace.records.iter().filter(|r| r.op == Op::Read).count() as u64;
+    let cluster = ClusterSpec::paper_testbed();
+    let m = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+    assert_eq!(m.buffer_hits + m.buffer_misses, reads);
+    assert_eq!(m.response.count as usize, trace.len());
+    assert_eq!(m.response_samples_s.len(), trace.len());
+}
+
+#[test]
+fn energy_decomposition_adds_up() {
+    let trace = generate(&small_spec());
+    let cluster = ClusterSpec::paper_testbed();
+    for cfg in [EevfsConfig::paper_pf(70), EevfsConfig::paper_npf()] {
+        let m = run_cluster(&cluster, &cfg, &trace);
+        assert!(
+            (m.total_energy_j - (m.disk_energy_j + m.base_energy_j)).abs() < 1e-6,
+            "total != disk + base"
+        );
+        // Per-node totals plus the server account for everything.
+        let node_sum: f64 = m.per_node.iter().map(|n| n.total_j()).sum();
+        assert!(
+            (node_sum + m.server_energy_j - m.total_energy_j).abs() < 1e-6,
+            "nodes {} + server {} != total {}",
+            node_sum,
+            m.server_energy_j,
+            m.total_energy_j
+        );
+        // Transition ledgers agree.
+        let t: u64 = m.per_node.iter().map(|n| n.transitions.total()).sum();
+        assert_eq!(t, m.transitions.total());
+        // Everything non-negative and finite.
+        assert!(m.total_energy_j.is_finite() && m.total_energy_j > 0.0);
+        assert!(m.duration_s > 0.0);
+        for n in &m.per_node {
+            assert!((0.0..=1.0).contains(&n.standby_fraction));
+            assert!(n.buffer_disk_energy_j >= 0.0);
+            assert!(n.data_disk_energy_j >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn response_stats_match_samples() {
+    let trace = generate(&small_spec());
+    let cluster = ClusterSpec::paper_testbed();
+    let m = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    let mean = m.response_samples_s.iter().sum::<f64>() / m.response_samples_s.len() as f64;
+    assert!((mean - m.response.mean_s).abs() < 1e-9);
+    let max = m.response_samples_s.iter().cloned().fold(f64::MIN, f64::max);
+    assert!((max - m.response.max_s).abs() < 1e-12);
+    assert!(m.response.p50_s <= m.response.p95_s);
+    assert!(m.response.p95_s <= m.response.max_s);
+}
+
+#[test]
+fn popularity_drives_placement_order() {
+    // The most popular file must land on node 0, disk 0 under the paper's
+    // placement, whatever the trace.
+    let trace = generate(&small_spec());
+    let pop = workload::popularity::PopularityTable::from_trace(&trace);
+    let plan = eevfs::placement::place(
+        eevfs::config::PlacementPolicy::PopularityRoundRobin,
+        &pop,
+        &[2; 8],
+    );
+    let hottest = pop.ranked()[0];
+    assert_eq!(plan.node_of_file[hottest.index()], 0);
+    assert_eq!(plan.disk_of_file[hottest.index()], 0);
+    // Second most popular on node 1.
+    let second = pop.ranked()[1];
+    assert_eq!(plan.node_of_file[second.index()], 1);
+}
+
+#[test]
+fn prefetch_bytes_match_plan() {
+    let trace = generate(&small_spec());
+    let cluster = ClusterSpec::paper_testbed();
+    let m = run_cluster(&cluster, &EevfsConfig::paper_pf(40), &trace);
+    assert_eq!(m.prefetch.files, 40);
+    // The warm-up copied exactly the planned bytes.
+    let pop = workload::popularity::PopularityTable::from_trace(&trace);
+    let expected: u64 = pop
+        .top_k(40)
+        .iter()
+        .map(|f| trace.file_sizes[f.index()])
+        .sum();
+    assert_eq!(m.prefetch.bytes, expected);
+    assert!(m.prefetch.energy_j > 0.0);
+}
+
+#[test]
+fn benefit_gate_reports_and_behaves() {
+    // A dense burst leaves no windows: the gate must disable power
+    // management and report non-positive predicted benefit.
+    let trace = generate(&SyntheticSpec {
+        inter_arrival: sim_core::SimDuration::ZERO,
+        ..small_spec()
+    });
+    let cluster = ClusterSpec::paper_testbed();
+    let m = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+    assert!(!m.power_engaged);
+    assert_eq!(m.transitions.total(), 0);
+    assert!(m.predicted_benefit_j <= 0.0);
+}

@@ -1,0 +1,207 @@
+//! Edge-case integration tests for the cluster driver: degenerate traces,
+//! tiny clusters, capacity pressure, and baseline policies.
+
+use eevfs::baselines;
+use eevfs::config::{ClusterSpec, EevfsConfig, NodeSpec, PowerPolicy};
+use eevfs::driver::run_cluster;
+use sim_core::SimDuration;
+use workload::record::{FileId, Op, Trace, TraceRecord};
+use workload::synthetic::{generate, SyntheticSpec};
+
+fn small_spec() -> SyntheticSpec {
+    SyntheticSpec {
+        requests: 150,
+        mu: 100.0,
+        ..SyntheticSpec::paper_default()
+    }
+}
+
+#[test]
+fn empty_trace_runs_cleanly() {
+    let trace = Trace {
+        file_sizes: vec![1_000_000; 10],
+        records: vec![],
+    };
+    let cluster = ClusterSpec::paper_testbed();
+    for cfg in [EevfsConfig::paper_pf(5), EevfsConfig::paper_npf()] {
+        let m = run_cluster(&cluster, &cfg, &trace);
+        assert_eq!(m.response.count, 0);
+        assert_eq!(m.buffer_hits + m.buffer_misses, 0);
+        assert!(m.total_energy_j >= 0.0);
+    }
+}
+
+#[test]
+fn single_request_trace() {
+    let trace = Trace {
+        file_sizes: vec![5_000_000; 3],
+        records: vec![TraceRecord {
+            at: sim_core::SimTime::ZERO,
+            file: FileId(1),
+            op: Op::Read,
+            size: 5_000_000,
+        }],
+    };
+    let cluster = ClusterSpec::paper_testbed();
+    let m = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    assert_eq!(m.response.count, 1);
+    assert!(m.response.mean_s > 0.0);
+    assert_eq!(m.buffer_misses, 1);
+}
+
+#[test]
+fn single_node_single_disk_cluster() {
+    let cluster = ClusterSpec {
+        nodes: vec![NodeSpec::type1("solo", 1)],
+        ..ClusterSpec::paper_testbed()
+    };
+    let trace = generate(&small_spec());
+    let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    assert_eq!(pf.response.count as usize, trace.len());
+    assert!(pf.savings_vs(&npf) > 0.0, "even one node saves something");
+    assert_eq!(pf.per_node.len(), 1);
+}
+
+#[test]
+fn all_write_trace_is_fully_buffered() {
+    let trace = generate(&SyntheticSpec {
+        write_fraction: 1.0,
+        ..small_spec()
+    });
+    let cluster = ClusterSpec::paper_testbed();
+    let m = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+    // Every op is a write and the buffer has room for the working set.
+    assert_eq!(m.writes_buffered as usize, trace.len());
+    assert_eq!(m.buffer_misses, 0, "no read traffic at all");
+    // With no physical reads, no disk wakes.
+    assert_eq!(m.transitions.spin_ups, 0);
+}
+
+#[test]
+fn tiny_buffer_disk_drops_prefetch_candidates() {
+    let mut cluster = ClusterSpec::paper_testbed();
+    for node in &mut cluster.nodes {
+        // Room for three 10 MB files per node.
+        node.buffer_disk.capacity_bytes = 30_000_000;
+    }
+    let trace = generate(&small_spec());
+    let m = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+    assert!(m.prefetch.dropped > 0, "capacity pressure must drop files");
+    assert!(m.prefetch.files <= 8 * 3);
+    // The run still completes and still saves a little.
+    assert_eq!(m.response.count as usize, trace.len());
+}
+
+#[test]
+fn maid_with_tiny_cache_evicts() {
+    let trace = generate(&SyntheticSpec {
+        mu: 500.0, // widen the working set past the cache
+        ..small_spec()
+    });
+    let cluster = ClusterSpec::paper_testbed();
+    // Cache two files per node.
+    let m = run_cluster(&cluster, &baselines::maid(20_000_000), &trace);
+    assert!(m.maid_fills > 0);
+    assert_eq!(m.response.count as usize, trace.len());
+    // Fills exceed steady-state cache population => evictions happened
+    // (fills - capacity_in_files * nodes is a lower bound).
+    assert!(
+        m.maid_fills > 8 * 2,
+        "expected refills beyond capacity, got {}",
+        m.maid_fills
+    );
+}
+
+#[test]
+fn idle_timer_policy_sleeps_even_without_prefetch() {
+    // The classic-DPM ablation: an idle timer saves energy with no buffer
+    // disk at all, at the cost of wake penalties on every return.
+    let trace = generate(&SyntheticSpec {
+        mu: 10.0,
+        inter_arrival: SimDuration::from_millis(1000),
+        ..small_spec()
+    });
+    let cluster = ClusterSpec::paper_testbed();
+    let mut cfg = EevfsConfig::paper_npf();
+    cfg.power = PowerPolicy::IdleTimer;
+    let timer = run_cluster(&cluster, &cfg, &trace);
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    assert!(timer.transitions.total() > 0, "timer must sleep idle disks");
+    assert!(
+        timer.savings_vs(&npf) > 0.0,
+        "savings {}",
+        timer.savings_vs(&npf)
+    );
+    assert!(timer.spun_up_requests > 0, "and pay wakes for it");
+}
+
+#[test]
+fn requests_for_every_file_in_population() {
+    // A trace touching every file exactly once: placement must route all
+    // of them correctly end to end.
+    let files = 64u32;
+    let file_sizes = vec![1_000_000u64; files as usize];
+    let records = (0..files)
+        .map(|i| TraceRecord {
+            at: sim_core::SimTime::from_millis(500 * i as u64),
+            file: FileId(i),
+            op: Op::Read,
+            size: 1_000_000,
+        })
+        .collect();
+    let trace = Trace {
+        file_sizes,
+        records,
+    };
+    let cluster = ClusterSpec::paper_testbed();
+    let m = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    assert_eq!(m.response.count, files as u64);
+    assert_eq!(m.buffer_misses, files as u64);
+    // Every node served something (64 files round-robin over 8 nodes).
+    for n in &m.per_node {
+        assert!(n.buffer_misses > 0, "{} served nothing", n.name);
+    }
+}
+
+#[test]
+fn prefetch_k_larger_than_population_is_safe() {
+    let trace = generate(&SyntheticSpec {
+        files: 20,
+        ..small_spec()
+    });
+    let cluster = ClusterSpec::paper_testbed();
+    let m = run_cluster(&cluster, &EevfsConfig::paper_pf(10_000), &trace);
+    assert_eq!(m.prefetch.files, 20, "clamped to the population");
+    assert_eq!(m.response.count as usize, trace.len());
+    assert!(m.hit_rate() > 0.999);
+}
+
+#[test]
+fn zero_k_prefetch_equals_npf() {
+    let trace = generate(&small_spec());
+    let cluster = ClusterSpec::paper_testbed();
+    let pf0 = run_cluster(&cluster, &EevfsConfig::paper_pf(0), &trace);
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    assert_eq!(pf0.total_energy_j, npf.total_energy_j);
+    assert_eq!(pf0.transitions, npf.transitions);
+    assert_eq!(pf0.response, npf.response);
+}
+
+#[test]
+fn heterogeneous_disk_counts_work() {
+    let cluster = ClusterSpec {
+        nodes: vec![
+            NodeSpec::type1("big", 4),
+            NodeSpec::type2("small", 1),
+            NodeSpec::type1("mid", 2),
+        ],
+        ..ClusterSpec::paper_testbed()
+    };
+    let trace = generate(&small_spec());
+    let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+    assert_eq!(pf.response.count as usize, trace.len());
+    assert_eq!(pf.per_node.len(), 3);
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    assert!(pf.savings_vs(&npf) > 0.0);
+}

@@ -1,0 +1,231 @@
+//! Property-based tests over the core invariants (proptest).
+//!
+//! The headline property is the paper's thesis itself: across random
+//! workloads in the prefetch-friendly regime, EEVFS-PF never consumes
+//! meaningfully more energy than NPF, while NPF never transitions a disk.
+
+use eevfs::config::{ClusterSpec, EevfsConfig, PlacementPolicy};
+use eevfs::driver::run_cluster;
+use eevfs::placement::place;
+use proptest::prelude::*;
+use sim_core::SimDuration;
+use workload::popularity::PopularityTable;
+use workload::synthetic::{generate, SizeDist, SyntheticSpec};
+use workload::trace_io;
+
+fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        10u32..200,            // files
+        20u32..150,            // requests
+        0.5f64..200.0,         // mu
+        1u64..30,              // mean size MB
+        prop_oneof![
+            Just(SizeDist::Fixed),
+            Just(SizeDist::Exponential),
+            (0.1f64..0.9).prop_map(|s| SizeDist::Uniform { spread: s }),
+        ],
+        200u64..1500,          // inter-arrival ms
+        0.0f64..0.4,           // write fraction
+        any::<u64>(),          // seed
+    )
+        .prop_map(
+            |(files, requests, mu, mb, size_dist, ms, wf, seed)| SyntheticSpec {
+                files,
+                requests,
+                mu,
+                mean_size_bytes: mb * 1_000_000,
+                size_dist,
+                inter_arrival: SimDuration::from_millis(ms),
+                jitter: workload::synthetic::Jitter::None,
+                write_fraction: wf,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The paper's thesis as an invariant: PF never loses to NPF by more
+    /// than float noise on replay energy, and NPF never transitions.
+    #[test]
+    fn pf_never_meaningfully_worse_than_npf(spec in arb_spec()) {
+        let trace = generate(&spec);
+        let cluster = ClusterSpec::paper_testbed();
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(40), &trace);
+        let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+        prop_assert_eq!(npf.transitions.total(), 0);
+        prop_assert!(
+            pf.total_energy_j <= npf.total_energy_j * 1.02,
+            "PF {} J > NPF {} J (spec {:?})",
+            pf.total_energy_j, npf.total_energy_j, spec
+        );
+        // Every request completed in both runs.
+        prop_assert_eq!(pf.response.count, trace.len() as u64);
+        prop_assert_eq!(npf.response.count, trace.len() as u64);
+    }
+
+    /// Whole-pipeline determinism: generating and running twice is
+    /// bit-identical.
+    #[test]
+    fn end_to_end_determinism(spec in arb_spec()) {
+        let t1 = generate(&spec);
+        let t2 = generate(&spec);
+        prop_assert_eq!(&t1, &t2);
+        let cluster = ClusterSpec::paper_testbed();
+        let a = run_cluster(&cluster, &EevfsConfig::paper_pf(20), &t1);
+        let b = run_cluster(&cluster, &EevfsConfig::paper_pf(20), &t2);
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Trace text serialisation is lossless for arbitrary generated
+    /// traces.
+    #[test]
+    fn trace_text_roundtrip(spec in arb_spec()) {
+        let trace = generate(&spec);
+        let back = trace_io::from_text(&trace_io::to_text(&trace)).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Placement invariants for arbitrary popularity vectors and cluster
+    /// shapes: every file placed exactly once, disk indices in range, and
+    /// popularity round-robin balances node loads to within one stratum.
+    #[test]
+    fn placement_invariants(
+        counts in proptest::collection::vec(0u64..50, 1..150),
+        disks in proptest::collection::vec(1usize..4, 1..9),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            PlacementPolicy::PopularityRoundRobin,
+            PlacementPolicy::PlainRoundRobin,
+            PlacementPolicy::PdcConcentration,
+        ][policy_idx];
+        let files = counts.len();
+        let pop = PopularityTable::from_counts(counts.clone());
+        let plan = place(policy, &pop, &disks);
+        prop_assert_eq!(plan.node_of_file.len(), files);
+        let mut seen = vec![0u32; files];
+        for (node, &node_disks) in disks.iter().enumerate() {
+            for f in plan.files_on(node) {
+                seen[f.index()] += 1;
+                prop_assert_eq!(plan.node_of_file[f.index()] as usize, node);
+                prop_assert!((plan.disk_of_file[f.index()] as usize) < node_disks);
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "every file placed exactly once");
+
+        if policy == PlacementPolicy::PopularityRoundRobin {
+            // File counts per node differ by at most one.
+            let per_node: Vec<usize> = (0..disks.len()).map(|n| plan.files_on(n).len()).collect();
+            let min = per_node.iter().min().unwrap();
+            let max = per_node.iter().max().unwrap();
+            prop_assert!(max - min <= 1, "unbalanced: {:?}", per_node);
+        }
+    }
+
+    /// The prefetch planner respects capacities exactly and keeps rank
+    /// order within nodes.
+    #[test]
+    fn prefetch_plan_respects_capacity(
+        counts in proptest::collection::vec(0u64..50, 8..80),
+        k in 0u32..60,
+        cap_mb in 1u64..2000,
+    ) {
+        let files = counts.len();
+        let pop = PopularityTable::from_counts(counts);
+        let plan = place(PlacementPolicy::PopularityRoundRobin, &pop, &[2; 4]);
+        let sizes = vec![10_000_000u64; files];
+        let caps = vec![cap_mb * 1_000_000; 4];
+        let pf = eevfs::prefetch::plan_topk(k, &pop, &plan, &sizes, &caps);
+        // Capacity respected per node.
+        for (node, fs) in pf.per_node.iter().enumerate() {
+            let used: u64 = fs.iter().map(|f| sizes[f.index()]).sum();
+            prop_assert!(used <= caps[node]);
+        }
+        // Kept + dropped = requested top-K.
+        prop_assert_eq!(pf.files.len() + pf.dropped.len(), (k as usize).min(files));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Event queue pops in (time, insertion) order for arbitrary
+    /// schedules.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = sim_core::EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(sim_core::SimTime::from_micros(t), i);
+        }
+        let popped = q.drain_ordered();
+        for w in popped.windows(2) {
+            let (t1, i1) = w[0];
+            let (t2, i2) = w[1];
+            prop_assert!(t1 < t2 || (t1 == t2 && i1 < i2));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+    }
+
+    /// Energy meters integrate exactly power x time across random legal
+    /// state walks, never go negative, and count transitions correctly.
+    #[test]
+    fn energy_meter_integrates_exactly(steps in proptest::collection::vec((1u64..100, 0usize..3), 1..60)) {
+        use disk_model::{DiskSpec, EnergyMeter, PowerState};
+        let spec = DiskSpec::ata133_type1();
+        let mut m = EnergyMeter::new(spec.clone());
+        let mut t = sim_core::SimTime::ZERO;
+        let mut expected = 0.0;
+        let mut cycles = 0u64;
+        for (dt, action) in steps {
+            let dt = SimDuration::from_millis(dt);
+            expected += spec.power(m.state()) * dt.as_secs_f64();
+            t += dt;
+            match (m.state(), action) {
+                // Walk: Idle -> Active -> Idle -> SpinningDown -> Standby
+                // -> SpinningUp -> Idle, choosing legal edges only.
+                (PowerState::Idle, 0) => m.set_state(t, PowerState::Active),
+                (PowerState::Idle, 1) => { m.set_state(t, PowerState::SpinningDown); cycles += 1; }
+                (PowerState::Active, _) => m.set_state(t, PowerState::Idle),
+                (PowerState::SpinningDown, _) => m.set_state(t, PowerState::Standby),
+                (PowerState::Standby, _) => m.set_state(t, PowerState::SpinningUp),
+                (PowerState::SpinningUp, _) => m.set_state(t, PowerState::Idle),
+                _ => m.advance(t),
+            }
+        }
+        m.advance(t);
+        prop_assert!((m.total_joules() - expected).abs() < 1e-6,
+            "integrated {} expected {}", m.total_joules(), expected);
+        prop_assert_eq!(m.transitions().spin_downs, cycles);
+        prop_assert!(m.total_joules() >= 0.0);
+    }
+
+    /// Buffer catalog never exceeds capacity and usage always equals the
+    /// sum of resident sizes, under arbitrary operation sequences.
+    #[test]
+    fn buffer_catalog_capacity_invariant(
+        ops in proptest::collection::vec((0u32..30, 0u8..4), 1..200)
+    ) {
+        use eevfs::buffer::BufferCatalog;
+        use workload::record::FileId;
+        let mut c = BufferCatalog::new(100);
+        for (file, op) in ops {
+            let f = FileId(file);
+            // Size is a function of the id: file sizes are constant for
+            // the life of a run, as in the cluster.
+            let size = (file as u64 % 39) + 1;
+            match op {
+                0 => { let _ = c.insert_pinned(f, size); }
+                1 => { let _ = c.insert_lru(f, size); }
+                2 => { let _ = c.buffer_write(f, size); }
+                _ => { let _ = c.lookup(f); c.mark_clean(f); }
+            }
+            prop_assert!(c.used() <= c.capacity(), "over capacity");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! End-to-end tests of the threaded loopback-TCP prototype
+//! (`eevfs-runtime`): real daemons, real files, the paper's push data
+//! path, and virtual-time power accounting.
+
+use eevfs_runtime::store::verify_pattern;
+use eevfs_runtime::{ClusterHandle, RuntimeConfig};
+use sim_core::SimDuration;
+use workload::synthetic::{generate, SizeDist, SyntheticSpec};
+
+fn small_trace(files: u32, requests: u32, mu: f64) -> workload::record::Trace {
+    generate(&SyntheticSpec {
+        files,
+        requests,
+        mu,
+        mean_size_bytes: 32 * 1024,
+        size_dist: SizeDist::Fixed,
+        inter_arrival: SimDuration::from_millis(700),
+        ..SyntheticSpec::paper_default()
+    })
+}
+
+#[test]
+fn every_file_served_verbatim() {
+    let trace = small_trace(24, 10, 8.0);
+    let mut cluster =
+        ClusterHandle::start(RuntimeConfig::small("verbatim"), &trace).expect("start");
+    // Fetch every file in the population, hit or miss, and verify bytes.
+    for file in 0..24u32 {
+        let got = cluster.get(file).unwrap_or_else(|e| panic!("get {file}: {e}"));
+        assert_eq!(got.data.len(), 32 * 1024);
+        assert!(verify_pattern(file, &got.data), "file {file} corrupted in flight");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn prefetching_saves_disk_energy_in_the_prototype() {
+    let trace = small_trace(32, 60, 6.0);
+
+    let mut pf_cfg = RuntimeConfig::small("pf-save");
+    pf_cfg.prefetch_k = 12;
+    let mut pf_cluster = ClusterHandle::start(pf_cfg, &trace).expect("pf start");
+    let pf = pf_cluster.replay(&trace).expect("pf replay");
+    pf_cluster.shutdown();
+
+    let mut npf_cfg = RuntimeConfig::small("npf-save");
+    npf_cfg.prefetch_k = 0;
+    let mut npf_cluster = ClusterHandle::start(npf_cfg, &trace).expect("npf start");
+    let npf = npf_cluster.replay(&trace).expect("npf replay");
+    npf_cluster.shutdown();
+
+    assert!(pf.hit_rate() > 0.9, "hit rate {}", pf.hit_rate());
+    assert_eq!(npf.stats.hits, 0);
+    assert_eq!(npf.stats.spin_ups + npf.stats.spin_downs, 0, "NPF must not sleep disks");
+    assert!(
+        pf.stats.disk_joules < npf.stats.disk_joules,
+        "PF {} J should beat NPF {} J over the replay window",
+        pf.stats.disk_joules,
+        npf.stats.disk_joules
+    );
+}
+
+#[test]
+fn wake_penalty_is_really_slept() {
+    // One hot file prefetched, one cold file. After a long idle gap the
+    // cold file's disk has (retroactively) spun down, so fetching it pays
+    // a real, scaled spin-up delay; the hot file does not.
+    let trace = small_trace(4, 8, 1.0);
+    let mut cfg = RuntimeConfig::small("wake");
+    cfg.nodes = 1;
+    cfg.data_disks_per_node = 2;
+    cfg.prefetch_k = 2;
+    cfg.time_scale = 1000.0; // 2 s spin-up -> 2 ms wall
+    cfg.idle_threshold = SimDuration::from_secs(5);
+    let mut cluster = ClusterHandle::start(cfg, &trace).expect("start");
+
+    // Touch a cold file once so last_touch is set, then idle long enough
+    // (in virtual time) to cross the threshold.
+    let pop = workload::popularity::PopularityTable::from_trace(&trace);
+    let cold = pop.ranked().last().copied().expect("population");
+    let hot = pop.ranked()[0];
+    let _ = cluster.get(cold.0).expect("first cold fetch");
+    std::thread::sleep(std::time::Duration::from_millis(30)); // 30 virtual s
+
+    let cold_fetch = cluster.get(cold.0).expect("cold fetch");
+    let _hot_fetch = cluster.get(hot.0).expect("hot fetch");
+    let stats = cluster.stats().expect("stats");
+    cluster.shutdown();
+
+    assert!(stats.spin_ups >= 1, "cold fetch should have woken a disk: {stats:?}");
+    // The cold fetch paid the scaled ~2 ms spin-up as a *real* sleep in
+    // the node thread; the OS guarantees sleeps are never short, so this
+    // bound is load-independent (comparing against the hot fetch would be
+    // flaky under CI contention).
+    assert!(
+        cold_fetch.response.as_secs_f64() > 0.0019,
+        "cold fetch {:?} should include the scaled spin-up",
+        cold_fetch.response
+    );
+}
+
+#[test]
+fn stats_are_monotone_snapshots() {
+    let trace = small_trace(16, 12, 4.0);
+    let mut cluster =
+        ClusterHandle::start(RuntimeConfig::small("monotone"), &trace).expect("start");
+    let a = cluster.stats().expect("stats a");
+    let _ = cluster.get(0).expect("get");
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let b = cluster.stats().expect("stats b");
+    assert!(b.disk_joules > a.disk_joules, "energy must accumulate");
+    assert!(b.hits + b.misses > a.hits + a.misses);
+    cluster.shutdown();
+}
+
+#[test]
+fn node_failure_is_surfaced_not_hung() {
+    // Failure injection: kill one storage node out from under the server;
+    // requests routed to it must fail fast with an error, and requests to
+    // the surviving nodes must keep working.
+    let trace = small_trace(16, 10, 4.0);
+    let mut cluster =
+        ClusterHandle::start(RuntimeConfig::small("nodefail"), &trace).expect("start");
+
+    // Find which node holds file 0 vs file 1 by the placement rule: the
+    // most popular file lands on node 0 and ranks alternate. Instead of
+    // reconstructing ranks, just kill node 1 and probe all files: some
+    // fail, some succeed.
+    cluster.kill_node(1).expect("kill node 1");
+
+    let mut failures = 0;
+    let mut successes = 0;
+    for file in 0..16u32 {
+        match cluster.get(file) {
+            Ok(r) => {
+                assert!(verify_pattern(file, &r.data));
+                successes += 1;
+            }
+            Err(e) => {
+                assert!(
+                    e.to_string().contains("server error"),
+                    "unexpected error shape: {e}"
+                );
+                failures += 1;
+            }
+        }
+    }
+    assert!(failures > 0, "some files lived on the dead node");
+    assert!(successes > 0, "the surviving node must keep serving");
+    cluster.shutdown();
+}
+
+#[test]
+fn malformed_frames_do_not_wedge_a_node() {
+    use eevfs_runtime::node::{NodeConfig, NodeDaemon};
+    use eevfs_runtime::proto::{read_message, write_message, Message};
+    use std::io::Write as _;
+
+    let root = std::env::temp_dir().join(format!("eevfs-garbage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let node = NodeDaemon::spawn(NodeConfig {
+        root: root.clone(),
+        data_disks: 1,
+        disk_spec: disk_model::DiskSpec::ata133_type1(),
+        idle_threshold: SimDuration::from_secs(5),
+        clock: eevfs_runtime::clock::VirtualClock::start(10_000.0),
+    })
+    .expect("spawn");
+
+    // First connection: garbage. The node must drop it without dying.
+    {
+        let mut garbage = std::net::TcpStream::connect(node.addr).expect("connect");
+        garbage
+            .write_all(&[0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3]) // absurd length prefix
+            .expect("write garbage");
+        // Dropping the stream closes it.
+    }
+
+    // Second connection: normal protocol still works.
+    let mut ctl = std::net::TcpStream::connect(node.addr).expect("reconnect");
+    write_message(&mut ctl, &Message::CreateFile { file: 1, size: 512, disk: 0 })
+        .expect("send");
+    assert_eq!(read_message(&mut ctl).expect("reply"), Message::Ok);
+    write_message(&mut ctl, &Message::Shutdown).expect("send shutdown");
+    let _ = read_message(&mut ctl);
+    node.join();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn two_clusters_coexist_on_loopback() {
+    let trace = small_trace(8, 5, 2.0);
+    let mut a = ClusterHandle::start(RuntimeConfig::small("coex-a"), &trace).expect("a");
+    let mut b = ClusterHandle::start(RuntimeConfig::small("coex-b"), &trace).expect("b");
+    let ra = a.get_verified(1).expect("a get");
+    let rb = b.get_verified(1).expect("b get");
+    assert_eq!(ra.data, rb.data);
+    a.shutdown();
+    b.shutdown();
+}
