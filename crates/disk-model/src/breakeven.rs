@@ -70,7 +70,10 @@ mod tests {
         let t = breakeven_time(&spec);
         let b = sleep_benefit_joules(&spec, t);
         // Tolerance accounts for SimDuration's microsecond rounding.
-        assert!(b.abs() < 1e-4, "benefit at break-even should vanish, got {b}");
+        assert!(
+            b.abs() < 1e-4,
+            "benefit at break-even should vanish, got {b}"
+        );
     }
 
     #[test]
@@ -103,8 +106,7 @@ mod tests {
     fn zero_window_is_pure_overhead() {
         let spec = DiskSpec::ata133_type1();
         let b = sleep_benefit_joules(&spec, SimDuration::ZERO);
-        let overhead =
-            spec.t_spindown_s * spec.p_spindown_w + spec.t_spinup_s * spec.p_spinup_w;
+        let overhead = spec.t_spindown_s * spec.p_spindown_w + spec.t_spinup_s * spec.p_spinup_w;
         assert!((b + overhead).abs() < 1e-9);
     }
 }

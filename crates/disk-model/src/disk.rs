@@ -256,7 +256,13 @@ mod tests {
         assert!(c.spun_up);
         assert_eq!(c.start, secs(102));
         assert_eq!(c.waited, SimDuration::from_secs(2));
-        assert_eq!(d.transitions(), TransitionCounts { spin_ups: 1, spin_downs: 1 });
+        assert_eq!(
+            d.transitions(),
+            TransitionCounts {
+                spin_ups: 1,
+                spin_downs: 1
+            }
+        );
     }
 
     #[test]

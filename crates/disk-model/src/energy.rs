@@ -86,7 +86,11 @@ impl EnergyMeter {
 
     /// Integrates energy in the current state up to `to`.
     pub fn advance(&mut self, to: SimTime) {
-        debug_assert!(to >= self.last, "energy meter went backwards: {to} < {}", self.last);
+        debug_assert!(
+            to >= self.last,
+            "energy meter went backwards: {to} < {}",
+            self.last
+        );
         let to = to.max(self.last);
         let dt = (to - self.last).as_secs_f64();
         let idx = self.state.index();
@@ -218,13 +222,23 @@ mod tests {
         m.set_state(secs(100), PowerState::SpinningUp);
         m.set_state(secs(102), PowerState::Idle);
         m.advance(secs(110));
-        assert_eq!(m.transitions(), TransitionCounts { spin_ups: 1, spin_downs: 1 });
+        assert_eq!(
+            m.transitions(),
+            TransitionCounts {
+                spin_ups: 1,
+                spin_downs: 1
+            }
+        );
         assert_eq!(m.transitions().total(), 2);
         let expect = spec.p_idle_w * (10.0 + 8.0)
             + spec.p_spindown_w * 2.0
             + spec.p_standby_w * 88.0
             + spec.p_spinup_w * 2.0;
-        assert!((m.total_joules() - expect).abs() < 1e-9, "got {}", m.total_joules());
+        assert!(
+            (m.total_joules() - expect).abs() < 1e-9,
+            "got {}",
+            m.total_joules()
+        );
     }
 
     #[test]
@@ -286,6 +300,12 @@ mod tests {
         // Request arrives during spin-down: reverse into spin-up.
         m.set_state(secs(11), PowerState::SpinningUp);
         m.set_state(secs(13), PowerState::Active);
-        assert_eq!(m.transitions(), TransitionCounts { spin_ups: 1, spin_downs: 1 });
+        assert_eq!(
+            m.transitions(),
+            TransitionCounts {
+                spin_ups: 1,
+                spin_downs: 1
+            }
+        );
     }
 }

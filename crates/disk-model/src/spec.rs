@@ -196,7 +196,8 @@ mod tests {
             DiskSpec::nearline_sata(),
             DiskSpec::multispeed_emulated(),
         ] {
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
     }
 
@@ -232,7 +233,10 @@ mod tests {
         for spec in [DiskSpec::ata133_type1(), DiskSpec::sata_server()] {
             assert!(spec.p_standby_w < spec.p_idle_w);
             assert!(spec.p_idle_w < spec.p_active_w);
-            assert!(spec.p_active_w < spec.p_spinup_w, "spin-up surge exceeds active");
+            assert!(
+                spec.p_active_w < spec.p_spinup_w,
+                "spin-up surge exceeds active"
+            );
         }
     }
 

@@ -130,17 +130,29 @@ mod tests {
         assert!(Idle.can_transition_to(Active));
 
         // Illegal jumps.
-        assert!(!Idle.can_transition_to(Standby), "must pass through spin-down");
-        assert!(!Standby.can_transition_to(Idle), "must pass through spin-up");
+        assert!(
+            !Idle.can_transition_to(Standby),
+            "must pass through spin-down"
+        );
+        assert!(
+            !Standby.can_transition_to(Idle),
+            "must pass through spin-up"
+        );
         assert!(!Standby.can_transition_to(Active));
         assert!(!Active.can_transition_to(Standby));
-        assert!(!Active.can_transition_to(SpinningDown), "finish the request first");
+        assert!(
+            !Active.can_transition_to(SpinningDown),
+            "finish the request first"
+        );
     }
 
     #[test]
     fn no_self_loops() {
         for s in PowerState::ALL {
-            assert!(!s.can_transition_to(s), "{s} -> {s} must not be a transition");
+            assert!(
+                !s.can_transition_to(s),
+                "{s} -> {s} must not be a transition"
+            );
         }
     }
 

@@ -77,7 +77,13 @@ pub fn ablate_threshold(p: &SweepParams) -> Ablation {
     }];
     for secs in [1u64, 5, 15, 30, 60] {
         let cfg = baselines::pf_with_threshold(70, SimDuration::from_secs(secs));
-        rows.push(row(&format!("PF threshold={secs}s"), &cluster, &cfg, &trace, &npf));
+        rows.push(row(
+            &format!("PF threshold={secs}s"),
+            &cluster,
+            &cfg,
+            &trace,
+            &npf,
+        ));
     }
     Ablation {
         title: "Disk idle threshold".into(),
@@ -97,7 +103,13 @@ pub fn ablate_hints(p: &SweepParams) -> Ablation {
             penalty: 0.0,
             run: npf.clone(),
         },
-        row("PF with hints", &cluster, &EevfsConfig::paper_pf(70), &trace, &npf),
+        row(
+            "PF with hints",
+            &cluster,
+            &EevfsConfig::paper_pf(70),
+            &trace,
+            &npf,
+        ),
         row(
             "PF without hints (timer)",
             &cluster,
@@ -132,7 +144,13 @@ pub fn ablate_write_buffer(p: &SweepParams) -> Ablation {
             penalty: 0.0,
             run: npf.clone(),
         },
-        row("PF + write buffer", &cluster, &EevfsConfig::paper_pf(70), &trace, &npf),
+        row(
+            "PF + write buffer",
+            &cluster,
+            &EevfsConfig::paper_pf(70),
+            &trace,
+            &npf,
+        ),
         row("PF, writes to data disks", &cluster, &no_wb, &trace, &npf),
     ];
     Ablation {
@@ -163,7 +181,13 @@ pub fn ablate_placement(p: &SweepParams) -> Ablation {
             &npf,
         ),
         row("PF + plain round-robin", &cluster, &plain, &trace, &npf),
-        row("PDC concentration + timers", &cluster, &baselines::pdc(), &trace, &npf),
+        row(
+            "PDC concentration + timers",
+            &cluster,
+            &baselines::pdc(),
+            &trace,
+            &npf,
+        ),
     ];
     Ablation {
         title: "Placement policy".into(),
@@ -183,7 +207,13 @@ pub fn ablate_maid(p: &SweepParams) -> Ablation {
             penalty: 0.0,
             run: npf.clone(),
         },
-        row("EEVFS PF (look-ahead)", &cluster, &EevfsConfig::paper_pf(70), &trace, &npf),
+        row(
+            "EEVFS PF (look-ahead)",
+            &cluster,
+            &EevfsConfig::paper_pf(70),
+            &trace,
+            &npf,
+        ),
         row(
             "MAID (on-demand LRU)",
             &cluster,
@@ -241,7 +271,13 @@ pub fn ablate_striping(p: &SweepParams) -> Ablation {
             penalty: 0.0,
             run: npf.clone(),
         },
-        row("PF, whole-file placement", &cluster, &EevfsConfig::paper_pf(70), &trace, &npf),
+        row(
+            "PF, whole-file placement",
+            &cluster,
+            &EevfsConfig::paper_pf(70),
+            &trace,
+            &npf,
+        ),
         row(
             "PF + intra-node striping",
             &cluster,
@@ -264,7 +300,10 @@ pub fn ablate_disk_technology(p: &SweepParams) -> Ablation {
     let mut rows = Vec::new();
     for (name, spec) in [
         ("stock ATA/133 (the paper's)", DiskSpec::ata133_type1()),
-        ("multi-speed DRPM emulation", DiskSpec::multispeed_emulated()),
+        (
+            "multi-speed DRPM emulation",
+            DiskSpec::multispeed_emulated(),
+        ),
         ("modern nearline SATA", DiskSpec::nearline_sata()),
     ] {
         let mut cluster = ClusterSpec::paper_testbed();
@@ -289,7 +328,10 @@ pub fn ablate_arrival_mode(p: &SweepParams) -> Ablation {
     use eevfs::config::ArrivalMode;
     let cluster = ClusterSpec::paper_testbed();
     let mut rows = Vec::new();
-    for (name, mu) in [("MU=100 (full coverage)", 100.0), ("MU=1000 (23% misses)", 1000.0)] {
+    for (name, mu) in [
+        ("MU=100 (full coverage)", 100.0),
+        ("MU=1000 (23% misses)", 1000.0),
+    ] {
         let trace = trace_default(p, mu);
         for (mode_name, mode) in [
             ("open loop", ArrivalMode::OpenLoop),
@@ -311,6 +353,76 @@ pub fn ablate_arrival_mode(p: &SweepParams) -> Ablation {
     }
 }
 
+/// Fault injection × replication: the energy/availability trade-off.
+///
+/// Sweeps the replication factor over a failure-rate grid. Extra copies
+/// cost creation-time energy and spread load over more spindles, but they
+/// are what keeps `failed_requests` at zero once nodes and disks start
+/// dying; the energy-aware selector claws some of the cost back by
+/// steering reads to already-spinning replicas.
+pub fn ablate_faults(p: &SweepParams) -> Ablation {
+    use eevfs::config::ReplicaSelection;
+    use eevfs::driver::run_cluster_faulted;
+    use fault_model::{FaultPlan, FaultSpec};
+
+    let cluster = ClusterSpec::paper_testbed();
+    let trace = trace_default(p, 1000.0);
+    let horizon = trace
+        .records
+        .last()
+        .map_or(SimDuration::from_secs(600), |r| {
+            SimDuration::from_micros(r.at.as_micros()) + SimDuration::from_secs(120)
+        });
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    let mut rows = vec![AblationRow {
+        name: "NPF healthy".into(),
+        savings: 0.0,
+        penalty: 0.0,
+        run: npf.clone(),
+    }];
+    for &rate in &[0.0f64, 2.0, 8.0] {
+        let plan = if rate == 0.0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan::generate(&FaultSpec {
+                seed: p.seed,
+                horizon,
+                nodes: cluster.node_count() as u32,
+                disks_per_node: 2,
+                disk_fail_per_hour: rate,
+                mean_repair: SimDuration::from_secs(60),
+                node_crash_per_hour: rate / 2.0,
+                mean_restart: SimDuration::from_secs(30),
+                spin_up_fail_per_hour: rate,
+            })
+        };
+        for r in [1u32, 2, 3] {
+            let cfg = EevfsConfig::paper_pf_replicated(70, r);
+            let run = run_cluster_faulted(&cluster, &cfg, &trace, &plan);
+            rows.push(AblationRow {
+                name: format!("R={r}, fail rate={rate}/h"),
+                savings: run.savings_vs(&npf),
+                penalty: run.response_penalty_vs(&npf),
+                run,
+            });
+        }
+    }
+    // The selector ablation: random-healthy vs energy-aware at R=2.
+    let mut random = EevfsConfig::paper_pf_replicated(70, 2);
+    random.replica_selection = ReplicaSelection::RandomHealthy;
+    let run = run_cluster(&cluster, &random, &trace);
+    rows.push(AblationRow {
+        name: "R=2 healthy, random selector".into(),
+        savings: run.savings_vs(&npf),
+        penalty: run.response_penalty_vs(&npf),
+        run,
+    });
+    Ablation {
+        title: "Fault injection × replication (degraded mode)".into(),
+        rows,
+    }
+}
+
 /// Every ablation in DESIGN.md order.
 pub fn all_ablations(p: &SweepParams) -> Vec<Ablation> {
     vec![
@@ -323,6 +435,7 @@ pub fn all_ablations(p: &SweepParams) -> Vec<Ablation> {
         ablate_striping(p),
         ablate_disk_technology(p),
         ablate_arrival_mode(p),
+        ablate_faults(p),
     ]
 }
 
@@ -364,7 +477,11 @@ mod tests {
         // Energy-oblivious config saves nothing (same energy as NPF, which
         // also never sleeps — modulo placement differences).
         let oblivious = &a.rows[3];
-        assert!(oblivious.savings.abs() < 0.05, "savings {}", oblivious.savings);
+        assert!(
+            oblivious.savings.abs() < 0.05,
+            "savings {}",
+            oblivious.savings
+        );
         // EEVFS prefetching beats on-demand MAID on a skewed read trace.
         assert!(a.rows[1].savings >= a.rows[2].savings - 0.02);
     }
@@ -399,6 +516,26 @@ mod tests {
         let striped = &a.rows[2];
         assert!(striped.penalty <= plain.penalty + 0.10, "{a:?}");
         assert!(striped.savings > 0.0);
+    }
+
+    #[test]
+    fn faults_ablation_shows_replication_absorbing_failures() {
+        let a = ablate_faults(&quick());
+        assert_eq!(a.rows.len(), 11, "{a:?}");
+        // Healthy grid (rows 1..=3): no faults fire, nothing is lost.
+        for r in &a.rows[1..=3] {
+            assert_eq!(r.run.fault_events, 0, "{}", r.name);
+            assert_eq!(r.run.failed_requests, 0, "{}", r.name);
+        }
+        // Heavy grid (rows 7..=9): faults fire; replication absorbs at
+        // least as many requests as the unreplicated layout loses.
+        let (r1, r2, r3) = (&a.rows[7], &a.rows[8], &a.rows[9]);
+        assert!(r1.run.fault_events > 0, "{r1:?}");
+        assert!(r2.run.failed_requests <= r1.run.failed_requests, "{a:?}");
+        assert_eq!(
+            r3.run.failed_requests, 0,
+            "three copies over eight nodes: {r3:?}"
+        );
     }
 
     #[test]

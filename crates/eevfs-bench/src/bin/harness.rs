@@ -11,6 +11,7 @@
 //!   fig6       Berkeley web trace   (Fig 6)
 //!   sweeps     the raw sweep tables behind Figs 3-5
 //!   ablate     all ablations
+//!   faults     fault injection × replication grid (degraded mode)
 //!   power-curve  whole-cluster power over time, PF vs NPF
 //!   hist         response-time distributions, PF vs NPF
 //! ```
@@ -98,7 +99,10 @@ fn main() -> ExitCode {
         "all" => {
             for panel in Panel::ALL {
                 let pts = panel.run(p);
-                println!("{}", render_sweep(&format!("sweep: {}", panel.xlabel()), &pts));
+                println!(
+                    "{}",
+                    render_sweep(&format!("sweep: {}", panel.xlabel()), &pts)
+                );
                 println!("{}", render_figure(&fig3_view(panel, &pts)));
                 println!("{}", render_figure(&fig4_view(panel, &pts)));
                 println!("{}", render_figure(&fig5_view(panel, &pts)));
@@ -113,7 +117,10 @@ fn main() -> ExitCode {
         "sweeps" => {
             for panel in Panel::ALL {
                 let pts = panel.run(p);
-                println!("{}", render_sweep(&format!("sweep: {}", panel.xlabel()), &pts));
+                println!(
+                    "{}",
+                    render_sweep(&format!("sweep: {}", panel.xlabel()), &pts)
+                );
                 output.sweeps.push((panel.xlabel().to_string(), pts));
             }
         }
@@ -149,9 +156,14 @@ fn main() -> ExitCode {
                 ..SyntheticSpec::paper_default()
             });
             let cluster = ClusterSpec::paper_testbed();
-            let (_, pf) = eevfs::driver::run_cluster_traced(&cluster, &EevfsConfig::paper_pf(70), &trace);
-            let (_, npf) = eevfs::driver::run_cluster_traced(&cluster, &EevfsConfig::paper_npf(), &trace);
-            println!("# whole-cluster power over time (W), PF(70) vs NPF, {} requests", p.requests);
+            let (_, pf) =
+                eevfs::driver::run_cluster_traced(&cluster, &EevfsConfig::paper_pf(70), &trace);
+            let (_, npf) =
+                eevfs::driver::run_cluster_traced(&cluster, &EevfsConfig::paper_npf(), &trace);
+            println!(
+                "# whole-cluster power over time (W), PF(70) vs NPF, {} requests",
+                p.requests
+            );
             println!("{:>10} {:>10} {:>10}", "t (s)", "P_pf (W)", "P_npf (W)");
             let n = 60;
             let pf_pts = pf.resample(n + 1);
@@ -188,8 +200,32 @@ fn main() -> ExitCode {
                 output.ablations.push(a);
             }
         }
+        "faults" => {
+            let a = eevfs_bench::ablate::ablate_faults(p);
+            println!("{}", render_ablation(&a));
+            println!(
+                "{:>28} {:>10} {:>12} {:>8} {:>10} {:>10} {:>8}",
+                "config", "energy J", "transitions", "mean s", "redirects", "failed", "events"
+            );
+            for r in &a.rows {
+                println!(
+                    "{:>28} {:>10.0} {:>12} {:>8.3} {:>10} {:>10} {:>8}",
+                    r.name,
+                    r.run.total_energy_j,
+                    r.run.transitions.total(),
+                    r.run.response.mean_s,
+                    r.run.replica_redirects,
+                    r.run.failed_requests,
+                    r.run.fault_events,
+                );
+            }
+            output.ablations.push(a);
+        }
         other => {
-            eprintln!("unknown command {other}; try: all, sweeps, fig3a-d, fig4, fig5, fig6, ablate");
+            eprintln!(
+                "unknown command {other}; try: all, sweeps, fig3a-d, fig4, fig5, fig6, \
+                 ablate, faults, power-curve, hist"
+            );
             return ExitCode::FAILURE;
         }
     }

@@ -26,7 +26,12 @@ pub enum Panel {
 
 impl Panel {
     /// All four panels in paper order.
-    pub const ALL: [Panel; 4] = [Panel::DataSize, Panel::Mu, Panel::InterArrival, Panel::PrefetchK];
+    pub const ALL: [Panel; 4] = [
+        Panel::DataSize,
+        Panel::Mu,
+        Panel::InterArrival,
+        Panel::PrefetchK,
+    ];
 
     /// The x-axis label the paper uses.
     pub fn xlabel(self) -> &'static str {

@@ -34,7 +34,15 @@ pub fn render_sweep(title: &str, pts: &[ExperimentPoint]) -> String {
     writeln!(
         out,
         "{:<12} {:>12} {:>12} {:>9} {:>7} {:>9} {:>9} {:>9} {:>8}",
-        "x", "E_pf (J)", "E_npf (J)", "savings", "trans", "rt_pf(s)", "rt_npf(s)", "penalty", "hit%"
+        "x",
+        "E_pf (J)",
+        "E_npf (J)",
+        "savings",
+        "trans",
+        "rt_pf(s)",
+        "rt_npf(s)",
+        "penalty",
+        "hit%"
     )
     .expect("write");
     for p in pts {
@@ -69,9 +77,17 @@ pub fn render_response_histogram(m: &eevfs::metrics::RunMetrics, bins: usize) ->
     for &x in &m.response_samples_s {
         h.record(x);
     }
-    let peak = (0..h.num_bins()).map(|i| h.bin_count(i)).max().unwrap_or(1).max(1);
-    writeln!(out, "response-time distribution ({} samples):", m.response_samples_s.len())
-        .expect("write");
+    let peak = (0..h.num_bins())
+        .map(|i| h.bin_count(i))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    writeln!(
+        out,
+        "response-time distribution ({} samples):",
+        m.response_samples_s.len()
+    )
+    .expect("write");
     for i in 0..h.num_bins() {
         let (lo, hi) = h.bin_bounds(i);
         let count = h.bin_count(i);
@@ -156,7 +172,11 @@ mod tests {
             requests: 120,
             ..SyntheticSpec::paper_default()
         });
-        let m = run_cluster(&ClusterSpec::paper_testbed(), &EevfsConfig::paper_pf(70), &trace);
+        let m = run_cluster(
+            &ClusterSpec::paper_testbed(),
+            &EevfsConfig::paper_pf(70),
+            &trace,
+        );
         let text = render_response_histogram(&m, 12);
         assert!(text.contains("response-time distribution"));
         assert!(text.lines().count() >= 13);

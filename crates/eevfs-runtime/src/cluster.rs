@@ -30,6 +30,10 @@ pub struct RuntimeConfig {
     pub data_disks_per_node: usize,
     /// Files to prefetch (0 = NPF).
     pub prefetch_k: u32,
+    /// Copies per file (clamped to the node count; 1 = the paper's
+    /// unreplicated layout). Reads fail over across copies when nodes or
+    /// disks are down.
+    pub replication: usize,
     /// Disk idle threshold, virtual seconds.
     pub idle_threshold: SimDuration,
     /// Virtual seconds per wall second (use large values in tests).
@@ -48,12 +52,11 @@ impl RuntimeConfig {
             nodes: 2,
             data_disks_per_node: 2,
             prefetch_k: 8,
+            replication: 1,
             idle_threshold: SimDuration::from_secs(5),
             time_scale: 10_000.0,
-            root_dir: std::env::temp_dir().join(format!(
-                "eevfs-runtime-{}-{tag}",
-                std::process::id()
-            )),
+            root_dir: std::env::temp_dir()
+                .join(format!("eevfs-runtime-{}-{tag}", std::process::id())),
             disk_spec: DiskSpec::ata133_type1(),
         }
     }
@@ -104,6 +107,9 @@ pub struct ClusterHandle {
     server: Option<ServerDaemon>,
     nodes: Vec<NodeDaemon>,
     server_conn: TcpStream,
+    /// Bumped per revival so each replacement daemon gets a fresh store
+    /// directory.
+    revival_gen: u32,
 }
 
 impl ClusterHandle {
@@ -129,6 +135,7 @@ impl ClusterHandle {
             vec![cfg.data_disks_per_node; cfg.nodes],
             trace,
             cfg.prefetch_k,
+            cfg.replication,
         )?;
         let server_conn = TcpStream::connect(server.addr)?;
         Ok(ClusterHandle {
@@ -137,6 +144,7 @@ impl ClusterHandle {
             server: Some(server),
             nodes,
             server_conn,
+            revival_gen: 0,
         })
     }
 
@@ -205,8 +213,14 @@ impl ClusterHandle {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let port = listener.local_addr()?.port();
         let start = Instant::now();
-        write_message(&mut self.server_conn, &Message::Get { file, client_port: port })
-            .map_err(|e| io::Error::other(e.to_string()))?;
+        write_message(
+            &mut self.server_conn,
+            &Message::Get {
+                file,
+                client_port: port,
+            },
+        )
+        .map_err(|e| io::Error::other(e.to_string()))?;
         // The node pushes the data directly to our listener (step 6) —
         // unless the server reports a routing failure first.
         let (mut push, ack_pending) = match self.accept_or_server_reply(&listener)? {
@@ -239,8 +253,14 @@ impl ClusterHandle {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let port = listener.local_addr()?.port();
         let start = Instant::now();
-        write_message(&mut self.server_conn, &Message::Put { file, client_port: port })
-            .map_err(|e| io::Error::other(e.to_string()))?;
+        write_message(
+            &mut self.server_conn,
+            &Message::Put {
+                file,
+                client_port: port,
+            },
+        )
+        .map_err(|e| io::Error::other(e.to_string()))?;
         let (mut pull, ack_pending) = match self.accept_or_server_reply(&listener)? {
             Some(pull) => (pull, true),
             None => {
@@ -301,16 +321,88 @@ impl ClusterHandle {
         Ok(ReplayReport { responses, stats })
     }
 
-    /// Failure injection: shuts down one storage node, leaving the rest
-    /// of the cluster (and the server) running. Requests for files on the
-    /// dead node will fail with a server error.
-    pub fn kill_node(&mut self, node: usize) -> io::Result<()> {
-        write_message(&mut self.server_conn, &Message::KillNode { node: node as u32 })
-            .map_err(|e| io::Error::other(e.to_string()))?;
+    /// Sends one admin message to the server and expects `Ok`.
+    fn admin(&mut self, msg: &Message, what: &str) -> io::Result<()> {
+        write_message(&mut self.server_conn, msg).map_err(|e| io::Error::other(e.to_string()))?;
         match read_message(&mut self.server_conn).map_err(|e| io::Error::other(e.to_string()))? {
             Message::Ok => Ok(()),
-            other => Err(io::Error::other(format!("kill_node: unexpected {other:?}"))),
+            other => Err(io::Error::other(format!("{what}: unexpected {other:?}"))),
         }
+    }
+
+    /// Failure injection: shuts down one storage node, leaving the rest
+    /// of the cluster (and the server) running. With replication, reads
+    /// of its files fail over to surviving copies; without, they fail
+    /// with a server error.
+    pub fn kill_node(&mut self, node: usize) -> io::Result<()> {
+        self.admin(&Message::KillNode { node: node as u32 }, "kill_node")
+    }
+
+    /// Failure injection: marks one data disk failed. Reads that need it
+    /// fail over to a replica (or to the node's buffer copy).
+    pub fn fail_disk(&mut self, node: usize, disk: usize) -> io::Result<()> {
+        self.admin(
+            &Message::FailDisk {
+                node: node as u32,
+                disk: disk as u32,
+            },
+            "fail_disk",
+        )
+    }
+
+    /// Undoes a [`ClusterHandle::fail_disk`].
+    pub fn repair_disk(&mut self, node: usize, disk: usize) -> io::Result<()> {
+        self.admin(
+            &Message::RepairDisk {
+                node: node as u32,
+                disk: disk as u32,
+            },
+            "repair_disk",
+        )
+    }
+
+    /// Repair flow: boots a replacement daemon for a killed node (fresh
+    /// store directory, same shared clock) and asks the server to
+    /// re-register it — the server replays the node's creates, prefetch
+    /// and hints, then resumes routing to it.
+    pub fn revive_node(&mut self, node: usize) -> io::Result<()> {
+        if node >= self.nodes.len() {
+            return Err(io::Error::other(format!("revive_node: no node {node}")));
+        }
+        self.revival_gen += 1;
+        let replacement = NodeDaemon::spawn(NodeConfig {
+            root: self
+                .cfg
+                .root_dir
+                .join(format!("node{node}-r{}", self.revival_gen)),
+            data_disks: self.cfg.data_disks_per_node,
+            disk_spec: self.cfg.disk_spec.clone(),
+            idle_threshold: self.cfg.idle_threshold,
+            clock: self.clock.clone(),
+        })?;
+        let port = replacement.addr.port();
+        // Swap in place so node index -> daemon stays the invariant and
+        // shutdown joins exactly the live set.
+        let old = std::mem::replace(&mut self.nodes[node], replacement);
+        let res = self.admin(
+            &Message::ReviveNode {
+                node: node as u32,
+                port,
+            },
+            "revive_node",
+        );
+        // Retire the daemon previously at this index. After kill_node it
+        // has already exited; on a revive of a live node (double revive)
+        // the server just dropped its connection, so it is back in accept
+        // and needs an explicit Shutdown — otherwise joining it hangs.
+        if !old.is_finished() {
+            if let Ok(mut conn) = TcpStream::connect(old.addr) {
+                let _ = write_message(&mut conn, &Message::Shutdown);
+                let _ = read_message(&mut conn);
+            }
+        }
+        old.join();
+        res
     }
 
     /// Collects cluster-wide statistics.
@@ -324,14 +416,18 @@ impl ClusterHandle {
                 spin_downs,
                 hits,
                 misses,
+                failovers,
             } => Ok(ClusterStats {
                 disk_joules,
                 spin_ups,
                 spin_downs,
                 hits,
                 misses,
+                failovers,
             }),
-            other => Err(io::Error::other(format!("unexpected stats reply {other:?}"))),
+            other => Err(io::Error::other(format!(
+                "unexpected stats reply {other:?}"
+            ))),
         }
     }
 
@@ -398,8 +494,7 @@ mod tests {
     #[test]
     fn put_then_get_roundtrips_through_the_buffer() {
         let trace = small_trace(12, 8, 3.0);
-        let mut cluster =
-            ClusterHandle::start(RuntimeConfig::small("put"), &trace).expect("start");
+        let mut cluster = ClusterHandle::start(RuntimeConfig::small("put"), &trace).expect("start");
         let payload = vec![0x5Au8; 16 * 1024];
         cluster.put(7, &payload).expect("put");
         let got = cluster.get(7).expect("get after put");

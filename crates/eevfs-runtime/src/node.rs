@@ -57,6 +57,9 @@ struct NodeState {
     last_touch: Vec<SimTime>,
     /// Power management engages once prefetching has populated the buffer.
     power_enabled: bool,
+    /// Fault injection: physical accesses to a failed disk return io
+    /// errors until it is repaired. Buffered copies keep serving.
+    failed_disks: Vec<bool>,
 }
 
 impl NodeState {
@@ -69,10 +72,13 @@ impl NodeState {
             disk_of_file: HashMap::new(),
             size_of_file: HashMap::new(),
             catalog: BufferCatalog::new(cfg.disk_spec.capacity_bytes),
-            data_disks: (0..cfg.data_disks).map(|_| Disk::new(cfg.disk_spec.clone())).collect(),
+            data_disks: (0..cfg.data_disks)
+                .map(|_| Disk::new(cfg.disk_spec.clone()))
+                .collect(),
             buffer_disk: Disk::new(cfg.disk_spec.clone()),
             last_touch: vec![SimTime::ZERO; cfg.data_disks],
             power_enabled: false,
+            failed_disks: vec![false; cfg.data_disks],
         })
     }
 
@@ -127,7 +133,7 @@ impl NodeState {
                         return Ok(Message::Err { code: 1 });
                     };
                     let size = self.size_of_file[&file];
-                    if self.store.prefetch(disk, file).is_err() {
+                    if self.failed_disks[disk] || self.store.prefetch(disk, file).is_err() {
                         return Ok(Message::Err { code: 2 });
                     }
                     // Read off the data disk, append to the buffer log.
@@ -177,6 +183,8 @@ impl NodeState {
                 let data = if self.catalog.lookup(fid) {
                     self.access_buffer_disk(size, AccessKind::Random);
                     self.store.read_buffer(file)
+                } else if self.failed_disks[disk] {
+                    return Ok(Message::Err { code: 2 });
                 } else {
                     self.access_data_disk(disk, size);
                     self.store.read_data(disk, file)
@@ -221,7 +229,8 @@ impl NodeState {
                     }
                     self.access_buffer_disk(size, AccessKind::Sequential);
                 } else {
-                    if self.store.write_data(disk, file, &data).is_err() {
+                    if self.failed_disks[disk] || self.store.write_data(disk, file, &data).is_err()
+                    {
                         return Ok(Message::Err { code: 2 });
                     }
                     self.access_data_disk(disk, size);
@@ -255,7 +264,24 @@ impl NodeState {
                     spin_downs: downs,
                     hits: self.catalog.hits(),
                     misses: self.catalog.misses(),
+                    failovers: 0,
                 })
+            }
+            Message::FailDisk { disk, .. } => {
+                let disk = disk as usize;
+                if disk >= self.failed_disks.len() {
+                    return Ok(Message::Err { code: 3 });
+                }
+                self.failed_disks[disk] = true;
+                Ok(Message::Ok)
+            }
+            Message::RepairDisk { disk, .. } => {
+                let disk = disk as usize;
+                if disk >= self.failed_disks.len() {
+                    return Ok(Message::Err { code: 3 });
+                }
+                self.failed_disks[disk] = false;
+                Ok(Message::Ok)
             }
             Message::Shutdown => Ok(Message::Shutdown),
             other => {
@@ -285,11 +311,8 @@ impl NodeDaemon {
                 // Serve control connections sequentially until Shutdown.
                 'outer: for stream in listener.incoming() {
                     let Ok(mut stream) = stream else { continue };
-                    loop {
-                        let msg = match read_message(&mut stream) {
-                            Ok(m) => m,
-                            Err(_) => break, // peer closed; await next conn
-                        };
+                    // A read error means the peer closed; await next conn.
+                    while let Ok(msg) = read_message(&mut stream) {
                         let is_shutdown = matches!(msg, Message::Shutdown);
                         match state.handle(msg) {
                             Ok(reply) => {
@@ -308,6 +331,11 @@ impl NodeDaemon {
         Ok(NodeDaemon { addr, handle })
     }
 
+    /// True once the daemon thread has exited (e.g. after a Shutdown).
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
     /// Waits for the daemon thread to exit (after a Shutdown message).
     pub fn join(self) {
         let _ = self.handle.join();
@@ -320,10 +348,8 @@ mod tests {
     use crate::store::verify_pattern;
 
     fn test_cfg(name: &str) -> NodeConfig {
-        let root = std::env::temp_dir().join(format!(
-            "eevfs-node-test-{}-{name}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("eevfs-node-test-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         NodeConfig {
             root,
@@ -347,19 +373,43 @@ mod tests {
         let mut ctl = TcpStream::connect(node.addr).expect("connect");
 
         assert_eq!(
-            rpc(&mut ctl, &Message::CreateFile { file: 1, size: 4096, disk: 0 }),
+            rpc(
+                &mut ctl,
+                &Message::CreateFile {
+                    file: 1,
+                    size: 4096,
+                    disk: 0
+                }
+            ),
             Message::Ok
         );
         assert_eq!(
-            rpc(&mut ctl, &Message::CreateFile { file: 2, size: 2048, disk: 1 }),
+            rpc(
+                &mut ctl,
+                &Message::CreateFile {
+                    file: 2,
+                    size: 2048,
+                    disk: 1
+                }
+            ),
             Message::Ok
         );
-        assert_eq!(rpc(&mut ctl, &Message::Prefetch { files: vec![1] }), Message::Ok);
+        assert_eq!(
+            rpc(&mut ctl, &Message::Prefetch { files: vec![1] }),
+            Message::Ok
+        );
 
         // Fetch file 2 (a data-disk miss) via the push-to-client path.
         let client = TcpListener::bind("127.0.0.1:0").expect("client listener");
         let port = client.local_addr().expect("addr").port();
-        write_message(&mut ctl, &Message::Get { file: 2, client_port: port }).expect("send");
+        write_message(
+            &mut ctl,
+            &Message::Get {
+                file: 2,
+                client_port: port,
+            },
+        )
+        .expect("send");
         let (mut push, _) = client.accept().expect("accept push");
         let data = read_message(&mut push).expect("read push");
         match data {
@@ -374,7 +424,12 @@ mod tests {
 
         // Stats reflect the buffer state: one prefetch, one miss.
         match rpc(&mut ctl, &Message::StatsRequest) {
-            Message::Stats { hits, misses, disk_joules, .. } => {
+            Message::Stats {
+                hits,
+                misses,
+                disk_joules,
+                ..
+            } => {
                 assert_eq!(hits, 0);
                 assert_eq!(misses, 1);
                 assert!(disk_joules > 0.0);
@@ -393,12 +448,26 @@ mod tests {
         let root = cfg.root.clone();
         let node = NodeDaemon::spawn(cfg).expect("spawn");
         let mut ctl = TcpStream::connect(node.addr).expect("connect");
-        rpc(&mut ctl, &Message::CreateFile { file: 9, size: 1000, disk: 0 });
+        rpc(
+            &mut ctl,
+            &Message::CreateFile {
+                file: 9,
+                size: 1000,
+                disk: 0,
+            },
+        );
         rpc(&mut ctl, &Message::Prefetch { files: vec![9] });
 
         let client = TcpListener::bind("127.0.0.1:0").expect("listener");
         let port = client.local_addr().expect("addr").port();
-        write_message(&mut ctl, &Message::Get { file: 9, client_port: port }).expect("send");
+        write_message(
+            &mut ctl,
+            &Message::Get {
+                file: 9,
+                client_port: port,
+            },
+        )
+        .expect("send");
         let (mut push, _) = client.accept().expect("accept");
         assert!(matches!(
             read_message(&mut push).expect("data"),
@@ -424,7 +493,13 @@ mod tests {
         let node = NodeDaemon::spawn(cfg).expect("spawn");
         let mut ctl = TcpStream::connect(node.addr).expect("connect");
         assert_eq!(
-            rpc(&mut ctl, &Message::Get { file: 404, client_port: 1 }),
+            rpc(
+                &mut ctl,
+                &Message::Get {
+                    file: 404,
+                    client_port: 1
+                }
+            ),
             Message::Err { code: 1 }
         );
         assert_eq!(
@@ -432,7 +507,14 @@ mod tests {
             Message::Err { code: 1 }
         );
         assert_eq!(
-            rpc(&mut ctl, &Message::CreateFile { file: 1, size: 10, disk: 99 }),
+            rpc(
+                &mut ctl,
+                &Message::CreateFile {
+                    file: 1,
+                    size: 10,
+                    disk: 99
+                }
+            ),
             Message::Err { code: 3 }
         );
         rpc(&mut ctl, &Message::Shutdown);

@@ -76,6 +76,10 @@ pub enum Message {
         hits: u64,
         /// Buffer misses.
         misses: u64,
+        /// Requests the server served from a non-primary replica (zero in
+        /// node → server replies; the server adds its own count when
+        /// aggregating).
+        failovers: u64,
     },
     /// Orderly shutdown.
     Shutdown,
@@ -93,6 +97,31 @@ pub enum Message {
     KillNode {
         /// Node index.
         node: u32,
+    },
+    /// Client → server, then server → node (failure injection): mark one
+    /// data disk as failed; physical accesses to it return io errors
+    /// until repaired.
+    FailDisk {
+        /// Node index (the node daemon ignores it; the server routes on it).
+        node: u32,
+        /// Local data-disk index.
+        disk: u32,
+    },
+    /// Client → server, then server → node: undo a [`Message::FailDisk`].
+    RepairDisk {
+        /// Node index.
+        node: u32,
+        /// Local data-disk index.
+        disk: u32,
+    },
+    /// Client → server (repair flow): a replacement daemon for `node` is
+    /// listening on `127.0.0.1:port`; the server reconnects, replays the
+    /// node's setup (creates, prefetch, hints), and resumes routing to it.
+    ReviveNode {
+        /// Node index.
+        node: u32,
+        /// Control port of the replacement daemon.
+        port: u16,
     },
 }
 
@@ -137,6 +166,9 @@ impl Message {
             Message::Shutdown => 10,
             Message::Put { .. } => 11,
             Message::KillNode { .. } => 12,
+            Message::FailDisk { .. } => 13,
+            Message::RepairDisk { .. } => 14,
+            Message::ReviveNode { .. } => 15,
         }
     }
 
@@ -178,6 +210,14 @@ impl Message {
                 body.put_u16_le(*client_port);
             }
             Message::KillNode { node } => body.put_u32_le(*node),
+            Message::FailDisk { node, disk } | Message::RepairDisk { node, disk } => {
+                body.put_u32_le(*node);
+                body.put_u32_le(*disk);
+            }
+            Message::ReviveNode { node, port } => {
+                body.put_u32_le(*node);
+                body.put_u16_le(*port);
+            }
             Message::Err { code } => body.put_u16_le(*code),
             Message::Stats {
                 disk_joules,
@@ -185,12 +225,14 @@ impl Message {
                 spin_downs,
                 hits,
                 misses,
+                failovers,
             } => {
                 body.put_f64_le(*disk_joules);
                 body.put_u64_le(*spin_ups);
                 body.put_u64_le(*spin_downs);
                 body.put_u64_le(*hits);
                 body.put_u64_le(*misses);
+                body.put_u64_le(*failovers);
             }
         }
         let mut framed = BytesMut::with_capacity(4 + body.len());
@@ -237,7 +279,9 @@ impl Message {
                     return Err(Malformed("truncated Hints list"));
                 }
                 Message::Hints {
-                    pattern: (0..n).map(|_| (body.get_u64_le(), body.get_u32_le())).collect(),
+                    pattern: (0..n)
+                        .map(|_| (body.get_u64_le(), body.get_u32_le()))
+                        .collect(),
                 }
             }
             4 => {
@@ -268,13 +312,14 @@ impl Message {
             }
             8 => Message::StatsRequest,
             9 => {
-                need!(40, "Stats");
+                need!(48, "Stats");
                 Message::Stats {
                     disk_joules: body.get_f64_le(),
                     spin_ups: body.get_u64_le(),
                     spin_downs: body.get_u64_le(),
                     hits: body.get_u64_le(),
                     misses: body.get_u64_le(),
+                    failovers: body.get_u64_le(),
                 }
             }
             10 => Message::Shutdown,
@@ -289,6 +334,27 @@ impl Message {
                 need!(4, "KillNode");
                 Message::KillNode {
                     node: body.get_u32_le(),
+                }
+            }
+            13 => {
+                need!(8, "FailDisk");
+                Message::FailDisk {
+                    node: body.get_u32_le(),
+                    disk: body.get_u32_le(),
+                }
+            }
+            14 => {
+                need!(8, "RepairDisk");
+                Message::RepairDisk {
+                    node: body.get_u32_le(),
+                    disk: body.get_u32_le(),
+                }
+            }
+            15 => {
+                need!(6, "ReviveNode");
+                Message::ReviveNode {
+                    node: body.get_u32_le(),
+                    port: body.get_u16_le(),
                 }
             }
             _ => return Err(Malformed("unknown tag")),
@@ -367,6 +433,7 @@ mod tests {
             spin_downs: 4,
             hits: 10,
             misses: 2,
+            failovers: 5,
         });
         roundtrip(Message::Shutdown);
         roundtrip(Message::Put {
@@ -374,6 +441,12 @@ mod tests {
             client_port: 4242,
         });
         roundtrip(Message::KillNode { node: 3 });
+        roundtrip(Message::FailDisk { node: 1, disk: 0 });
+        roundtrip(Message::RepairDisk { node: 1, disk: 0 });
+        roundtrip(Message::ReviveNode {
+            node: 2,
+            port: 40123,
+        });
     }
 
     #[test]
@@ -451,15 +524,43 @@ mod tests {
                 (any::<u32>(), any::<u16>())
                     .prop_map(|(file, client_port)| Message::Put { file, client_port }),
                 any::<u32>().prop_map(|node| Message::KillNode { node }),
-                (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..2048))
-                    .prop_map(|(file, data)| Message::FileData { file, data: Bytes::from(data) }),
+                (any::<u32>(), any::<u32>())
+                    .prop_map(|(node, disk)| Message::FailDisk { node, disk }),
+                (any::<u32>(), any::<u32>())
+                    .prop_map(|(node, disk)| Message::RepairDisk { node, disk }),
+                (any::<u32>(), any::<u16>())
+                    .prop_map(|(node, port)| Message::ReviveNode { node, port }),
+                (
+                    any::<u32>(),
+                    proptest::collection::vec(any::<u8>(), 0..2048)
+                )
+                    .prop_map(|(file, data)| Message::FileData {
+                        file,
+                        data: Bytes::from(data)
+                    }),
                 Just(Message::Ok),
                 any::<u16>().prop_map(|code| Message::Err { code }),
                 Just(Message::StatsRequest),
-                (any::<f64>().prop_filter("finite", |f| f.is_finite()), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
-                    .prop_map(|(disk_joules, spin_ups, spin_downs, hits, misses)| Message::Stats {
-                        disk_joules, spin_ups, spin_downs, hits, misses,
-                    }),
+                (
+                    any::<f64>().prop_filter("finite", |f| f.is_finite()),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>()
+                )
+                    .prop_map(
+                        |(disk_joules, spin_ups, spin_downs, hits, misses, failovers)| {
+                            Message::Stats {
+                                disk_joules,
+                                spin_ups,
+                                spin_downs,
+                                hits,
+                                misses,
+                                failovers,
+                            }
+                        }
+                    ),
                 Just(Message::Shutdown),
             ]
         }

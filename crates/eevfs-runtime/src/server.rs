@@ -9,12 +9,13 @@
 use crate::proto::{read_message, write_message, CodecError, Message};
 use eevfs::config::PlacementPolicy;
 use eevfs::placement::place;
+use eevfs::replication::replicate;
 use sim_core::SimTime;
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread::JoinHandle;
 use workload::popularity::PopularityTable;
-use workload::record::Trace;
+use workload::record::{FileId, Trace};
 
 /// Aggregated node statistics. Cumulative from cluster boot; subtract two
 /// snapshots to measure a window.
@@ -30,24 +31,40 @@ pub struct ClusterStats {
     pub hits: u64,
     /// Buffer misses.
     pub misses: u64,
+    /// Requests the server redirected to a non-primary replica.
+    pub failovers: u64,
 }
 
 impl std::ops::Sub for ClusterStats {
     type Output = ClusterStats;
     fn sub(self, earlier: ClusterStats) -> ClusterStats {
+        // Saturating: a node that died between snapshots takes its
+        // counters with it, so the later total can dip below the earlier.
         ClusterStats {
             disk_joules: self.disk_joules - earlier.disk_joules,
-            spin_ups: self.spin_ups - earlier.spin_ups,
-            spin_downs: self.spin_downs - earlier.spin_downs,
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
+            spin_ups: self.spin_ups.saturating_sub(earlier.spin_ups),
+            spin_downs: self.spin_downs.saturating_sub(earlier.spin_downs),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            failovers: self.failovers.saturating_sub(earlier.failovers),
         }
     }
 }
 
 struct ServerState {
     node_conns: Vec<TcpStream>,
-    node_of_file: HashMap<u32, usize>,
+    /// Routing availability. A node is marked down by `KillNode` or by a
+    /// transport failure mid-request, and up again by `ReviveNode`.
+    node_up: Vec<bool>,
+    /// All copies of each file, `(node, disk)`, primary first.
+    copies_of_file: HashMap<u32, Vec<(usize, u32)>>,
+    /// Reads served by a non-primary copy.
+    failovers: u64,
+    /// Per-node setup replay logs, so a revived node can be rebuilt:
+    /// `CreateFile` arguments, prefetched files, and the hint pattern.
+    create_log: Vec<Vec<(u32, u64, u32)>>,
+    prefetch_log: Vec<Vec<u32>>,
+    hints_log: Vec<Vec<(u64, u32)>>,
 }
 
 impl ServerState {
@@ -57,26 +74,47 @@ impl ServerState {
         read_message(conn)
     }
 
-    /// Steps 1-4: placement, creation, prefetch, hints.
-    fn setup(&mut self, trace: &Trace, prefetch_k: u32, disks_per_node: &[usize]) -> Result<(), CodecError> {
+    /// Steps 1-4: placement, creation (all `replication` copies),
+    /// prefetch, hints.
+    fn setup(
+        &mut self,
+        trace: &Trace,
+        prefetch_k: u32,
+        disks_per_node: &[usize],
+        replication: usize,
+    ) -> Result<(), CodecError> {
         let popularity = PopularityTable::from_trace(trace);
-        let plan = place(PlacementPolicy::PopularityRoundRobin, &popularity, disks_per_node);
+        let plan = place(
+            PlacementPolicy::PopularityRoundRobin,
+            &popularity,
+            disks_per_node,
+        );
+        let replicas = replicate(&plan, replication.max(1), disks_per_node);
 
-        // Step 3a: create every file on its node, popularity order (the
-        // node-local disk round-robin is encoded in the plan).
+        // Step 3a: create every copy. Primaries go first in popularity
+        // order (the node-local disk round-robin is encoded in the plan),
+        // then backup copies. Everything lands in the replay log so a
+        // revived node can be rebuilt.
         for node in 0..disks_per_node.len() {
             for &file in plan.files_on(node) {
                 let size = trace.file_sizes[file.index()];
                 let disk = plan.disk_of_file[file.index()];
-                self.node_of_file.insert(file.0, node);
-                match self.rpc(
-                    node,
-                    &Message::CreateFile {
-                        file: file.0,
-                        size,
-                        disk,
-                    },
-                )? {
+                self.create_log[node].push((file.0, size, disk));
+            }
+        }
+        for f in 0..replicas.file_count() {
+            let copies = replicas.of(FileId(f as u32));
+            self.copies_of_file.insert(
+                f as u32,
+                copies.iter().map(|&(n, d)| (n as usize, d)).collect(),
+            );
+            for &(node, disk) in &copies[1..] {
+                self.create_log[node as usize].push((f as u32, trace.file_sizes[f], disk));
+            }
+        }
+        for node in 0..disks_per_node.len() {
+            for &(file, size, disk) in &self.create_log[node].clone() {
+                match self.rpc(node, &Message::CreateFile { file, size, disk })? {
                     Message::Ok => {}
                     other => {
                         return Err(CodecError::Malformed(match other {
@@ -88,12 +126,12 @@ impl ServerState {
             }
         }
 
-        // Step 3b: prefetch the global top-K, grouped by owner.
+        // Step 3b: prefetch the global top-K on each file's primary.
         let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); disks_per_node.len()];
         for &file in popularity.top_k(prefetch_k as usize) {
             per_node[plan.node_of_file[file.index()] as usize].push(file.0);
         }
-        let prefetched: Vec<Vec<u32>> = per_node.clone();
+        self.prefetch_log = per_node.clone();
         for (node, files) in per_node.into_iter().enumerate() {
             if files.is_empty() {
                 continue;
@@ -108,10 +146,11 @@ impl ServerState {
         let mut patterns: Vec<Vec<(u64, u32)>> = vec![Vec::new(); disks_per_node.len()];
         for r in &trace.records {
             let node = plan.node_of_file[r.file.index()] as usize;
-            if !prefetched[node].contains(&r.file.0) {
+            if !self.prefetch_log[node].contains(&r.file.0) {
                 patterns[node].push((r.at.as_micros(), r.file.0));
             }
         }
+        self.hints_log = patterns.clone();
         for (node, pattern) in patterns.into_iter().enumerate() {
             match self.rpc(node, &Message::Hints { pattern })? {
                 Message::Ok => {}
@@ -121,36 +160,102 @@ impl ServerState {
         Ok(())
     }
 
-    /// Step 5: resolve and forward one client request (read or write).
-    fn route(&mut self, msg: Message) -> Result<Message, CodecError> {
-        let file = match &msg {
-            Message::Get { file, .. } | Message::Put { file, .. } => *file,
-            _ => return Ok(Message::Err { code: 3 }),
+    /// Step 5: resolve and forward one client request (read or write),
+    /// failing a read over to the next replica when a copy's node is down
+    /// (routing state or transport error) or its disk cannot serve.
+    fn route(&mut self, msg: Message) -> Message {
+        let (file, is_read) = match &msg {
+            Message::Get { file, .. } => (*file, true),
+            Message::Put { file, .. } => (*file, false),
+            _ => return Message::Err { code: 3 },
         };
-        match self.node_of_file.get(&file).copied() {
-            Some(node) => self.rpc(node, &msg),
-            None => Ok(Message::Err { code: 1 }),
+        let Some(copies) = self.copies_of_file.get(&file).cloned() else {
+            return Message::Err { code: 1 };
+        };
+        // Writes go to the primary only (§III-C write buffering is a
+        // per-node affair; the prototype does not propagate writes to
+        // backups, so failing a write over would fork the copies).
+        let tries = if is_read { copies.len() } else { 1 };
+        for (i, &(node, _disk)) in copies.iter().take(tries).enumerate() {
+            if !self.node_up[node] {
+                continue;
+            }
+            match self.rpc(node, &msg) {
+                Ok(Message::Err { code: 1 | 2 }) if i + 1 < tries => {
+                    // This copy cannot serve (failed disk, lost file);
+                    // fall through to the next one.
+                }
+                Ok(reply) => {
+                    if i > 0 && !matches!(reply, Message::Err { .. }) {
+                        self.failovers += 1;
+                    }
+                    return reply;
+                }
+                Err(_) => {
+                    // Transport failure: the node is gone. Stop routing
+                    // to it and keep trying the remaining copies.
+                    self.node_up[node] = false;
+                }
+            }
         }
+        Message::Err { code: 2 }
+    }
+
+    /// Reconnects to a replacement daemon for `node` and replays the
+    /// node's setup (creates, prefetch, hints) so it holds the same files.
+    fn revive(&mut self, node: usize, port: u16) -> Result<(), CodecError> {
+        let conn = TcpStream::connect(SocketAddr::from(([127, 0, 0, 1], port)))?;
+        self.node_conns[node] = conn;
+        for (file, size, disk) in self.create_log[node].clone() {
+            match self.rpc(node, &Message::CreateFile { file, size, disk })? {
+                Message::Ok => {}
+                _ => return Err(CodecError::Malformed("revived node failed to create file")),
+            }
+        }
+        let files = self.prefetch_log[node].clone();
+        if !files.is_empty() {
+            match self.rpc(node, &Message::Prefetch { files })? {
+                Message::Ok => {}
+                _ => return Err(CodecError::Malformed("revived node failed to prefetch")),
+            }
+        }
+        let pattern = self.hints_log[node].clone();
+        match self.rpc(node, &Message::Hints { pattern })? {
+            Message::Ok => {}
+            _ => return Err(CodecError::Malformed("revived node rejected hints")),
+        }
+        self.node_up[node] = true;
+        Ok(())
     }
 
     fn collect_stats(&mut self) -> Result<ClusterStats, CodecError> {
-        let mut total = ClusterStats::default();
+        let mut total = ClusterStats {
+            failovers: self.failovers,
+            ..ClusterStats::default()
+        };
         for node in 0..self.node_conns.len() {
-            match self.rpc(node, &Message::StatsRequest)? {
-                Message::Stats {
+            if !self.node_up[node] {
+                continue;
+            }
+            match self.rpc(node, &Message::StatsRequest) {
+                Ok(Message::Stats {
                     disk_joules,
                     spin_ups,
                     spin_downs,
                     hits,
                     misses,
-                } => {
+                    failovers: _,
+                }) => {
                     total.disk_joules += disk_joules;
                     total.spin_ups += spin_ups;
                     total.spin_downs += spin_downs;
                     total.hits += hits;
                     total.misses += misses;
                 }
-                _ => return Err(CodecError::Malformed("unexpected reply to StatsRequest")),
+                Ok(_) => return Err(CodecError::Malformed("unexpected reply to StatsRequest")),
+                // A node that died since the last request just drops out
+                // of the totals.
+                Err(_) => self.node_up[node] = false,
             }
         }
         Ok(total)
@@ -158,7 +263,9 @@ impl ServerState {
 
     fn shutdown_nodes(&mut self) {
         for node in 0..self.node_conns.len() {
-            let _ = self.rpc(node, &Message::Shutdown);
+            if self.node_up[node] {
+                let _ = self.rpc(node, &Message::Shutdown);
+            }
         }
     }
 }
@@ -171,24 +278,32 @@ pub struct ServerDaemon {
 }
 
 impl ServerDaemon {
-    /// Connects to the nodes (step 1), performs setup (steps 2–4), then
-    /// serves client requests until it receives `Shutdown` from a client.
+    /// Connects to the nodes (step 1), performs setup (steps 2–4) with
+    /// `replication` copies per file, then serves client requests until it
+    /// receives `Shutdown` from a client.
     pub fn spawn(
         node_addrs: &[SocketAddr],
         disks_per_node: Vec<usize>,
         trace: &Trace,
         prefetch_k: u32,
+        replication: usize,
     ) -> std::io::Result<ServerDaemon> {
         let mut conns = Vec::with_capacity(node_addrs.len());
         for addr in node_addrs {
             conns.push(TcpStream::connect(addr)?);
         }
+        let n_nodes = node_addrs.len();
         let mut state = ServerState {
             node_conns: conns,
-            node_of_file: HashMap::new(),
+            node_up: vec![true; n_nodes],
+            copies_of_file: HashMap::new(),
+            failovers: 0,
+            create_log: vec![Vec::new(); n_nodes],
+            prefetch_log: vec![Vec::new(); n_nodes],
+            hints_log: vec![Vec::new(); n_nodes],
         };
         state
-            .setup(trace, prefetch_k, &disks_per_node)
+            .setup(trace, prefetch_k, &disks_per_node, replication)
             .map_err(|e| std::io::Error::other(format!("setup failed: {e}")))?;
 
         let listener = TcpListener::bind("127.0.0.1:0")?;
@@ -198,15 +313,9 @@ impl ServerDaemon {
             .spawn(move || {
                 'outer: for stream in listener.incoming() {
                     let Ok(mut stream) = stream else { continue };
-                    loop {
-                        let msg = match read_message(&mut stream) {
-                            Ok(m) => m,
-                            Err(_) => break,
-                        };
+                    while let Ok(msg) = read_message(&mut stream) {
                         let reply = match msg {
-                            msg @ (Message::Get { .. } | Message::Put { .. }) => {
-                                state.route(msg).unwrap_or(Message::Err { code: 2 })
-                            }
+                            msg @ (Message::Get { .. } | Message::Put { .. }) => state.route(msg),
                             Message::StatsRequest => match state.collect_stats() {
                                 Ok(s) => Message::Stats {
                                     disk_joules: s.disk_joules,
@@ -214,6 +323,7 @@ impl ServerDaemon {
                                     spin_downs: s.spin_downs,
                                     hits: s.hits,
                                     misses: s.misses,
+                                    failovers: s.failovers,
                                 },
                                 Err(_) => Message::Err { code: 2 },
                             },
@@ -221,9 +331,34 @@ impl ServerDaemon {
                                 let n = node as usize;
                                 if n < state.node_conns.len() {
                                     // Best effort: the node acks Shutdown
-                                    // and its thread exits.
+                                    // and its thread exits. Routing skips
+                                    // it from here on.
                                     let _ = state.rpc(n, &Message::Shutdown);
+                                    state.node_up[n] = false;
                                     Message::Ok
+                                } else {
+                                    Message::Err { code: 3 }
+                                }
+                            }
+                            msg @ (Message::FailDisk { .. } | Message::RepairDisk { .. }) => {
+                                let node = match msg {
+                                    Message::FailDisk { node, .. }
+                                    | Message::RepairDisk { node, .. } => node as usize,
+                                    _ => unreachable!(),
+                                };
+                                if node < state.node_conns.len() && state.node_up[node] {
+                                    state.rpc(node, &msg).unwrap_or(Message::Err { code: 2 })
+                                } else {
+                                    Message::Err { code: 3 }
+                                }
+                            }
+                            Message::ReviveNode { node, port } => {
+                                let n = node as usize;
+                                if n < state.node_conns.len() {
+                                    match state.revive(n, port) {
+                                        Ok(()) => Message::Ok,
+                                        Err(_) => Message::Err { code: 2 },
+                                    }
                                 } else {
                                     Message::Err { code: 3 }
                                 }

@@ -69,7 +69,9 @@ impl FileStore {
     }
 
     fn data_path(&self, disk: usize, file: u32) -> PathBuf {
-        self.root.join(format!("disk{disk}")).join(format!("f{file:08}"))
+        self.root
+            .join(format!("disk{disk}"))
+            .join(format!("f{file:08}"))
     }
 
     fn buffer_path(&self, file: u32) -> PathBuf {
@@ -125,7 +127,9 @@ impl FileStore {
 
     /// Size of a file on a data disk, if present.
     pub fn data_size(&self, disk: usize, file: u32) -> Option<u64> {
-        fs::metadata(self.data_path(disk, file)).ok().map(|m| m.len())
+        fs::metadata(self.data_path(disk, file))
+            .ok()
+            .map(|m| m.len())
     }
 }
 

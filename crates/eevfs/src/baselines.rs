@@ -79,7 +79,9 @@ mod tests {
     #[test]
     fn maid_uses_lru_and_timers() {
         let c = maid(1 << 30);
-        assert!(matches!(c.buffer, BufferPolicy::MaidLru { capacity_bytes } if capacity_bytes == 1 << 30));
+        assert!(
+            matches!(c.buffer, BufferPolicy::MaidLru { capacity_bytes } if capacity_bytes == 1 << 30)
+        );
         assert_eq!(c.power, PowerPolicy::IdleTimer);
         assert_eq!(c.prefetch_k(), 0);
     }

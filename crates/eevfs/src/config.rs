@@ -88,10 +88,16 @@ impl ClusterSpec {
     pub fn paper_testbed_with(data_disks_per_node: usize) -> ClusterSpec {
         let mut nodes = Vec::with_capacity(8);
         for i in 0..4 {
-            nodes.push(NodeSpec::type1(format!("node{}-t1", i + 1), data_disks_per_node));
+            nodes.push(NodeSpec::type1(
+                format!("node{}-t1", i + 1),
+                data_disks_per_node,
+            ));
         }
         for i in 0..4 {
-            nodes.push(NodeSpec::type2(format!("node{}-t2", i + 5), data_disks_per_node));
+            nodes.push(NodeSpec::type2(
+                format!("node{}-t2", i + 5),
+                data_disks_per_node,
+            ));
         }
         ClusterSpec {
             server_nic: Link::gigabit(),
@@ -129,15 +135,20 @@ impl ClusterSpec {
             if n.data_disks.is_empty() {
                 return Err(format!("node {} has no data disks", n.name));
             }
-            n.buffer_disk.validate().map_err(|e| format!("{}: buffer disk: {e}", n.name))?;
+            n.buffer_disk
+                .validate()
+                .map_err(|e| format!("{}: buffer disk: {e}", n.name))?;
             for d in &n.data_disks {
-                d.validate().map_err(|e| format!("{}: data disk: {e}", n.name))?;
+                d.validate()
+                    .map_err(|e| format!("{}: data disk: {e}", n.name))?;
             }
             if !(n.base_power_w >= 0.0 && n.base_power_w.is_finite()) {
                 return Err(format!("node {} base power invalid", n.name));
             }
         }
-        self.server_disk.validate().map_err(|e| format!("server disk: {e}"))?;
+        self.server_disk
+            .validate()
+            .map_err(|e| format!("server disk: {e}"))?;
         Ok(())
     }
 }
@@ -194,6 +205,24 @@ pub enum PowerPolicy {
     None,
 }
 
+/// Which copy serves a read when a file has several replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicaSelection {
+    /// Prefer a buffer-resident copy, then a copy whose home data disk is
+    /// already spinning, and only wake a standby disk when every healthy
+    /// copy is cold. This keeps replication from eroding the paper's
+    /// energy savings: a redundant copy that happens to sit behind an
+    /// awake spindle is free, a spin-up is not.
+    EnergyAware,
+    /// Uniform choice among healthy copies (deterministic, seeded by the
+    /// request index). The natural load-balancing baseline the faults
+    /// ablation compares energy-aware selection against.
+    RandomHealthy,
+    /// Always the first healthy copy in placement order (primary unless
+    /// it is down). Mirrors an R=1 system plus pure failover.
+    Primary,
+}
+
 /// How the client replays the trace (§V-B: "we have added 0 to 1000 ms
 /// of inter-arrival delay between requests").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -238,6 +267,12 @@ pub struct EevfsConfig {
     pub striping: bool,
     /// Trace replay discipline.
     pub arrival: ArrivalMode,
+    /// Copies kept of every file (1 = the paper's unreplicated layout).
+    /// Replicas are placed with node anti-affinity on top of the
+    /// placement policy; values above the node count are clamped.
+    pub replication: u32,
+    /// Read-side replica choice when `replication > 1`.
+    pub replica_selection: ReplicaSelection,
 }
 
 impl EevfsConfig {
@@ -252,6 +287,16 @@ impl EevfsConfig {
             write_buffer: true,
             striping: false,
             arrival: ArrivalMode::OpenLoop,
+            replication: 1,
+            replica_selection: ReplicaSelection::EnergyAware,
+        }
+    }
+
+    /// EEVFS-PF with `r`-way replication and energy-aware read selection.
+    pub fn paper_pf_replicated(k: u32, r: u32) -> EevfsConfig {
+        EevfsConfig {
+            replication: r,
+            ..Self::paper_pf(k)
         }
     }
 
@@ -304,7 +349,11 @@ mod tests {
         let c = ClusterSpec::paper_testbed();
         assert_eq!(c.node_count(), 8);
         let t1 = c.nodes.iter().filter(|n| n.nic == Link::gigabit()).count();
-        let t2 = c.nodes.iter().filter(|n| n.nic == Link::fast_ethernet()).count();
+        let t2 = c
+            .nodes
+            .iter()
+            .filter(|n| n.nic == Link::fast_ethernet())
+            .count();
         assert_eq!((t1, t2), (4, 4));
         assert_eq!(c.server_disk.bandwidth_bps, 100 * 1_000_000);
         assert!(c.validate().is_ok());
@@ -336,7 +385,10 @@ mod tests {
     #[test]
     fn idle_threshold_default_is_five_seconds() {
         // Table II: Disk Idle Threshold (sec) = 5.
-        assert_eq!(EevfsConfig::paper_pf(70).idle_threshold, SimDuration::from_secs(5));
+        assert_eq!(
+            EevfsConfig::paper_pf(70).idle_threshold,
+            SimDuration::from_secs(5)
+        );
     }
 
     #[test]

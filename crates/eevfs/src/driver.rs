@@ -21,15 +21,17 @@
 //! `sim-core`; a run is a pure function of `(cluster, cfg, trace)`.
 
 use crate::buffer::BufferCatalog;
-use crate::config::{BufferPolicy, ClusterSpec, EevfsConfig};
+use crate::config::{BufferPolicy, ClusterSpec, EevfsConfig, ReplicaSelection};
 use crate::metadata::ServerMetadata;
 use crate::metrics::{NodeMetrics, PrefetchStats, ResponseStats, RunMetrics};
 use crate::placement::{place, PlacementPlan};
 use crate::power::{DiskPredictor, PowerManager, SleepDecision};
 use crate::prefetch::{plan_topk, predict_benefit, PrefetchPlan};
+use crate::replication::{replicate, select_replica, ReplicaPlan, Selected};
 use crate::server::StorageServer;
 use disk_model::perf::AccessKind;
 use disk_model::{Disk, TransitionCounts};
+use fault_model::{FaultEvent, FaultPlan, HealthTracker};
 use net_model::message::control_message_time;
 use net_model::Nic;
 use sim_core::{Engine, EventQueue, Model, SimDuration, SimTime};
@@ -53,13 +55,25 @@ struct ReqState {
     /// Actual submission time (equals `trace_at` under open loop).
     submitted: SimTime,
     node: usize,
+    /// Local data disk of the replica serving this request (the primary's
+    /// placement disk unless a redirect chose another copy).
+    disk: usize,
     op: Op,
     size: u64,
     file: workload::record::FileId,
     from_buffer: bool,
     spun_up: bool,
+    /// Routing attempts so far; bounded by [`MAX_ROUTE_ATTEMPTS`].
+    attempts: u32,
     response_s: Option<f64>,
 }
+
+/// Delay before a request that found no serviceable replica is re-routed.
+const ROUTE_RETRY_BACKOFF_MS: u64 = 500;
+/// Routing attempts before a request is abandoned (counted in
+/// [`RunMetrics::failed_requests`]); 240 × 500 ms = a two-minute budget,
+/// enough to ride out the default repair/restart times.
+const MAX_ROUTE_ATTEMPTS: u32 = 240;
 
 /// Simulation events.
 enum Ev {
@@ -78,6 +92,9 @@ enum Ev {
     NicDone(u32),
     /// MAID copy-in at the moment the miss read completed.
     MaidFill(u32),
+    /// A fault-plan event comes due (the health tracker's own cursor
+    /// knows which).
+    Fault,
     /// Power-management check for a data disk.
     SleepCheck {
         node: u16,
@@ -95,6 +112,8 @@ struct ClusterSim {
     nodes: Vec<NodeState>,
     power: PowerManager,
     placement: PlacementPlan,
+    replicas: ReplicaPlan,
+    health: HealthTracker,
     prefetch_member: Vec<bool>,
     reqs: Vec<ReqState>,
     /// Client -> server control-message time.
@@ -110,6 +129,10 @@ struct ClusterSim {
     destages: u64,
     maid_fills: u64,
     responses_recorded: u64,
+    fault_events: u64,
+    replica_redirects: u64,
+    spin_up_failures: u64,
+    failed_requests: u64,
 }
 
 impl ClusterSim {
@@ -195,7 +218,9 @@ impl ClusterSim {
                 continue;
             }
             // Read back from the buffer log, write to the data disk(s).
-            self.nodes[node].buffer_disk.submit(now, size, AccessKind::Sequential);
+            self.nodes[node]
+                .buffer_disk
+                .submit(now, size, AccessKind::Sequential);
             self.physical_io(node, disk, size, AccessKind::Sequential, now);
             self.nodes[node].catalog.mark_clean(file);
             self.destages += 1;
@@ -219,6 +244,60 @@ impl ClusterSim {
         r.response_s = Some((now - r.submitted).as_secs_f64());
         self.responses_recorded += 1;
     }
+
+    /// True when `(node, disk)` is the file's placement-plan home — the
+    /// copy whose accesses the idle-window predictors were trained on.
+    fn is_primary_copy(&self, node: usize, disk: usize, file: workload::record::FileId) -> bool {
+        self.placement.node_of_file[file.index()] as usize == node
+            && self.placement.disk_of_file[file.index()] as usize == disk
+    }
+
+    /// Picks the replica to serve this request. Reads use the configured
+    /// selection policy; writes always land on the first serviceable copy
+    /// in placement order so the authoritative copy stays the primary
+    /// whenever it is up.
+    fn select_for(&self, req: u32) -> Option<Selected> {
+        let r = &self.reqs[req as usize];
+        let file = r.file;
+        let policy = match r.op {
+            Op::Read => self.cfg.replica_selection,
+            Op::Write => ReplicaSelection::Primary,
+        };
+        select_replica(
+            self.replicas.of(file),
+            policy,
+            |n, d| {
+                self.health.node_ok(n)
+                    && (self.health.disk_ok(n, d) || self.nodes[n].catalog.contains(file))
+            },
+            |n| self.nodes[n].catalog.contains(file),
+            |n, d| self.health.disk_ok(n, d) && !self.nodes[n].data_disks[d].is_sleeping(),
+            req as u64,
+        )
+    }
+
+    /// Degraded mode: sends the request back through routing after a
+    /// backoff, or abandons it once the attempt budget is spent (the
+    /// response is recorded at give-up time so the run still terminates
+    /// and accounts every request).
+    fn retry_route(&mut self, req: u32, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let attempts = {
+            let r = &mut self.reqs[req as usize];
+            r.from_buffer = false;
+            r.attempts += 1;
+            r.attempts
+        };
+        if attempts >= MAX_ROUTE_ATTEMPTS {
+            self.failed_requests += 1;
+            self.record_response(req, now);
+            self.maybe_issue_next(now, queue);
+        } else {
+            queue.schedule(
+                now + SimDuration::from_millis(ROUTE_RETRY_BACKOFF_MS),
+                Ev::ServerArrive(req),
+            );
+        }
+    }
 }
 
 impl Model for ClusterSim {
@@ -238,16 +317,27 @@ impl Model for ClusterSim {
             }
 
             Ev::ServerArrive(req) => {
-                let file = self.reqs[req as usize].file;
-                let (node, done) = self.server.route(now, file);
-                self.reqs[req as usize].node = node;
-                queue.schedule(
-                    done,
-                    Ev::ServerDone {
-                        req,
-                        node: node as u32,
-                    },
-                );
+                match self.select_for(req) {
+                    Some(sel) => {
+                        if sel.replica != 0 {
+                            self.replica_redirects += 1;
+                        }
+                        let done = self.server.admit(now);
+                        let r = &mut self.reqs[req as usize];
+                        r.node = sel.node;
+                        r.disk = sel.disk;
+                        queue.schedule(
+                            done,
+                            Ev::ServerDone {
+                                req,
+                                node: sel.node as u32,
+                            },
+                        );
+                    }
+                    // Every copy is currently unreachable: back off and
+                    // re-route (bounded).
+                    None => self.retry_route(req, now, queue),
+                }
             }
 
             Ev::ServerDone { req, node } => {
@@ -256,21 +346,46 @@ impl Model for ClusterSim {
             }
 
             Ev::NodeArrive(req) => {
-                let (node, file, size, op) = {
+                let (node, disk, file, size, op) = {
                     let r = &self.reqs[req as usize];
-                    (r.node, r.file, r.size, r.op)
+                    (r.node, r.disk, r.file, r.size, r.op)
                 };
+                // The node may have crashed while the request was in
+                // flight: route again from the server.
+                if !self.health.node_ok(node) {
+                    self.retry_route(req, now, queue);
+                    return;
+                }
                 match op {
                     Op::Read => {
                         let resident = self.nodes[node].catalog.lookup(file);
                         if resident {
                             let comp =
-                                self.nodes[node].buffer_disk.submit(now, size, AccessKind::Random);
+                                self.nodes[node]
+                                    .buffer_disk
+                                    .submit(now, size, AccessKind::Random);
                             self.reqs[req as usize].from_buffer = true;
                             queue.schedule(comp.finish, Ev::DiskDone(req));
                         } else {
-                            let disk = self.placement.disk_of_file[file.index()] as usize;
-                            if !self.prefetch_member[file.index()] {
+                            if !self.health.disk_ok(node, disk) {
+                                self.retry_route(req, now, queue);
+                                return;
+                            }
+                            // Injected spin-up failure: the wake attempt
+                            // errors out and the request falls back to
+                            // routing (another replica, or this disk's
+                            // retried spin-up, which succeeds — the
+                            // poisoning is consume-once).
+                            if self.nodes[node].data_disks[disk].is_sleeping()
+                                && self.health.take_spin_up_failure(node, disk)
+                            {
+                                self.spin_up_failures += 1;
+                                self.retry_route(req, now, queue);
+                                return;
+                            }
+                            if self.is_primary_copy(node, disk, file)
+                                && !self.prefetch_member[file.index()]
+                            {
                                 self.consume_predicted(node, disk);
                             }
                             let (finish, spun_up) =
@@ -330,15 +445,27 @@ impl Model for ClusterSim {
                         self.maybe_issue_next(now, queue);
                     }
                     Op::Write => {
+                        // The node may have died while the payload was in
+                        // flight; the client re-sends through the server.
+                        if !self.health.node_ok(node) {
+                            self.retry_route(req, now, queue);
+                            return;
+                        }
                         if from_buffer {
                             // Append to the buffer-disk log.
-                            let comp = self.nodes[node]
-                                .buffer_disk
-                                .submit(now, size, AccessKind::Sequential);
+                            let comp = self.nodes[node].buffer_disk.submit(
+                                now,
+                                size,
+                                AccessKind::Sequential,
+                            );
                             queue.schedule(comp.finish, Ev::DiskDone(req));
                         } else {
-                            let disk = self.placement.disk_of_file[file.index()] as usize;
-                            if !self.cfg.write_buffer {
+                            let disk = self.reqs[req as usize].disk;
+                            if !self.health.disk_ok(node, disk) {
+                                self.retry_route(req, now, queue);
+                                return;
+                            }
+                            if !self.cfg.write_buffer && self.is_primary_copy(node, disk, file) {
                                 self.consume_predicted(node, disk);
                             }
                             let (finish, spun_up) =
@@ -361,9 +488,19 @@ impl Model for ClusterSim {
                 };
                 if self.nodes[node].catalog.insert_lru(file, size).is_ok() {
                     // Copy-in: sequential append on the buffer disk.
-                    self.nodes[node].buffer_disk.submit(now, size, AccessKind::Sequential);
+                    self.nodes[node]
+                        .buffer_disk
+                        .submit(now, size, AccessKind::Sequential);
                     self.maid_fills += 1;
                 }
+            }
+
+            Ev::Fault => {
+                // Apply every plan event due by now (same-instant events
+                // fold into one application; the cursor makes this
+                // idempotent).
+                let fired = self.health.apply_until(now);
+                self.fault_events += fired.len() as u64;
             }
 
             Ev::SleepCheck {
@@ -411,7 +548,22 @@ impl Model for ClusterSim {
 /// Panics on invalid cluster specs or traces — experiment configs are
 /// programmer input, not runtime data.
 pub fn run_cluster(cluster: &ClusterSpec, cfg: &EevfsConfig, trace: &Trace) -> RunMetrics {
-    run_cluster_inner(cluster, cfg, trace, false).0
+    run_cluster_inner(cluster, cfg, trace, false, &FaultPlan::none()).0
+}
+
+/// Like [`run_cluster`], but injects the fault schedule into the replay.
+/// Plan times are relative to the start of the trace replay (after the
+/// prefetch warm-up). Requests that hit a dead node or disk are re-routed
+/// to surviving replicas with a bounded retry budget; the run always
+/// terminates and accounts every request, abandoned ones included
+/// (`failed_requests`).
+pub fn run_cluster_faulted(
+    cluster: &ClusterSpec,
+    cfg: &EevfsConfig,
+    trace: &Trace,
+    faults: &FaultPlan,
+) -> RunMetrics {
+    run_cluster_inner(cluster, cfg, trace, false, faults).0
 }
 
 /// Like [`run_cluster`], but also records and returns the whole-cluster
@@ -423,7 +575,7 @@ pub fn run_cluster_traced(
     cfg: &EevfsConfig,
     trace: &Trace,
 ) -> (RunMetrics, sim_core::TimeSeries) {
-    let (metrics, curve) = run_cluster_inner(cluster, cfg, trace, true);
+    let (metrics, curve) = run_cluster_inner(cluster, cfg, trace, true, &FaultPlan::none());
     (metrics, curve.expect("curve recording was requested"))
 }
 
@@ -432,13 +584,31 @@ fn run_cluster_inner(
     cfg: &EevfsConfig,
     trace: &Trace,
     record_curve: bool,
+    faults: &FaultPlan,
 ) -> (RunMetrics, Option<sim_core::TimeSeries>) {
-    cluster.validate().unwrap_or_else(|e| panic!("bad cluster: {e}"));
-    trace.validate().unwrap_or_else(|e| panic!("bad trace: {e}"));
+    cluster
+        .validate()
+        .unwrap_or_else(|e| panic!("bad cluster: {e}"));
+    trace
+        .validate()
+        .unwrap_or_else(|e| panic!("bad trace: {e}"));
+    {
+        let max_disks = cluster.data_disk_counts().into_iter().max().unwrap_or(0) as u32;
+        let stray = faults.out_of_range(cluster.node_count() as u32, max_disks);
+        assert!(
+            stray.is_empty(),
+            "fault plan targets outside the cluster: {stray:?}"
+        );
+    }
 
     // Steps 1-2: popularity and placement.
     let popularity = PopularityTable::from_trace(trace);
     let placement = place(cfg.placement, &popularity, &cluster.data_disk_counts());
+    let replicas = replicate(
+        &placement,
+        cfg.replication.max(1) as usize,
+        &cluster.data_disk_counts(),
+    );
 
     // Step 3: plan the prefetch against buffer capacities.
     let buffer_caps: Vec<u64> = cluster
@@ -460,13 +630,13 @@ fn run_cluster_inner(
     let prefetch_member = plan.membership(trace.file_count());
 
     // Step 4 (hints): the energy prediction model.
-    let data_specs: Vec<Vec<disk_model::DiskSpec>> = cluster
+    let data_specs: Vec<Vec<disk_model::DiskSpec>> =
+        cluster.nodes.iter().map(|n| n.data_disks.clone()).collect();
+    let buffer_specs: Vec<disk_model::DiskSpec> = cluster
         .nodes
         .iter()
-        .map(|n| n.data_disks.clone())
+        .map(|n| n.buffer_disk.clone())
         .collect();
-    let buffer_specs: Vec<disk_model::DiskSpec> =
-        cluster.nodes.iter().map(|n| n.buffer_disk.clone()).collect();
     let benefit = predict_benefit(trace, &placement, &plan, &data_specs, &buffer_specs, cfg);
 
     // Build node state.
@@ -524,7 +694,9 @@ fn run_cluster_inner(
         // time-monotone.
         read_done.sort_by_key(|&(t, f, _)| (t, f));
         for (t, f, size) in read_done {
-            let comp = nodes[node_idx].buffer_disk.submit(t, size, AccessKind::Sequential);
+            let comp = nodes[node_idx]
+                .buffer_disk
+                .submit(t, size, AccessKind::Sequential);
             nodes[node_idx]
                 .catalog
                 .insert_pinned(f, size)
@@ -581,13 +753,32 @@ fn run_cluster_inner(
     let power = PowerManager::new(cfg, prefetch_active, benefit.worthwhile, predictors);
     let power_engaged = power.engaged();
 
+    let replica_nodes: Vec<Vec<u32>> = replicas
+        .replicas
+        .iter()
+        .map(|copies| copies.iter().map(|&(n, _)| n).collect())
+        .collect();
     let server = StorageServer::new(
-        ServerMetadata::new(placement.node_of_file.clone(), trace.file_sizes.clone()),
+        ServerMetadata::with_replicas(
+            placement.node_of_file.clone(),
+            trace.file_sizes.clone(),
+            replica_nodes,
+        ),
         cluster.server_proc_time,
     );
 
+    // Fault schedule, shifted from replay-relative time into sim time.
+    let shifted_faults = FaultPlan::from_trace(faults.events().iter().map(|e| FaultEvent {
+        at: e.at + warmup,
+        kind: e.kind,
+    }));
+    let max_disks = cluster.data_disk_counts().into_iter().max().unwrap_or(0);
+    let health = HealthTracker::new(shifted_faults.clone(), cluster.node_count(), max_disks);
+
     let ctl_client_server = control_message_time(
-        &cluster.client_nic.compose(&cluster.server_nic, cluster.switch_latency),
+        &cluster
+            .client_nic
+            .compose(&cluster.server_nic, cluster.switch_latency),
         cluster.software_overhead,
     );
 
@@ -598,11 +789,13 @@ fn run_cluster_inner(
             trace_at: r.at + warmup,
             submitted: r.at + warmup,
             node: usize::MAX,
+            disk: usize::MAX,
             op: r.op,
             size: r.size,
             file: r.file,
             from_buffer: false,
             spun_up: false,
+            attempts: 0,
             response_s: None,
         })
         .collect();
@@ -631,6 +824,8 @@ fn run_cluster_inner(
         nodes,
         power,
         placement,
+        replicas,
+        health,
         prefetch_member,
         reqs,
         ctl_client_server,
@@ -642,9 +837,17 @@ fn run_cluster_inner(
         destages: 0,
         maid_fills: 0,
         responses_recorded: 0,
+        fault_events: 0,
+        replica_redirects: 0,
+        spin_up_failures: 0,
+        failed_requests: 0,
     };
 
     let mut engine = Engine::new(sim);
+    // Fault events fire at their scheduled instants.
+    for e in shifted_faults.events() {
+        engine.queue_mut().schedule(e.at, Ev::Fault);
+    }
     // Initial power check: disks idle after their prefetch tail.
     for node in 0..cluster.node_count() {
         for disk in 0..cluster.nodes[node].data_disks.len() {
@@ -680,7 +883,9 @@ fn run_cluster_inner(
         engine.model_mut().next_issue = seed;
     } else {
         for (i, r) in trace.records.iter().enumerate() {
-            engine.queue_mut().schedule(r.at + warmup, Ev::Issue(i as u32));
+            engine
+                .queue_mut()
+                .schedule(r.at + warmup, Ev::Issue(i as u32));
         }
         engine.model_mut().next_issue = trace.len();
     }
@@ -717,8 +922,7 @@ fn run_cluster_inner(
     let mut per_node = Vec::with_capacity(sim.nodes.len());
     let mut disk_energy = 0.0;
     let mut base_energy = 0.0;
-    let mut warmup_energy =
-        (cluster.server_base_power_w + cluster.server_disk.p_idle_w) * warmup_s;
+    let mut warmup_energy = (cluster.server_base_power_w + cluster.server_disk.p_idle_w) * warmup_s;
     let mut transitions = TransitionCounts::default();
     let mut buffer_hits = 0;
     let mut buffer_misses = 0;
@@ -815,6 +1019,10 @@ fn run_cluster_inner(
         },
         predicted_benefit_j: benefit.net_j(),
         power_engaged,
+        fault_events: sim.fault_events,
+        replica_redirects: sim.replica_redirects,
+        spin_up_failures: sim.spin_up_failures,
+        failed_requests: sim.failed_requests,
         per_node,
     };
     (metrics, curve)
@@ -917,7 +1125,10 @@ mod tests {
         let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
         let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
         let penalty = pf.response_penalty_vs(&npf);
-        assert!(penalty > -0.05, "PF should not be dramatically faster: {penalty}");
+        assert!(
+            penalty > -0.05,
+            "PF should not be dramatically faster: {penalty}"
+        );
         assert!(penalty < 3.0, "PF penalty out of control: {penalty}");
     }
 
@@ -1101,7 +1312,11 @@ mod tests {
         assert!(m.response.mean_s < 3.0, "mean {}", m.response.mean_s);
         // Run duration ~ sum of responses.
         let sum: f64 = m.response_samples_s.iter().sum();
-        assert!((m.duration_s - sum).abs() / sum < 0.2, "duration {} vs sum {sum}", m.duration_s);
+        assert!(
+            (m.duration_s - sum).abs() / sum < 0.2,
+            "duration {} vs sum {sum}",
+            m.duration_s
+        );
     }
 
     #[test]
@@ -1124,6 +1339,135 @@ mod tests {
         // Identical metrics to the untraced run.
         let plain = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
         assert_eq!(m, plain);
+    }
+
+    #[test]
+    fn replicated_healthy_run_matches_unreplicated_shape() {
+        // With no faults and energy-aware selection, R=2 should behave
+        // like R=1 on the hot path: buffered reads stay on the primary
+        // (the only buffered copy), so hits and responses are unchanged.
+        let trace = small_trace(10.0, 200);
+        let cluster = ClusterSpec::paper_testbed();
+        let r1 = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+        let r2 = run_cluster(&cluster, &EevfsConfig::paper_pf_replicated(70, 2), &trace);
+        assert_eq!(r1.buffer_hits, r2.buffer_hits);
+        assert_eq!(r2.failed_requests, 0);
+        assert_eq!(r2.fault_events, 0);
+    }
+
+    #[test]
+    fn node_crash_with_replicas_loses_no_requests() {
+        // The acceptance case: R=2, one node crashes mid-trace and never
+        // comes back; every request still completes via the surviving
+        // replicas.
+        let trace = small_trace(1000.0, 300);
+        let cluster = ClusterSpec::paper_testbed();
+        let mid = trace.records[trace.len() / 2].at;
+        let faults = FaultPlan::builder().node_crash(mid, 0).build();
+        let cfg = EevfsConfig::paper_pf_replicated(70, 2);
+        let m = run_cluster_faulted(&cluster, &cfg, &trace, &faults);
+        assert_eq!(m.response.count, 300);
+        assert_eq!(m.failed_requests, 0, "replicas must absorb the crash");
+        assert_eq!(m.fault_events, 1);
+        assert!(
+            m.replica_redirects > 0,
+            "requests owned by node 0 must fail over"
+        );
+    }
+
+    #[test]
+    fn disk_failure_with_replicas_loses_no_requests() {
+        let trace = small_trace(1000.0, 300);
+        let cluster = ClusterSpec::paper_testbed();
+        let mid = trace.records[trace.len() / 2].at;
+        let faults = FaultPlan::builder().disk_fail(mid, 1, 0).build();
+        let cfg = EevfsConfig::paper_pf_replicated(70, 2);
+        let m = run_cluster_faulted(&cluster, &cfg, &trace, &faults);
+        assert_eq!(m.response.count, 300);
+        assert_eq!(m.failed_requests, 0);
+    }
+
+    #[test]
+    fn unreplicated_crash_heals_after_restart() {
+        // R=1 with a crash and a restart inside the retry budget: slow
+        // (retries) but no losses.
+        let trace = small_trace(1000.0, 200);
+        let cluster = ClusterSpec::paper_testbed();
+        let mid = trace.records[trace.len() / 2].at;
+        let faults = FaultPlan::builder()
+            .node_crash(mid, 2)
+            .node_restart(mid + SimDuration::from_secs(10), 2)
+            .build();
+        let m = run_cluster_faulted(&cluster, &EevfsConfig::paper_pf(70), &trace, &faults);
+        assert_eq!(m.response.count, 200);
+        assert_eq!(m.failed_requests, 0);
+        assert_eq!(m.fault_events, 2);
+    }
+
+    #[test]
+    fn unreplicated_permanent_crash_abandons_bounded() {
+        // R=1, node dies for good: its requests exhaust the retry budget
+        // and are counted, and the run still terminates with every
+        // request accounted.
+        let trace = small_trace(1000.0, 100);
+        let cluster = ClusterSpec::paper_testbed();
+        let faults = FaultPlan::builder().node_crash(SimTime::ZERO, 0).build();
+        let m = run_cluster_faulted(&cluster, &EevfsConfig::paper_npf(), &trace, &faults);
+        assert_eq!(m.response.count, 100);
+        assert!(m.failed_requests > 0, "node 0's files are unreachable");
+        assert!(m.failed_requests < 100, "other nodes still serve");
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let trace = small_trace(1000.0, 200);
+        let cluster = ClusterSpec::paper_testbed();
+        let faults = FaultPlan::generate(&fault_model::FaultSpec {
+            seed: 7,
+            horizon: SimDuration::from_secs(600),
+            nodes: 8,
+            disks_per_node: 2,
+            disk_fail_per_hour: 6.0,
+            mean_repair: SimDuration::from_secs(30),
+            node_crash_per_hour: 6.0,
+            mean_restart: SimDuration::from_secs(20),
+            spin_up_fail_per_hour: 12.0,
+        });
+        let cfg = EevfsConfig::paper_pf_replicated(70, 2);
+        let a = run_cluster_faulted(&cluster, &cfg, &trace, &faults);
+        let b = run_cluster_faulted(&cluster, &cfg, &trace, &faults);
+        assert_eq!(
+            a, b,
+            "same (config, trace, fault plan) must replay bit-identically"
+        );
+        assert_eq!(a.response.count, 200);
+    }
+
+    #[test]
+    fn spin_up_poisoning_is_counted() {
+        // Poison every disk just after the replay starts on a trace with
+        // misses; at least one wake attempt must hit the poisoning.
+        let trace = small_trace(1000.0, 300);
+        let cluster = ClusterSpec::paper_testbed();
+        let mut b = FaultPlan::builder();
+        for node in 0..8 {
+            for disk in 0..2 {
+                b = b.spin_up_fail(SimTime::from_secs(1), node, disk);
+            }
+        }
+        let m = run_cluster_faulted(&cluster, &EevfsConfig::paper_pf(70), &trace, &b.build());
+        assert_eq!(m.response.count, 300);
+        assert_eq!(m.failed_requests, 0, "poisoning is transient");
+        assert!(m.spin_up_failures > 0, "some wake attempt must fail");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the cluster")]
+    fn out_of_range_fault_plan_is_rejected() {
+        let trace = small_trace(100.0, 10);
+        let cluster = ClusterSpec::paper_testbed();
+        let faults = FaultPlan::builder().node_crash(SimTime::ZERO, 99).build();
+        let _ = run_cluster_faulted(&cluster, &EevfsConfig::paper_npf(), &trace, &faults);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod metrics;
 pub mod placement;
 pub mod power;
 pub mod prefetch;
+pub mod replication;
 pub mod server;
 
 pub use config::{ClusterSpec, EevfsConfig, NodeSpec};

@@ -11,11 +11,15 @@
 use serde::{Deserialize, Serialize};
 use workload::record::FileId;
 
-/// The server's global metadata: file → storage node, file size.
+/// The server's global metadata: file → storage node(s), file size.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerMetadata {
     node_of_file: Vec<u32>,
     size_of_file: Vec<u64>,
+    /// Replica node sets, primary first; empty inner vec = unreplicated
+    /// (primary only). Kept sparse so R=1 metadata stays byte-compatible
+    /// in size with the seed layout.
+    replica_nodes: Vec<Vec<u32>>,
 }
 
 impl ServerMetadata {
@@ -26,10 +30,52 @@ impl ServerMetadata {
             size_of_file.len(),
             "placement and size tables must cover the same files"
         );
+        let files = node_of_file.len();
         ServerMetadata {
             node_of_file,
             size_of_file,
+            replica_nodes: vec![Vec::new(); files],
         }
+    }
+
+    /// Builds the map with explicit replica node sets (`replica_nodes[f]`
+    /// lists every node holding a copy, primary first — it must agree
+    /// with `node_of_file[f]` in slot 0).
+    pub fn with_replicas(
+        node_of_file: Vec<u32>,
+        size_of_file: Vec<u64>,
+        replica_nodes: Vec<Vec<u32>>,
+    ) -> Self {
+        assert_eq!(
+            node_of_file.len(),
+            replica_nodes.len(),
+            "replica table must cover every file"
+        );
+        for (f, set) in replica_nodes.iter().enumerate() {
+            assert!(
+                set.is_empty() || set[0] == node_of_file[f],
+                "file {f}: replica set must lead with the primary"
+            );
+        }
+        let mut m = Self::new(node_of_file, size_of_file);
+        m.replica_nodes = replica_nodes;
+        m
+    }
+
+    /// Every node holding a copy of the file, primary first. Falls back
+    /// to the primary alone for unreplicated files.
+    pub fn nodes_of(&self, file: FileId) -> Vec<u32> {
+        let set = &self.replica_nodes[file.index()];
+        if set.is_empty() {
+            vec![self.node_of_file[file.index()]]
+        } else {
+            set.clone()
+        }
+    }
+
+    /// Replication factor of a file (1 when unreplicated).
+    pub fn replication_of(&self, file: FileId) -> usize {
+        self.replica_nodes[file.index()].len().max(1)
     }
 
     /// Number of files tracked.
@@ -85,7 +131,11 @@ impl NodeMetadata {
     /// paper's step-3 file creation).
     pub fn create(&mut self, file: FileId, disk: usize) {
         let slot = &mut self.disk_of_file[file.index()];
-        assert_eq!(*slot, NOT_HOSTED, "file {} created twice on this node", file.0);
+        assert_eq!(
+            *slot, NOT_HOSTED,
+            "file {} created twice on this node",
+            file.0
+        );
         *slot = disk as u32;
         self.hosted.push(file);
     }
@@ -133,6 +183,26 @@ mod tests {
     #[should_panic(expected = "same files")]
     fn server_metadata_rejects_mismatched_tables() {
         let _ = ServerMetadata::new(vec![0, 1], vec![10]);
+    }
+
+    #[test]
+    fn replica_sets_fall_back_to_primary() {
+        let m = ServerMetadata::new(vec![2, 0], vec![1, 1]);
+        assert_eq!(m.nodes_of(FileId(0)), vec![2]);
+        assert_eq!(m.replication_of(FileId(0)), 1);
+
+        let m = ServerMetadata::with_replicas(vec![2, 0], vec![1, 1], vec![vec![2, 0], vec![0, 1]]);
+        assert_eq!(m.nodes_of(FileId(0)), vec![2, 0]);
+        assert_eq!(m.nodes_of(FileId(1)), vec![0, 1]);
+        assert_eq!(m.replication_of(FileId(1)), 2);
+        // Primary lookup unchanged by replication.
+        assert_eq!(m.node_of(FileId(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lead with the primary")]
+    fn replica_set_must_start_at_primary() {
+        let _ = ServerMetadata::with_replicas(vec![2], vec![1], vec![vec![0, 2]]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use disk_model::TransitionCounts;
 use serde::{Deserialize, Serialize};
-use sim_core::stats::percentile;
+use sim_core::stats::{percentile_sorted, sorted_samples};
 use sim_core::OnlineStats;
 
 /// Response-time summary over all requests, seconds.
@@ -31,11 +31,13 @@ impl ResponseStats {
         for &x in samples {
             s.push(x);
         }
+        // One sort serves every quantile below.
+        let sorted = sorted_samples(samples);
         ResponseStats {
             count: s.count(),
             mean_s: s.mean(),
-            p50_s: percentile(samples, 0.50).expect("non-empty"),
-            p95_s: percentile(samples, 0.95).expect("non-empty"),
+            p50_s: percentile_sorted(&sorted, 0.50).expect("non-empty"),
+            p95_s: percentile_sorted(&sorted, 0.95).expect("non-empty"),
             max_s: s.max(),
         }
     }
@@ -133,6 +135,17 @@ pub struct RunMetrics {
     pub predicted_benefit_j: f64,
     /// Whether power management engaged this run.
     pub power_engaged: bool,
+    /// Fault-plan events that fired during the replay (crashes, repairs,
+    /// spin-up poisonings — zero for the healthy baseline).
+    pub fault_events: u64,
+    /// Reads served by a non-primary replica (failover or energy-aware
+    /// selection).
+    pub replica_redirects: u64,
+    /// Spin-up attempts that failed under fault injection.
+    pub spin_up_failures: u64,
+    /// Requests that exhausted their retry budget with no healthy replica
+    /// (only possible when replication cannot cover a failure).
+    pub failed_requests: u64,
     /// Per-node breakdown.
     pub per_node: Vec<NodeMetrics>,
 }
@@ -171,7 +184,11 @@ impl RunMetrics {
         if self.per_node.is_empty() {
             return 0.0;
         }
-        self.per_node.iter().map(|n| n.standby_fraction).sum::<f64>() / self.per_node.len() as f64
+        self.per_node
+            .iter()
+            .map(|n| n.standby_fraction)
+            .sum::<f64>()
+            / self.per_node.len() as f64
     }
 }
 
@@ -205,6 +222,10 @@ mod tests {
             prefetch: PrefetchStats::default(),
             predicted_benefit_j: 0.0,
             power_engaged: true,
+            fault_events: 0,
+            replica_redirects: 0,
+            spin_up_failures: 0,
+            failed_requests: 0,
             per_node: vec![],
         }
     }

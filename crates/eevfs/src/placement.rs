@@ -193,7 +193,10 @@ mod tests {
                 let node = plan.node_of_file[f] as usize;
                 let disk = plan.disk_of_file[f] as usize;
                 assert!(node < 3);
-                assert!(disk < [2, 3, 1][node], "{policy:?}: disk {disk} on node {node}");
+                assert!(
+                    disk < [2, 3, 1][node],
+                    "{policy:?}: disk {disk} on node {node}"
+                );
             }
         }
     }

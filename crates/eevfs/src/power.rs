@@ -24,7 +24,6 @@
 use crate::config::{EevfsConfig, PowerPolicy};
 use sim_core::{SimDuration, SimTime};
 
-
 /// Predicted physical-touch schedule for one data disk.
 ///
 /// The cursor advances once per physical request actually served, in
@@ -251,10 +250,7 @@ mod tests {
         let mut cfg = EevfsConfig::paper_pf(70);
         cfg.hints = false;
         let m = manager(&cfg, true, vec![secs(100)]);
-        assert_eq!(
-            m.on_idle(0, 0, secs(10)),
-            SleepDecision::CheckAt(secs(15))
-        );
+        assert_eq!(m.on_idle(0, 0, secs(10)), SleepDecision::CheckAt(secs(15)));
         assert!(m.timer_allows_sleep());
     }
 
@@ -281,10 +277,7 @@ mod tests {
         cfg.power = PowerPolicy::IdleTimer;
         let m = manager(&cfg, false, vec![]);
         assert!(m.engaged());
-        assert_eq!(
-            m.on_idle(0, 0, secs(10)),
-            SleepDecision::CheckAt(secs(15))
-        );
+        assert_eq!(m.on_idle(0, 0, secs(10)), SleepDecision::CheckAt(secs(15)));
     }
 
     #[test]

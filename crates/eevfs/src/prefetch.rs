@@ -324,10 +324,7 @@ mod tests {
     fn min_worthwhile_window_respects_breakeven() {
         let spec = DiskSpec::ata133_type1();
         let be = disk_model::breakeven_time(&spec);
-        assert_eq!(
-            min_worthwhile_window(&spec, SimDuration::from_secs(1)),
-            be
-        );
+        assert_eq!(min_worthwhile_window(&spec, SimDuration::from_secs(1)), be);
         assert_eq!(
             min_worthwhile_window(&spec, SimDuration::from_secs(100)),
             SimDuration::from_secs(100)

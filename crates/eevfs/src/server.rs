@@ -82,6 +82,13 @@ impl StorageServer {
         (node, done)
     }
 
+    /// Admits a request whose target replica the caller already chose
+    /// (health- and energy-aware routing); pays the same serialised
+    /// metadata-handling time as [`Self::route`].
+    pub fn admit(&mut self, now: SimTime) -> SimTime {
+        self.queue.process(now)
+    }
+
     /// The metadata table.
     pub fn metadata(&self) -> &ServerMetadata {
         &self.metadata

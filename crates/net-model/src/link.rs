@@ -80,7 +80,9 @@ mod tests {
     #[test]
     fn fast_ethernet_is_several_times_slower_than_gigabit() {
         let g = Link::gigabit().transfer_time(100_000_000).as_secs_f64();
-        let f = Link::fast_ethernet().transfer_time(100_000_000).as_secs_f64();
+        let f = Link::fast_ethernet()
+            .transfer_time(100_000_000)
+            .as_secs_f64();
         let ratio = f / g;
         assert!((ratio - 400.0 / 60.0).abs() < 0.1, "ratio {ratio}");
     }

@@ -57,7 +57,10 @@ impl SimRng {
 
     /// Exponential variate with the given mean (`mean > 0`).
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean > 0.0 && mean.is_finite(), "bad exponential mean {mean}");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "bad exponential mean {mean}"
+        );
         // Inverse CDF; guard the log against u == 0.
         let u = 1.0 - self.uniform();
         -mean * u.ln()
@@ -234,14 +237,20 @@ mod tests {
         let n = 2_000;
         let samples: Vec<u64> = (0..n).map(|_| rng.poisson(1000.0)).collect();
         let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        assert!((mean - 1000.0).abs() < 5.0, "poisson(1000) sample mean {mean}");
+        assert!(
+            (mean - 1000.0).abs() < 5.0,
+            "poisson(1000) sample mean {mean}"
+        );
         // Variance of Poisson equals its mean.
         let var = samples
             .iter()
             .map(|&x| (x as f64 - mean).powi(2))
             .sum::<f64>()
             / n as f64;
-        assert!((var - 1000.0).abs() < 150.0, "poisson(1000) sample var {var}");
+        assert!(
+            (var - 1000.0).abs() < 150.0,
+            "poisson(1000) sample var {var}"
+        );
     }
 
     #[test]
@@ -264,7 +273,10 @@ mod tests {
     fn log_normal_hits_target_mean() {
         let mut rng = SimRng::seed_from_u64(7);
         let n = 100_000;
-        let mean: f64 = (0..n).map(|_| rng.log_normal_with_mean(10.0, 0.5)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| rng.log_normal_with_mean(10.0, 0.5))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 10.0).abs() < 0.3, "log-normal sample mean {mean}");
     }
 
@@ -312,7 +324,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

@@ -103,17 +103,28 @@ impl OnlineStats {
     }
 }
 
-/// Percentile of a sample set via linear interpolation between order
-/// statistics. `q` in `[0, 1]`. Returns `None` for an empty slice.
-///
-/// Sorts a copy; intended for end-of-run reporting, not hot paths.
-pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
-    if samples.is_empty() {
+/// Sorts samples ascending for repeated [`percentile_sorted`] queries.
+/// Panics on NaN input (percentiles over NaN are meaningless).
+pub fn sorted_samples(samples: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted
+}
+
+/// Percentile over *already sorted* samples via linear interpolation
+/// between order statistics. `q` in `[0, 1]`. Returns `None` for an empty
+/// slice. Use this (with one [`sorted_samples`] call) when extracting
+/// several quantiles from the same sample set — [`percentile`] re-sorts
+/// on every call.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
         return None;
     }
     assert!((0.0..=1.0).contains(&q), "percentile q={q} outside [0,1]");
-    let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile_sorted input must be ascending"
+    );
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -123,6 +134,15 @@ pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
         let frac = pos - lo as f64;
         Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
     }
+}
+
+/// Percentile of a sample set via linear interpolation between order
+/// statistics. `q` in `[0, 1]`. Returns `None` for an empty slice.
+///
+/// Sorts a copy per call; for several quantiles over the same samples,
+/// sort once with [`sorted_samples`] and use [`percentile_sorted`].
+pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
+    percentile_sorted(&sorted_samples(samples), q)
 }
 
 /// Ordinary-least-squares fit `y = slope * x + intercept` plus the
@@ -150,7 +170,11 @@ pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some((slope, intercept, r2))
 }
 
@@ -306,6 +330,16 @@ mod tests {
     }
 
     #[test]
+    fn percentile_sorted_matches_percentile() {
+        let raw = [4.0, 1.0, 3.0, 2.0, 8.0, 0.5];
+        let sorted = sorted_samples(&raw);
+        for q in [0.0, 0.25, 0.5, 0.77, 0.95, 1.0] {
+            assert_eq!(percentile_sorted(&sorted, q), percentile(&raw, q));
+        }
+        assert_eq!(percentile_sorted(&[], 0.5), None);
+    }
+
+    #[test]
     fn percentile_single_element() {
         assert_eq!(percentile(&[42.0], 0.0), Some(42.0));
         assert_eq!(percentile(&[42.0], 0.5), Some(42.0));
@@ -335,7 +369,10 @@ mod tests {
     fn regression_degenerate_inputs() {
         assert!(linear_regression(&[], &[]).is_none());
         assert!(linear_regression(&[1.0], &[2.0]).is_none());
-        assert!(linear_regression(&[5.0, 5.0], &[1.0, 2.0]).is_none(), "zero x-variance");
+        assert!(
+            linear_regression(&[5.0, 5.0], &[1.0, 2.0]).is_none(),
+            "zero x-variance"
+        );
         // Flat y: perfect fit with slope 0.
         let (m, _, r2) = linear_regression(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]).expect("fit");
         assert_eq!(m, 0.0);

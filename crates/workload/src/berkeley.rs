@@ -83,7 +83,8 @@ impl BerkeleySpec {
 /// # Panics
 /// Panics when the spec fails [`BerkeleySpec::validate`].
 pub fn berkeley_web_trace(spec: &BerkeleySpec) -> Trace {
-    spec.validate().unwrap_or_else(|e| panic!("bad berkeley spec: {e}"));
+    spec.validate()
+        .unwrap_or_else(|e| panic!("bad berkeley spec: {e}"));
     let mut rng = SimRng::seed_from_u64(spec.seed);
     let mut set_rng = rng.split();
     let mut req_rng = rng.split();
@@ -126,7 +127,11 @@ mod tests {
         assert!(t.validate().is_ok());
         assert!(t.distinct_files() <= spec.working_set as usize);
         // With 1000 requests over 60 Zipf-weighted files, most get touched.
-        assert!(t.distinct_files() >= 40, "only {} distinct", t.distinct_files());
+        assert!(
+            t.distinct_files() >= 40,
+            "only {} distinct",
+            t.distinct_files()
+        );
     }
 
     #[test]

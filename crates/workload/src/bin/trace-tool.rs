@@ -108,7 +108,10 @@ fn cmd_stats(path: &str) -> Result<(), String> {
     println!("file population: {}", trace.file_count());
     println!("distinct files:  {}", trace.distinct_files());
     println!("trace span:      {:.1} s", trace.duration().as_secs_f64());
-    println!("total bytes:     {:.1} MB", trace.total_bytes() as f64 / 1e6);
+    println!(
+        "total bytes:     {:.1} MB",
+        trace.total_bytes() as f64 / 1e6
+    );
     for k in [10usize, 40, 70, 100] {
         println!(
             "top-{k:<3} coverage: {:5.1}%  (fraction of accesses a {k}-file prefetch absorbs)",
@@ -128,7 +131,12 @@ fn cmd_stats(path: &str) -> Result<(), String> {
             .filter(|r| (r.file.0 as usize) % disks == d)
             .map(|r| r.at)
             .collect();
-        let ws = idle_windows(&touches, sim_core::SimTime::ZERO, trace.end_time(), threshold);
+        let ws = idle_windows(
+            &touches,
+            sim_core::SimTime::ZERO,
+            trace.end_time(),
+            threshold,
+        );
         total_windows += ws.len();
         total_idle += ws.iter().map(|w| w.len().as_secs_f64()).sum::<f64>();
     }

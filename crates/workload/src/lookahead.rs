@@ -97,9 +97,18 @@ mod tests {
         assert_eq!(
             ws,
             vec![
-                IdleWindow { start: SimTime::ZERO, end: secs(10) },
-                IdleWindow { start: secs(12), end: secs(30) },
-                IdleWindow { start: secs(30), end: secs(40) },
+                IdleWindow {
+                    start: SimTime::ZERO,
+                    end: secs(10)
+                },
+                IdleWindow {
+                    start: secs(12),
+                    end: secs(30)
+                },
+                IdleWindow {
+                    start: secs(30),
+                    end: secs(40)
+                },
             ]
         );
         assert_eq!(total_idle(&ws), SimDuration::from_secs(38));
@@ -108,9 +117,20 @@ mod tests {
     #[test]
     fn threshold_filters_short_gaps() {
         let touches = [secs(10), secs(12), secs(30)];
-        let ws = idle_windows(&touches, SimTime::ZERO, secs(40), SimDuration::from_secs(11));
+        let ws = idle_windows(
+            &touches,
+            SimTime::ZERO,
+            secs(40),
+            SimDuration::from_secs(11),
+        );
         // Only the 18 s interior gap survives.
-        assert_eq!(ws, vec![IdleWindow { start: secs(12), end: secs(30) }]);
+        assert_eq!(
+            ws,
+            vec![IdleWindow {
+                start: secs(12),
+                end: secs(30)
+            }]
+        );
     }
 
     #[test]
@@ -124,7 +144,13 @@ mod tests {
     fn touches_at_bounds_produce_no_empty_windows() {
         let touches = [SimTime::ZERO, secs(100)];
         let ws = idle_windows(&touches, SimTime::ZERO, secs(100), SimDuration::ZERO);
-        assert_eq!(ws, vec![IdleWindow { start: SimTime::ZERO, end: secs(100) }]);
+        assert_eq!(
+            ws,
+            vec![IdleWindow {
+                start: SimTime::ZERO,
+                end: secs(100)
+            }]
+        );
         assert!(ws.iter().all(|w| !w.is_empty()));
     }
 
@@ -135,8 +161,14 @@ mod tests {
         assert_eq!(
             ws,
             vec![
-                IdleWindow { start: SimTime::ZERO, end: secs(5) },
-                IdleWindow { start: secs(5), end: secs(20) },
+                IdleWindow {
+                    start: SimTime::ZERO,
+                    end: secs(5)
+                },
+                IdleWindow {
+                    start: secs(5),
+                    end: secs(20)
+                },
             ]
         );
     }
@@ -149,8 +181,14 @@ mod tests {
         assert_eq!(
             ws,
             vec![
-                IdleWindow { start: secs(10), end: secs(50) },
-                IdleWindow { start: secs(50), end: secs(60) },
+                IdleWindow {
+                    start: secs(10),
+                    end: secs(50)
+                },
+                IdleWindow {
+                    start: secs(50),
+                    end: secs(60)
+                },
             ]
         );
     }

@@ -101,7 +101,10 @@ impl SyntheticSpec {
             return Err("mean size must be positive".into());
         }
         if !(0.0..=1.0).contains(&self.write_fraction) {
-            return Err(format!("write fraction {} outside [0,1]", self.write_fraction));
+            return Err(format!(
+                "write fraction {} outside [0,1]",
+                self.write_fraction
+            ));
         }
         if let SizeDist::Uniform { spread } = self.size_dist {
             if !(0.0..=1.0).contains(&spread) {
@@ -138,7 +141,8 @@ fn draw_size(dist: SizeDist, mean: u64, rng: &mut SimRng) -> u64 {
 /// # Panics
 /// Panics when the spec fails [`SyntheticSpec::validate`].
 pub fn generate(spec: &SyntheticSpec) -> Trace {
-    spec.validate().unwrap_or_else(|e| panic!("bad synthetic spec: {e}"));
+    spec.validate()
+        .unwrap_or_else(|e| panic!("bad synthetic spec: {e}"));
     let mut rng = SimRng::seed_from_u64(spec.seed);
     // Independent sub-streams so changing the request count does not
     // perturb file sizes and vice versa.
@@ -190,10 +194,7 @@ mod tests {
     fn deterministic_in_seed() {
         let spec = SyntheticSpec::paper_default();
         assert_eq!(generate(&spec), generate(&spec));
-        let other = SyntheticSpec {
-            seed: 999,
-            ..spec
-        };
+        let other = SyntheticSpec { seed: 999, ..spec };
         assert_ne!(generate(&other), generate(&spec));
     }
 
@@ -274,8 +275,7 @@ mod tests {
             ..SyntheticSpec::paper_default()
         };
         let t = generate(&spec);
-        let mean =
-            t.file_sizes.iter().map(|&s| s as f64).sum::<f64>() / t.file_sizes.len() as f64;
+        let mean = t.file_sizes.iter().map(|&s| s as f64).sum::<f64>() / t.file_sizes.len() as f64;
         assert!(
             (mean / 10_000_000.0 - 1.0).abs() < 0.05,
             "sample mean {mean}"

@@ -73,7 +73,10 @@ pub fn override_inter_arrival(trace: &Trace, delay: SimDuration) -> Trace {
 /// Scales every arrival time by `factor` (> 0): 2.0 halves the load,
 /// 0.5 doubles it.
 pub fn scale_time(trace: &Trace, factor: f64) -> Trace {
-    assert!(factor > 0.0 && factor.is_finite(), "bad scale factor {factor}");
+    assert!(
+        factor > 0.0 && factor.is_finite(),
+        "bad scale factor {factor}"
+    );
     Trace {
         file_sizes: trace.file_sizes.clone(),
         records: trace
@@ -229,10 +232,7 @@ mod tests {
         let retimed = override_inter_arrival(&resized, SimDuration::from_millis(700));
         assert_eq!(retimed.len(), 40);
         assert!(retimed.records.iter().all(|r| r.size == 10_000_000));
-        assert_eq!(
-            retimed.duration(),
-            SimDuration::from_millis(700 * 39)
-        );
+        assert_eq!(retimed.duration(), SimDuration::from_millis(700 * 39));
         assert!(retimed.validate().is_ok());
     }
 }

@@ -47,18 +47,22 @@ fn main() {
     let (rt_npf, joules_npf, stats_npf) = run("npf", 0);
 
     println!("{:<24} {:>14} {:>14}", "", "PF(16)", "NPF");
-    println!("{:<24} {:>14.1} {:>14.1}", "disk energy (virtual J)", joules_pf, joules_npf);
+    println!(
+        "{:<24} {:>14.1} {:>14.1}",
+        "disk energy (virtual J)", joules_pf, joules_npf
+    );
     println!(
         "{:<24} {:>14} {:>14}",
         "spin-downs", stats_pf.spin_downs, stats_npf.spin_downs
     );
     println!(
         "{:<24} {:>14} {:>14}",
-        "buffer hits",
-        stats_pf.hits,
-        stats_npf.hits
+        "buffer hits", stats_pf.hits, stats_npf.hits
     );
-    println!("{:<24} {:>14.4} {:>14.4}", "mean response (wall s)", rt_pf, rt_npf);
+    println!(
+        "{:<24} {:>14.4} {:>14.4}",
+        "mean response (wall s)", rt_pf, rt_npf
+    );
     println!(
         "\ndisk energy saved by prefetching: {:.1}%",
         (1.0 - joules_pf / joules_npf) * 100.0

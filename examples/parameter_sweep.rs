@@ -38,7 +38,10 @@ fn main() {
     };
 
     let pts = panel.run(&params);
-    println!("{}", render_sweep(&format!("sweep over {}", panel.xlabel()), &pts));
+    println!(
+        "{}",
+        render_sweep(&format!("sweep over {}", panel.xlabel()), &pts)
+    );
     println!("{}", render_figure(&fig3_view(panel, &pts)));
     println!("{}", render_figure(&fig4_view(panel, &pts)));
     println!("{}", render_figure(&fig5_view(panel, &pts)));

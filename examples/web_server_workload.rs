@@ -31,8 +31,15 @@ fn main() {
     let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
     let maid = run_cluster(&cluster, &baselines::maid(80_000_000_000), &trace);
 
-    println!("\n{:<26} {:>12} {:>8} {:>10} {:>10}", "config", "energy (J)", "saves", "rt (s)", "hit rate");
-    for (name, m) in [("EEVFS PF(70)", &pf), ("EEVFS NPF", &npf), ("MAID (LRU cache)", &maid)] {
+    println!(
+        "\n{:<26} {:>12} {:>8} {:>10} {:>10}",
+        "config", "energy (J)", "saves", "rt (s)", "hit rate"
+    );
+    for (name, m) in [
+        ("EEVFS PF(70)", &pf),
+        ("EEVFS NPF", &npf),
+        ("MAID (LRU cache)", &maid),
+    ] {
         println!(
             "{:<26} {:>12.0} {:>7.1}% {:>10.3} {:>9.1}%",
             name,

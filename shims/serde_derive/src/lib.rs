@@ -1,0 +1,403 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `serde_derive` (and its `syn`/`quote` dependencies) are unavailable.
+//! This macro parses the item declaration directly off the token stream.
+//! It supports exactly the shapes this workspace derives: non-generic
+//! named/tuple/unit structs and enums with unit, tuple, and struct
+//! variants. Container/field attributes (`#[serde(...)]`) are not
+//! supported and the workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named {
+        name: String,
+        fields: Vec<String>,
+    },
+    Tuple {
+        name: String,
+        arity: usize,
+    },
+    Unit {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skips a `#[...]` attribute if the iterator is positioned on one.
+fn skip_attrs<I: Iterator<Item = TokenTree>>(toks: &mut std::iter::Peekable<I>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the bracketed group
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        skip_attrs(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "pub" => {
+                    // `pub(crate)` etc: skip the scope group.
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                "struct" => return parse_struct(&mut toks),
+                "enum" => return parse_enum(&mut toks),
+                other => panic!("serde shim derive: unexpected `{other}`"),
+            },
+            Some(other) => panic!("serde shim derive: unexpected token {other}"),
+            None => panic!("serde shim derive: no struct or enum found"),
+        }
+    }
+}
+
+fn parse_struct<I: Iterator<Item = TokenTree>>(toks: &mut std::iter::Peekable<I>) -> Shape {
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct name, got {other:?}"),
+    };
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Named {
+            name,
+            fields: parse_field_names(g.stream()),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Tuple {
+            name,
+            arity: count_elements(g.stream()),
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit { name },
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim derive: generic types are not supported ({name})")
+        }
+        other => panic!("serde shim derive: unexpected token after struct name: {other:?}"),
+    }
+}
+
+fn parse_enum<I: Iterator<Item = TokenTree>>(toks: &mut std::iter::Peekable<I>) -> Shape {
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected enum name, got {other:?}"),
+    };
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim derive: generic enums are not supported ({name})")
+        }
+        other => panic!("serde shim derive: unexpected token after enum name: {other:?}"),
+    }
+}
+
+/// Field names of a named-fields body, skipping attributes, visibility, and
+/// type tokens (commas inside `<...>` do not split fields).
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attrs(&mut toks);
+        let name = loop {
+            match toks.next() {
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = toks.peek() {
+                        toks.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde shim derive: unexpected field token {other}"),
+                None => return fields,
+            }
+        };
+        fields.push(name);
+        // Consume `: Type,` tracking angle-bracket depth so generic
+        // arguments do not terminate the field early.
+        let mut angle = 0i64;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+}
+
+/// Number of comma-separated elements in a tuple body.
+fn count_elements(stream: TokenStream) -> usize {
+    let mut angle = 0i64;
+    let mut count = 0usize;
+    let mut item_tokens = 0usize;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                item_tokens += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                item_tokens += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if item_tokens > 0 {
+                    count += 1;
+                    item_tokens = 0;
+                }
+            }
+            _ => item_tokens += 1,
+        }
+    }
+    if item_tokens > 0 {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return out,
+            Some(other) => panic!("serde shim derive: unexpected variant token {other}"),
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_elements(g.stream());
+                toks.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_field_names(g.stream());
+                toks.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        out.push(Variant { name, kind });
+        // Skip to the separating comma (also skips `= discriminant`).
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => return out,
+            }
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_shape(input) {
+        Shape::Named { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from({f:?}), ::serde::Serialize::serialize(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(vec![{pairs}])\n}}\n}}"
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            let expr = if arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let elems: String = (0..arity)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i}),"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{elems}])")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ {expr} }}\n}}"
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(String::from({vname:?})),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(x0) => ::serde::Value::Map(vec![(String::from({vname:?}), ::serde::Serialize::serialize(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let elems: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(vec![(String::from({vname:?}), ::serde::Value::Seq(vec![{elems}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let pairs: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(String::from({f:?}), ::serde::Serialize::serialize({f})),")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![(String::from({vname:?}), ::serde::Value::Map(vec![{pairs}]))]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n}}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde shim derive: generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_shape(input) {
+        Shape::Named { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(m, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 let m = v.as_map().ok_or_else(|| ::serde::Error::custom(concat!(\"expected map for \", stringify!({name}))))?;\n\
+                 Ok({name} {{ {inits} }})\n}}\n}}"
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            let expr = if arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::deserialize(v)?))")
+            } else {
+                let elems: String = (0..arity)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&s[{i}])?,"))
+                    .collect();
+                format!(
+                    "let s = v.as_seq().ok_or_else(|| ::serde::Error::custom(concat!(\"expected seq for \", stringify!({name}))))?;\n\
+                     if s.len() != {arity} {{ return Err(::serde::Error::custom(concat!(\"wrong arity for \", stringify!({name})))); }}\n\
+                     Ok({name}({elems}))"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {expr} }}\n}}"
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(_v: &::serde::Value) -> Result<Self, ::serde::Error> {{ Ok({name}) }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => Ok({name}::{vname}),")
+                })
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::deserialize(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: String = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::deserialize(&s[{i}])?,"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 let s = inner.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected seq payload\"))?;\n\
+                                 if s.len() != {n} {{ return Err(::serde::Error::custom(\"wrong variant arity\")); }}\n\
+                                 Ok({name}::{vname}({elems}))\n}}"
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de_field(mm, {f:?})?,"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 let mm = inner.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map payload\"))?;\n\
+                                 Ok({name}::{vname} {{ {inits} }})\n}}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::Error::custom(format!(\"unknown {{}} variant {{}}\", stringify!({name}), other))),\n\
+                 }},\n\
+                 ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (k, inner) = (&m[0].0, &m[0].1);\n\
+                 let _ = inner;\n\
+                 match k.as_str() {{\n\
+                 {payload_arms}\n\
+                 other => Err(::serde::Error::custom(format!(\"unknown {{}} variant {{}}\", stringify!({name}), other))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::Error::custom(concat!(\"expected \", stringify!({name}), \" value\"))),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde shim derive: generated invalid Rust")
+}

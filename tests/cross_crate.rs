@@ -85,7 +85,11 @@ fn response_stats_match_samples() {
     let m = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
     let mean = m.response_samples_s.iter().sum::<f64>() / m.response_samples_s.len() as f64;
     assert!((mean - m.response.mean_s).abs() < 1e-9);
-    let max = m.response_samples_s.iter().cloned().fold(f64::MIN, f64::max);
+    let max = m
+        .response_samples_s
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max);
     assert!((max - m.response.max_s).abs() < 1e-12);
     assert!(m.response.p50_s <= m.response.p95_s);
     assert!(m.response.p95_s <= m.response.max_s);

@@ -64,7 +64,10 @@ fn fig3a_energy_jumps_at_fifty_megabytes() {
         npf50.total_energy_j,
         npf10.total_energy_j
     );
-    assert!(npf50.duration_s > npf10.duration_s * 1.05, "run should stretch");
+    assert!(
+        npf50.duration_s > npf10.duration_s * 1.05,
+        "run should stretch"
+    );
 }
 
 /// Fig 3(b): MU <= 100 is fully covered by the 70-file prefetch — savings
@@ -79,7 +82,10 @@ fn fig3b_savings_flat_below_mu_100_then_drop() {
     }
     assert!((savings[0] - savings[1]).abs() < 0.02, "{savings:?}");
     assert!((savings[1] - savings[2]).abs() < 0.02, "{savings:?}");
-    assert!(savings[3] < savings[2] - 0.01, "MU=1000 must save less: {savings:?}");
+    assert!(
+        savings[3] < savings[2] - 0.01,
+        "MU=1000 must save less: {savings:?}"
+    );
 }
 
 /// Fig 3(c): savings grow with inter-arrival delay and level off; the 0 ms
@@ -115,7 +121,10 @@ fn fig3d_savings_grow_with_k() {
         let (pf, npf) = pf_npf(&trace, k);
         savings.push(pf.savings_vs(&npf));
     }
-    assert!(savings.windows(2).all(|w| w[1] > w[0]), "not increasing: {savings:?}");
+    assert!(
+        savings.windows(2).all(|w| w[1] > w[0]),
+        "not increasing: {savings:?}"
+    );
     assert!(
         (0.01..0.12).contains(&savings[0]),
         "K=10 should save only a little: {savings:?}"
@@ -173,8 +182,14 @@ fn fig5a_penalty_shrinks_with_size() {
         penalties.windows(2).all(|w| w[1] < w[0]),
         "penalty not shrinking: {penalties:?}"
     );
-    assert!(penalties[0] > 0.5, "1 MB penalty should be dramatic: {penalties:?}");
-    assert!(penalties[2] < 0.25, "25 MB penalty should be small: {penalties:?}");
+    assert!(
+        penalties[0] > 0.5,
+        "1 MB penalty should be dramatic: {penalties:?}"
+    );
+    assert!(
+        penalties[2] < 0.25,
+        "25 MB penalty should be small: {penalties:?}"
+    );
 }
 
 /// Fig 5(b): when disks sleep for the whole trace there is no penalty.
@@ -213,11 +228,8 @@ fn fig5_pf_npf_responses_are_linearly_related() {
         ..spec()
     });
     let (pf, npf) = pf_npf(&trace, 70);
-    let (slope, _, r2) = sim_core::linear_regression(
-        &npf.response_samples_s,
-        &pf.response_samples_s,
-    )
-    .expect("fit");
+    let (slope, _, r2) =
+        sim_core::linear_regression(&npf.response_samples_s, &pf.response_samples_s).expect("fit");
     assert!(r2 > 0.5, "r2 {r2} too weak for a 'linear relationship'");
     assert!(slope > 0.5 && slope < 2.0, "slope {slope} implausible");
 }

@@ -15,18 +15,18 @@ use workload::trace_io;
 
 fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
     (
-        10u32..200,            // files
-        20u32..150,            // requests
-        0.5f64..200.0,         // mu
-        1u64..30,              // mean size MB
+        10u32..200,    // files
+        20u32..150,    // requests
+        0.5f64..200.0, // mu
+        1u64..30,      // mean size MB
         prop_oneof![
             Just(SizeDist::Fixed),
             Just(SizeDist::Exponential),
             (0.1f64..0.9).prop_map(|s| SizeDist::Uniform { spread: s }),
         ],
-        200u64..1500,          // inter-arrival ms
-        0.0f64..0.4,           // write fraction
-        any::<u64>(),          // seed
+        200u64..1500, // inter-arrival ms
+        0.0f64..0.4,  // write fraction
+        any::<u64>(), // seed
     )
         .prop_map(
             |(files, requests, mu, mb, size_dist, ms, wf, seed)| SyntheticSpec {
@@ -76,6 +76,98 @@ proptest! {
         let a = run_cluster(&cluster, &EevfsConfig::paper_pf(20), &t1);
         let b = run_cluster(&cluster, &EevfsConfig::paper_pf(20), &t2);
         prop_assert_eq!(a, b);
+    }
+
+    /// Faulted-replay determinism: a generated fault plan and a replicated
+    /// config replay bit-identically for the same (config, seed, plan).
+    #[test]
+    fn faulted_replay_determinism(spec in arb_spec(), fault_seed in any::<u64>()) {
+        use eevfs::driver::run_cluster_faulted;
+        use fault_model::{FaultPlan, FaultSpec};
+        let trace = generate(&spec);
+        let cluster = ClusterSpec::paper_testbed();
+        let faults = FaultPlan::generate(&FaultSpec {
+            seed: fault_seed,
+            horizon: SimDuration::from_secs(400),
+            nodes: cluster.node_count() as u32,
+            disks_per_node: 2,
+            disk_fail_per_hour: 20.0,
+            mean_repair: SimDuration::from_secs(40),
+            node_crash_per_hour: 10.0,
+            mean_restart: SimDuration::from_secs(25),
+            spin_up_fail_per_hour: 20.0,
+        });
+        let cfg = EevfsConfig::paper_pf_replicated(20, 2);
+        let a = run_cluster_faulted(&cluster, &cfg, &trace, &faults);
+        let b = run_cluster_faulted(&cluster, &cfg, &trace, &faults);
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On prefetch-friendly workloads (skewed reads, paper-style gaps),
+    /// the energy-aware replica selector never meaningfully loses to
+    /// random-healthy selection at R=2: it steers reads to buffered or
+    /// already-spinning copies instead of waking standby disks.
+    #[test]
+    fn energy_aware_selection_beats_random(
+        mu in 1.0f64..50.0,
+        requests in 60u32..150,
+        seed in any::<u64>(),
+    ) {
+        use eevfs::config::ReplicaSelection;
+        let trace = generate(&SyntheticSpec {
+            files: 100,
+            requests,
+            mu,
+            write_fraction: 0.0,
+            seed,
+            ..SyntheticSpec::paper_default()
+        });
+        let cluster = ClusterSpec::paper_testbed();
+        let aware = EevfsConfig::paper_pf_replicated(40, 2);
+        let mut random = aware.clone();
+        random.replica_selection = ReplicaSelection::RandomHealthy;
+        let a = run_cluster(&cluster, &aware, &trace);
+        let r = run_cluster(&cluster, &random, &trace);
+        prop_assert!(
+            a.total_energy_j <= r.total_energy_j * 1.02,
+            "energy-aware {} J > random {} J (mu={}, requests={}, seed={})",
+            a.total_energy_j, r.total_energy_j, mu, requests, seed
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Replica placement invariants for arbitrary popularity vectors and
+    /// cluster shapes: the primary matches the placement plan, no two
+    /// copies of a file share a node, and every copy's disk is in range.
+    #[test]
+    fn replica_plan_invariants(
+        counts in proptest::collection::vec(0u64..50, 1..120),
+        disks in proptest::collection::vec(1usize..4, 2..9),
+        r in 1usize..6,
+    ) {
+        use eevfs::replication::replicate;
+        let pop = PopularityTable::from_counts(counts);
+        let plan = place(PlacementPolicy::PopularityRoundRobin, &pop, &disks);
+        let rp = replicate(&plan, r, &disks);
+        prop_assert_eq!(rp.file_count(), plan.file_count());
+        prop_assert_eq!(rp.factor(), r.clamp(1, disks.len()));
+        for (f, copies) in rp.replicas.iter().enumerate() {
+            prop_assert_eq!(copies[0], (plan.node_of_file[f], plan.disk_of_file[f]));
+            let mut nodes: Vec<u32> = copies.iter().map(|&(n, _)| n).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            prop_assert_eq!(nodes.len(), copies.len(), "co-located copies of file {}", f);
+            for &(n, d) in copies {
+                prop_assert!((d as usize) < disks[n as usize], "disk out of range");
+            }
+        }
     }
 }
 

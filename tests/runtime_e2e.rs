@@ -26,9 +26,14 @@ fn every_file_served_verbatim() {
         ClusterHandle::start(RuntimeConfig::small("verbatim"), &trace).expect("start");
     // Fetch every file in the population, hit or miss, and verify bytes.
     for file in 0..24u32 {
-        let got = cluster.get(file).unwrap_or_else(|e| panic!("get {file}: {e}"));
+        let got = cluster
+            .get(file)
+            .unwrap_or_else(|e| panic!("get {file}: {e}"));
         assert_eq!(got.data.len(), 32 * 1024);
-        assert!(verify_pattern(file, &got.data), "file {file} corrupted in flight");
+        assert!(
+            verify_pattern(file, &got.data),
+            "file {file} corrupted in flight"
+        );
     }
     cluster.shutdown();
 }
@@ -51,7 +56,11 @@ fn prefetching_saves_disk_energy_in_the_prototype() {
 
     assert!(pf.hit_rate() > 0.9, "hit rate {}", pf.hit_rate());
     assert_eq!(npf.stats.hits, 0);
-    assert_eq!(npf.stats.spin_ups + npf.stats.spin_downs, 0, "NPF must not sleep disks");
+    assert_eq!(
+        npf.stats.spin_ups + npf.stats.spin_downs,
+        0,
+        "NPF must not sleep disks"
+    );
     assert!(
         pf.stats.disk_joules < npf.stats.disk_joules,
         "PF {} J should beat NPF {} J over the replay window",
@@ -87,7 +96,10 @@ fn wake_penalty_is_really_slept() {
     let stats = cluster.stats().expect("stats");
     cluster.shutdown();
 
-    assert!(stats.spin_ups >= 1, "cold fetch should have woken a disk: {stats:?}");
+    assert!(
+        stats.spin_ups >= 1,
+        "cold fetch should have woken a disk: {stats:?}"
+    );
     // The cold fetch paid the scaled ~2 ms spin-up as a *real* sleep in
     // the node thread; the OS guarantees sleeps are never short, so this
     // bound is load-independent (comparing against the hot fetch would be
@@ -151,6 +163,105 @@ fn node_failure_is_surfaced_not_hung() {
 }
 
 #[test]
+fn replicated_cluster_survives_node_kill_mid_trace() {
+    // The degraded-mode acceptance case on the real loopback-TCP stack:
+    // with R=2 every file has a copy on both nodes, so killing one node
+    // between the two halves of the workload must lose no reads.
+    let trace = small_trace(16, 10, 4.0);
+    let mut cfg = RuntimeConfig::small("failover");
+    cfg.replication = 2;
+    let mut cluster = ClusterHandle::start(cfg, &trace).expect("start");
+
+    for file in 0..8u32 {
+        let got = cluster
+            .get(file)
+            .unwrap_or_else(|e| panic!("healthy get {file}: {e}"));
+        assert!(verify_pattern(file, &got.data));
+    }
+    cluster.kill_node(0).expect("kill node 0");
+    for file in 0..16u32 {
+        let got = cluster
+            .get(file)
+            .unwrap_or_else(|e| panic!("degraded get {file}: {e}"));
+        assert!(
+            verify_pattern(file, &got.data),
+            "file {file} corrupted after failover"
+        );
+    }
+    let stats = cluster.stats().expect("stats");
+    assert!(
+        stats.failovers > 0,
+        "half the files lived on the dead node: {stats:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn replicated_cluster_survives_disk_failure() {
+    // A single failed disk degrades reads to the other copy (or the
+    // buffer); repairing it stops the redirects.
+    let trace = small_trace(12, 8, 4.0);
+    let mut cfg = RuntimeConfig::small("diskfail");
+    cfg.replication = 2;
+    cfg.prefetch_k = 0; // keep every read on the data disks
+    let mut cluster = ClusterHandle::start(cfg, &trace).expect("start");
+
+    cluster.fail_disk(0, 0).expect("fail disk");
+    cluster.fail_disk(0, 1).expect("fail disk");
+    for file in 0..12u32 {
+        let got = cluster
+            .get(file)
+            .unwrap_or_else(|e| panic!("get {file}: {e}"));
+        assert!(verify_pattern(file, &got.data));
+    }
+    let degraded = cluster.stats().expect("stats");
+    assert!(
+        degraded.failovers > 0,
+        "node 0 files must redirect: {degraded:?}"
+    );
+
+    cluster.repair_disk(0, 0).expect("repair disk");
+    cluster.repair_disk(0, 1).expect("repair disk");
+    let before = cluster.stats().expect("stats");
+    for file in 0..12u32 {
+        cluster
+            .get(file)
+            .unwrap_or_else(|e| panic!("repaired get {file}: {e}"));
+    }
+    let after = cluster.stats().expect("stats");
+    assert_eq!(
+        after.failovers, before.failovers,
+        "repaired disks must serve primaries again"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn killed_node_can_be_revived_without_replication() {
+    // The repair flow: an unreplicated cluster loses files when a node
+    // dies, and gets them all back when a replacement daemon re-registers
+    // (the server replays creates + prefetch + hints).
+    let trace = small_trace(10, 6, 4.0);
+    let mut cluster = ClusterHandle::start(RuntimeConfig::small("revive"), &trace).expect("start");
+
+    cluster.kill_node(1).expect("kill node 1");
+    let lost = (0..10u32).filter(|&f| cluster.get(f).is_err()).count();
+    assert!(lost > 0, "some files lived on node 1");
+
+    cluster.revive_node(1).expect("revive node 1");
+    for file in 0..10u32 {
+        let got = cluster
+            .get(file)
+            .unwrap_or_else(|e| panic!("revived get {file}: {e}"));
+        assert!(
+            verify_pattern(file, &got.data),
+            "file {file} corrupted after revival"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
 fn malformed_frames_do_not_wedge_a_node() {
     use eevfs_runtime::node::{NodeConfig, NodeDaemon};
     use eevfs_runtime::proto::{read_message, write_message, Message};
@@ -178,8 +289,15 @@ fn malformed_frames_do_not_wedge_a_node() {
 
     // Second connection: normal protocol still works.
     let mut ctl = std::net::TcpStream::connect(node.addr).expect("reconnect");
-    write_message(&mut ctl, &Message::CreateFile { file: 1, size: 512, disk: 0 })
-        .expect("send");
+    write_message(
+        &mut ctl,
+        &Message::CreateFile {
+            file: 1,
+            size: 512,
+            disk: 0,
+        },
+    )
+    .expect("send");
     assert_eq!(read_message(&mut ctl).expect("reply"), Message::Ok);
     write_message(&mut ctl, &Message::Shutdown).expect("send shutdown");
     let _ = read_message(&mut ctl);
