@@ -9,8 +9,9 @@
 use crate::sweeps::SweepParams;
 use eevfs::baselines;
 use eevfs::config::{ClusterSpec, EevfsConfig};
-use eevfs::driver::run_cluster;
+use eevfs::driver::{run_cluster, run_cluster_resilient, ResilienceSetup};
 use eevfs::metrics::RunMetrics;
+use fault_model::{FaultPlan, LinkFaultProfile, NetFaultPlan, RpcPolicy};
 use serde::{Deserialize, Serialize};
 use sim_core::SimDuration;
 use workload::synthetic::{generate, SyntheticSpec};
@@ -363,7 +364,7 @@ pub fn ablate_arrival_mode(p: &SweepParams) -> Ablation {
 pub fn ablate_faults(p: &SweepParams) -> Ablation {
     use eevfs::config::ReplicaSelection;
     use eevfs::driver::run_cluster_faulted;
-    use fault_model::{FaultPlan, FaultSpec};
+    use fault_model::FaultSpec;
 
     let cluster = ClusterSpec::paper_testbed();
     let trace = trace_default(p, 1000.0);
@@ -424,6 +425,86 @@ pub fn ablate_faults(p: &SweepParams) -> Ablation {
 }
 
 /// Every ablation in DESIGN.md order.
+/// Network resilience grid: drop-rate × retry-policy at R=2 (ISSUE 2).
+///
+/// Sweeps injected packet-loss profiles against three RPC policies —
+/// fail-fast, bounded retries, retries + hedged reads — and records the
+/// energy/response-time trade-off of each cell. Hedged reads race a second
+/// replica, so their duplicate disk activations show up as extra joules:
+/// availability bought with energy, the paper's currency.
+pub fn ablate_resilience(p: &SweepParams) -> Ablation {
+    let cluster = ClusterSpec::paper_testbed();
+    let trace = trace_default(p, 1000.0);
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    let cfg = EevfsConfig::paper_pf_replicated(70, 2);
+    let mut rows = vec![AblationRow {
+        name: "NPF healthy".into(),
+        savings: 0.0,
+        penalty: 0.0,
+        run: npf.clone(),
+    }];
+    for (policy_name, policy) in resilience_policies(p.seed) {
+        for &drop in &[0.0f64, 0.05, 0.2] {
+            let profile = if drop == 0.0 {
+                LinkFaultProfile::none()
+            } else {
+                LinkFaultProfile::lossy(p.seed, drop)
+            };
+            let run = run_cluster_resilient(
+                &cluster,
+                &cfg,
+                &trace,
+                &FaultPlan::none(),
+                ResilienceSetup {
+                    net_plan: &NetFaultPlan::none(),
+                    profile: &profile,
+                    policy: &policy,
+                },
+            );
+            rows.push(AblationRow {
+                name: format!("drop={:.0}%, policy={policy_name}", drop * 100.0),
+                savings: run.savings_vs(&npf),
+                penalty: run.response_penalty_vs(&npf),
+                run,
+            });
+        }
+    }
+    Ablation {
+        title: "Network drop rate × RPC policy (resilience)".into(),
+        rows,
+    }
+}
+
+/// The three retry policies the resilience grid compares.
+pub fn resilience_policies(seed: u64) -> Vec<(&'static str, RpcPolicy)> {
+    let deadline = SimDuration::from_secs(60);
+    let per_try = SimDuration::from_secs(3);
+    vec![
+        (
+            "no-retry",
+            RpcPolicy {
+                seed,
+                ..RpcPolicy::no_retry(deadline)
+            },
+        ),
+        (
+            "retry",
+            RpcPolicy {
+                seed,
+                ..RpcPolicy::retrying(deadline, per_try, 4)
+            },
+        ),
+        (
+            "retry+hedge",
+            RpcPolicy {
+                seed,
+                ..RpcPolicy::hedged(deadline, per_try, 4, SimDuration::from_secs(4))
+            },
+        ),
+    ]
+}
+
+/// Every ablation study, in report order.
 pub fn all_ablations(p: &SweepParams) -> Vec<Ablation> {
     vec![
         ablate_threshold(p),
@@ -436,6 +517,7 @@ pub fn all_ablations(p: &SweepParams) -> Vec<Ablation> {
         ablate_disk_technology(p),
         ablate_arrival_mode(p),
         ablate_faults(p),
+        ablate_resilience(p),
     ]
 }
 
@@ -468,6 +550,37 @@ mod tests {
             s[3] > s[0],
             "8 disks/node should save a larger fraction than 1: {s:?}"
         );
+    }
+
+    #[test]
+    fn resilience_ablation_has_full_grid() {
+        let a = ablate_resilience(&quick());
+        // NPF baseline + 3 policies × 3 drop rates.
+        assert_eq!(a.rows.len(), 10);
+        // Clean-network cells inject nothing.
+        let clean = &a.rows[1];
+        assert_eq!(clean.run.resilience.rpc_drops, 0);
+        // Lossy cells with retries recover what fail-fast loses.
+        let lossy_noretry = a
+            .rows
+            .iter()
+            .find(|r| r.name.contains("drop=20%") && r.name.contains("no-retry"))
+            .expect("grid cell present");
+        let lossy_retry = a
+            .rows
+            .iter()
+            .find(|r| r.name.contains("drop=20%") && r.name.ends_with("policy=retry"))
+            .expect("grid cell present");
+        assert!(lossy_noretry.run.failed_requests > 0);
+        assert!(lossy_retry.run.failed_requests < lossy_noretry.run.failed_requests);
+        assert!(lossy_retry.run.resilience.rpc_retries > 0);
+        // The hedged cell actually hedges under loss.
+        let hedged = a
+            .rows
+            .iter()
+            .find(|r| r.name.contains("drop=20%") && r.name.contains("retry+hedge"))
+            .expect("grid cell present");
+        assert!(hedged.run.resilience.hedges > 0);
     }
 
     #[test]

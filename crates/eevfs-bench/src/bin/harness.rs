@@ -12,6 +12,7 @@
 //!   sweeps     the raw sweep tables behind Figs 3-5
 //!   ablate     all ablations
 //!   faults     fault injection × replication grid (degraded mode)
+//!   resilience network drop-rate × RPC-policy grid (retries/hedging)
 //!   power-curve  whole-cluster power over time, PF vs NPF
 //!   hist         response-time distributions, PF vs NPF
 //! ```
@@ -221,10 +222,45 @@ fn main() -> ExitCode {
             }
             output.ablations.push(a);
         }
+        "resilience" => {
+            let a = eevfs_bench::ablate::ablate_resilience(p);
+            println!("{}", render_ablation(&a));
+            // Machine-readable grid: one line per drop-rate × policy cell.
+            println!(
+                "{:>28} {:>10} {:>8} {:>8} {:>8} {:>7} {:>7} {:>6} {:>8} {:>7}",
+                "config",
+                "energy J",
+                "mean s",
+                "p95 s",
+                "retries",
+                "hedges",
+                "won",
+                "trips",
+                "misses",
+                "failed"
+            );
+            for r in &a.rows {
+                let res = &r.run.resilience;
+                println!(
+                    "{:>28} {:>10.0} {:>8.3} {:>8.3} {:>8} {:>7} {:>7} {:>6} {:>8} {:>7}",
+                    r.name,
+                    r.run.total_energy_j,
+                    r.run.response.mean_s,
+                    r.run.response.p95_s,
+                    res.rpc_retries,
+                    res.hedges,
+                    res.hedges_won,
+                    res.breaker_trips,
+                    res.deadline_misses,
+                    r.run.failed_requests,
+                );
+            }
+            output.ablations.push(a);
+        }
         other => {
             eprintln!(
                 "unknown command {other}; try: all, sweeps, fig3a-d, fig4, fig5, fig6, \
-                 ablate, faults, power-curve, hist"
+                 ablate, faults, resilience, power-curve, hist"
             );
             return ExitCode::FAILURE;
         }

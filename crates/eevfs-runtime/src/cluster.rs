@@ -7,17 +7,29 @@
 //! trace sequentially with scaled inter-arrival delays (the prototype's
 //! single-threaded trace replayer) and reports response times plus the
 //! cluster's virtual-energy statistics.
+//!
+//! ## Client event channel
+//!
+//! A request has two possible first signals: the owning node connecting
+//! to the callback listener (success path), or the server acking early
+//! (routing failure). Both are delivered through one mpsc channel — a
+//! persistent reader thread owns all reads of the server connection and a
+//! per-request acceptor thread forwards the callback connection — so the
+//! client blocks on `recv_timeout` under [`RuntimeConfig::client_deadline`]
+//! instead of spinning on short read timeouts.
 
 use crate::clock::VirtualClock;
 use crate::node::{NodeConfig, NodeDaemon};
 use crate::proto::{read_message, write_message, Message};
-use crate::server::{ClusterStats, ServerDaemon};
+use crate::server::{ClusterStats, ResilienceOptions, ServerDaemon};
 use crate::store::verify_pattern;
 use disk_model::DiskSpec;
 use sim_core::SimDuration;
 use std::io;
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use workload::record::Trace;
 
@@ -42,6 +54,13 @@ pub struct RuntimeConfig {
     pub root_dir: PathBuf,
     /// Drive model used for power accounting.
     pub disk_spec: DiskSpec,
+    /// How long a client operation waits for its callback or server ack
+    /// (wall clock) before giving up. Must exceed the server's worst-case
+    /// routing time (deadline + backoff) when a retrying policy is set.
+    pub client_deadline: Duration,
+    /// Server-side resilience: RPC retry/hedge/breaker policy and the
+    /// link fault profile.
+    pub resilience: ResilienceOptions,
 }
 
 impl RuntimeConfig {
@@ -58,6 +77,8 @@ impl RuntimeConfig {
             root_dir: std::env::temp_dir()
                 .join(format!("eevfs-runtime-{}-{tag}", std::process::id())),
             disk_spec: DiskSpec::ata133_type1(),
+            client_deadline: Duration::from_secs(10),
+            resilience: ResilienceOptions::default(),
         }
     }
 }
@@ -100,16 +121,41 @@ impl ReplayReport {
     }
 }
 
+/// Everything a client operation can be woken by.
+enum ClientEvent {
+    /// The server sent a message (ack, stats, shutdown echo).
+    Server(Message),
+    /// The server connection closed.
+    ServerClosed,
+    /// A node connected to the current callback listener.
+    Push(TcpStream),
+}
+
 /// A running prototype cluster.
 pub struct ClusterHandle {
     cfg: RuntimeConfig,
     clock: VirtualClock,
     server: Option<ServerDaemon>,
     nodes: Vec<NodeDaemon>,
+    /// Write half of the server connection (all reads happen on the
+    /// reader thread).
     server_conn: TcpStream,
+    events: Receiver<ClientEvent>,
+    event_tx: Sender<ClientEvent>,
+    reader: Option<JoinHandle<()>>,
+    /// Server acks abandoned by timed-out operations, to be consumed
+    /// before the next operation pairs its own ack.
+    owed_acks: u32,
     /// Bumped per revival so each replacement daemon gets a fresh store
     /// directory.
     revival_gen: u32,
+}
+
+/// Wakes an acceptor thread stuck in `accept` by connecting to its
+/// listener, then joins it.
+fn unblock_acceptor(addr: SocketAddr, acceptor: JoinHandle<()>) {
+    let _ = TcpStream::connect(addr);
+    let _ = acceptor.join();
 }
 
 impl ClusterHandle {
@@ -130,20 +176,43 @@ impl ClusterHandle {
             })?);
         }
         let node_addrs: Vec<_> = nodes.iter().map(|n| n.addr).collect();
-        let server = ServerDaemon::spawn(
+        let server = ServerDaemon::spawn_resilient(
             &node_addrs,
             vec![cfg.data_disks_per_node; cfg.nodes],
             trace,
             cfg.prefetch_k,
             cfg.replication,
+            cfg.resilience.clone(),
         )?;
         let server_conn = TcpStream::connect(server.addr)?;
+        let (event_tx, events) = channel();
+        let mut read_half = server_conn.try_clone()?;
+        let tx = event_tx.clone();
+        let reader = std::thread::Builder::new()
+            .name("eevfs-client-reader".into())
+            .spawn(move || loop {
+                match read_message(&mut read_half) {
+                    Ok(m) => {
+                        if tx.send(ClientEvent::Server(m)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        let _ = tx.send(ClientEvent::ServerClosed);
+                        break;
+                    }
+                }
+            })?;
         Ok(ClusterHandle {
             cfg,
             clock,
             server: Some(server),
             nodes,
             server_conn,
+            events,
+            event_tx,
+            reader: Some(reader),
+            owed_acks: 0,
             revival_gen: 0,
         })
     }
@@ -153,95 +222,136 @@ impl ClusterHandle {
         &self.clock
     }
 
-    /// Waits for either a node callback connection on `listener` or an
-    /// early server reply (a routing failure): returns `Some(stream)` for
-    /// a callback, `None` when the server has already replied. This is
-    /// what keeps a request to a dead node from hanging the client.
-    fn accept_or_server_reply(&mut self, listener: &TcpListener) -> io::Result<Option<TcpStream>> {
-        listener.set_nonblocking(true)?;
-        let deadline = Instant::now() + std::time::Duration::from_secs(10);
-        loop {
-            match listener.accept() {
-                Ok((s, _)) => {
-                    s.set_nonblocking(false)?;
-                    return Ok(Some(s));
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
-                Err(e) => return Err(e),
+    /// Blocks on the event channel until `deadline`.
+    fn recv_event(&mut self, deadline: Instant) -> io::Result<ClientEvent> {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        match self.events.recv_timeout(timeout) {
+            Ok(ev) => Ok(ev),
+            Err(RecvTimeoutError::Timeout) => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "timed out waiting for the cluster",
+            )),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(io::Error::other("client event channel closed"))
             }
-            // An early byte on the control connection means the server
-            // replied before any node contacted us: a failure.
-            self.server_conn
-                .set_read_timeout(Some(std::time::Duration::from_millis(1)))?;
-            let mut probe = [0u8; 1];
-            let ready = match self.server_conn.peek(&mut probe) {
-                Ok(n) => n > 0,
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    false
-                }
-                Err(e) => {
-                    self.server_conn.set_read_timeout(None)?;
-                    return Err(e);
-                }
-            };
-            self.server_conn.set_read_timeout(None)?;
-            if ready {
-                return Ok(None);
-            }
-            if Instant::now() > deadline {
-                return Err(io::Error::other("timed out waiting for the node callback"));
-            }
-            std::thread::sleep(std::time::Duration::from_micros(200));
         }
     }
 
-    /// Reads and interprets the server's routing acknowledgement.
-    fn read_ack(&mut self) -> io::Result<()> {
-        match read_message(&mut self.server_conn).map_err(|e| io::Error::other(e.to_string()))? {
-            Message::Ok => Ok(()),
-            Message::Err { code } => Err(io::Error::other(format!("server error {code}"))),
-            other => Err(io::Error::other(format!("unexpected ack {other:?}"))),
+    /// Settles leftovers from earlier operations: consumes acks they
+    /// abandoned and discards stale callback connections (including the
+    /// dummy streams used to unblock acceptor threads).
+    fn drain_stale(&mut self) {
+        while self.owed_acks > 0 {
+            match self.events.recv_timeout(self.cfg.client_deadline) {
+                Ok(ClientEvent::Server(_)) => self.owed_acks -= 1,
+                Ok(ClientEvent::Push(_)) => {}
+                Ok(ClientEvent::ServerClosed) | Err(_) => {
+                    self.owed_acks = 0;
+                    break;
+                }
+            }
+        }
+        while let Ok(ev) = self.events.try_recv() {
+            match ev {
+                ClientEvent::Push(_) | ClientEvent::ServerClosed => {}
+                // A stray server message with no owed ack should not
+                // happen; dropping it beats wedging the next operation.
+                ClientEvent::Server(_) => {}
+            }
+        }
+    }
+
+    /// Spawns the per-request acceptor: forwards the first callback
+    /// connection into the event channel, then exits.
+    fn spawn_acceptor(&self, listener: TcpListener) -> io::Result<JoinHandle<()>> {
+        let tx = self.event_tx.clone();
+        std::thread::Builder::new()
+            .name("eevfs-client-acceptor".into())
+            .spawn(move || {
+                if let Ok((s, _)) = listener.accept() {
+                    let _ = tx.send(ClientEvent::Push(s));
+                }
+            })
+    }
+
+    /// Waits for the server's routing ack and interprets it.
+    fn await_ack(&mut self, deadline: Instant) -> io::Result<()> {
+        loop {
+            match self.recv_event(deadline) {
+                Ok(ClientEvent::Server(Message::Ok)) => return Ok(()),
+                Ok(ClientEvent::Server(Message::Err { code })) => {
+                    return Err(io::Error::other(format!("server error {code}")))
+                }
+                Ok(ClientEvent::Server(other)) => {
+                    return Err(io::Error::other(format!("unexpected ack {other:?}")))
+                }
+                Ok(ClientEvent::ServerClosed) => {
+                    return Err(io::Error::other("server connection closed"))
+                }
+                Ok(ClientEvent::Push(_)) => {} // late duplicate callback; drop
+                Err(e) => {
+                    self.owed_acks += 1;
+                    return Err(e);
+                }
+            }
         }
     }
 
     /// Fetches one file end-to-end; verifies nothing (callers can check
     /// [`verify_pattern`]).
     pub fn get(&mut self, file: u32) -> io::Result<GetResult> {
+        self.drain_stale();
         let listener = TcpListener::bind("127.0.0.1:0")?;
-        let port = listener.local_addr()?.port();
+        let addr = listener.local_addr()?;
+        let acceptor = self.spawn_acceptor(listener)?;
         let start = Instant::now();
-        write_message(
+        let deadline = start + self.cfg.client_deadline;
+        if let Err(e) = write_message(
             &mut self.server_conn,
             &Message::Get {
                 file,
-                client_port: port,
+                client_port: addr.port(),
             },
-        )
-        .map_err(|e| io::Error::other(e.to_string()))?;
-        // The node pushes the data directly to our listener (step 6) —
-        // unless the server reports a routing failure first.
-        let (mut push, ack_pending) = match self.accept_or_server_reply(&listener)? {
-            Some(push) => (push, true),
-            None => {
-                // The server replied before the node connected. An error
-                // means the route failed (dead node / unknown file); Ok
-                // means the push already sits in the listener backlog.
-                self.read_ack()?;
-                listener.set_nonblocking(false)?;
-                let (push, _) = listener.accept()?;
-                (push, false)
+        ) {
+            unblock_acceptor(addr, acceptor);
+            return Err(io::Error::other(e.to_string()));
+        }
+        // First signal: the node's push (step 6), or an early server ack.
+        // An `Ok` ack just means the push is imminent — keep waiting.
+        let mut acked = false;
+        let mut push = loop {
+            match self.recv_event(deadline) {
+                Ok(ClientEvent::Push(s)) => break s,
+                Ok(ClientEvent::Server(Message::Ok)) => acked = true,
+                Ok(ClientEvent::Server(Message::Err { code })) => {
+                    unblock_acceptor(addr, acceptor);
+                    return Err(io::Error::other(format!("server error {code}")));
+                }
+                Ok(ClientEvent::Server(other)) => {
+                    unblock_acceptor(addr, acceptor);
+                    return Err(io::Error::other(format!("unexpected ack {other:?}")));
+                }
+                Ok(ClientEvent::ServerClosed) => {
+                    unblock_acceptor(addr, acceptor);
+                    return Err(io::Error::other("server connection closed"));
+                }
+                Err(e) => {
+                    unblock_acceptor(addr, acceptor);
+                    if !acked {
+                        self.owed_acks += 1;
+                    }
+                    return Err(e);
+                }
             }
         };
+        let _ = acceptor.join();
         let data = match read_message(&mut push).map_err(|e| io::Error::other(e.to_string()))? {
             Message::FileData { file: got, data } if got == file => data.to_vec(),
             other => return Err(io::Error::other(format!("unexpected push {other:?}"))),
         };
         let response = start.elapsed();
-        if ack_pending {
-            self.read_ack()?;
+        if !acked {
+            self.await_ack(deadline)?;
         }
         Ok(GetResult { data, response })
     }
@@ -250,40 +360,58 @@ impl ClusterHandle {
     /// us over the callback connection). Returns the wall response time.
     /// The payload length must equal the file's creation size.
     pub fn put(&mut self, file: u32, data: &[u8]) -> io::Result<Duration> {
+        self.drain_stale();
         let listener = TcpListener::bind("127.0.0.1:0")?;
-        let port = listener.local_addr()?.port();
+        let addr = listener.local_addr()?;
+        let acceptor = self.spawn_acceptor(listener)?;
         let start = Instant::now();
-        write_message(
+        let deadline = start + self.cfg.client_deadline;
+        if let Err(e) = write_message(
             &mut self.server_conn,
             &Message::Put {
                 file,
-                client_port: port,
+                client_port: addr.port(),
             },
-        )
-        .map_err(|e| io::Error::other(e.to_string()))?;
-        let (mut pull, ack_pending) = match self.accept_or_server_reply(&listener)? {
-            Some(pull) => (pull, true),
-            None => {
-                // Early server reply: an error fails the put; Ok cannot
-                // happen before we supplied the payload, but handle it by
-                // accepting the pending pull anyway.
-                self.read_ack()?;
-                listener.set_nonblocking(false)?;
-                let (pull, _) = listener.accept()?;
-                (pull, false)
+        ) {
+            unblock_acceptor(addr, acceptor);
+            return Err(io::Error::other(e.to_string()));
+        }
+        // The first event must be the node's pull connection: the server
+        // cannot ack a write before we supply the payload, so any server
+        // message here is a routing failure (or protocol confusion).
+        let mut pull = match self.recv_event(deadline) {
+            Ok(ClientEvent::Push(s)) => s,
+            Ok(ClientEvent::Server(Message::Err { code })) => {
+                unblock_acceptor(addr, acceptor);
+                return Err(io::Error::other(format!("server error {code}")));
+            }
+            Ok(ClientEvent::Server(other)) => {
+                unblock_acceptor(addr, acceptor);
+                return Err(io::Error::other(format!("unexpected ack {other:?}")));
+            }
+            Ok(ClientEvent::ServerClosed) => {
+                unblock_acceptor(addr, acceptor);
+                return Err(io::Error::other("server connection closed"));
+            }
+            Err(e) => {
+                unblock_acceptor(addr, acceptor);
+                self.owed_acks += 1;
+                return Err(e);
             }
         };
-        write_message(
+        let _ = acceptor.join();
+        if let Err(e) = write_message(
             &mut pull,
             &Message::FileData {
                 file,
                 data: bytes::Bytes::copy_from_slice(data),
             },
-        )
-        .map_err(|e| io::Error::other(e.to_string()))?;
-        if ack_pending {
-            self.read_ack()?;
+        ) {
+            // The node still replies to the server, so the ack is owed.
+            self.owed_acks += 1;
+            return Err(io::Error::other(e.to_string()));
         }
+        self.await_ack(deadline)?;
         Ok(start.elapsed())
     }
 
@@ -323,11 +451,11 @@ impl ClusterHandle {
 
     /// Sends one admin message to the server and expects `Ok`.
     fn admin(&mut self, msg: &Message, what: &str) -> io::Result<()> {
+        self.drain_stale();
         write_message(&mut self.server_conn, msg).map_err(|e| io::Error::other(e.to_string()))?;
-        match read_message(&mut self.server_conn).map_err(|e| io::Error::other(e.to_string()))? {
-            Message::Ok => Ok(()),
-            other => Err(io::Error::other(format!("{what}: unexpected {other:?}"))),
-        }
+        let deadline = Instant::now() + self.cfg.client_deadline;
+        self.await_ack(deadline)
+            .map_err(|e| io::Error::other(format!("{what}: {e}")))
     }
 
     /// Failure injection: shuts down one storage node, leaving the rest
@@ -336,6 +464,23 @@ impl ClusterHandle {
     /// with a server error.
     pub fn kill_node(&mut self, node: usize) -> io::Result<()> {
         self.admin(&Message::KillNode { node: node as u32 }, "kill_node")
+    }
+
+    /// Network-fault injection: cuts the server↔node link for `node`.
+    /// The node stays alive but the server's request-path frames to it
+    /// are dropped until [`ClusterHandle::heal_node`]; the per-node
+    /// circuit breaker trips once the policy's failure threshold is hit.
+    pub fn partition_node(&mut self, node: usize) -> io::Result<()> {
+        self.admin(
+            &Message::PartitionLink { node: node as u32 },
+            "partition_node",
+        )
+    }
+
+    /// Undoes a [`ClusterHandle::partition_node`]; after the breaker's
+    /// cooldown, a half-open probe restores routing to the node.
+    pub fn heal_node(&mut self, node: usize) -> io::Result<()> {
+        self.admin(&Message::HealLink { node: node as u32 }, "heal_node")
     }
 
     /// Failure injection: marks one data disk failed. Reads that need it
@@ -407,36 +552,73 @@ impl ClusterHandle {
 
     /// Collects cluster-wide statistics.
     pub fn stats(&mut self) -> io::Result<ClusterStats> {
+        self.drain_stale();
         write_message(&mut self.server_conn, &Message::StatsRequest)
             .map_err(|e| io::Error::other(e.to_string()))?;
-        match read_message(&mut self.server_conn).map_err(|e| io::Error::other(e.to_string()))? {
-            Message::Stats {
-                disk_joules,
-                spin_ups,
-                spin_downs,
-                hits,
-                misses,
-                failovers,
-            } => Ok(ClusterStats {
-                disk_joules,
-                spin_ups,
-                spin_downs,
-                hits,
-                misses,
-                failovers,
-            }),
-            other => Err(io::Error::other(format!(
-                "unexpected stats reply {other:?}"
-            ))),
+        let deadline = Instant::now() + self.cfg.client_deadline;
+        loop {
+            match self.recv_event(deadline)? {
+                ClientEvent::Server(Message::Stats {
+                    disk_joules,
+                    spin_ups,
+                    spin_downs,
+                    hits,
+                    misses,
+                    failovers,
+                    retries,
+                    hedges,
+                    hedges_won,
+                    breaker_trips,
+                    breaker_recoveries,
+                    deadline_misses,
+                }) => {
+                    return Ok(ClusterStats {
+                        disk_joules,
+                        spin_ups,
+                        spin_downs,
+                        hits,
+                        misses,
+                        failovers,
+                        retries,
+                        hedges,
+                        hedges_won,
+                        breaker_trips,
+                        breaker_recoveries,
+                        deadline_misses,
+                    })
+                }
+                ClientEvent::Server(other) => {
+                    return Err(io::Error::other(format!(
+                        "unexpected stats reply {other:?}"
+                    )))
+                }
+                ClientEvent::ServerClosed => {
+                    return Err(io::Error::other("server connection closed"))
+                }
+                ClientEvent::Push(_) => {} // stale callback; drop
+            }
         }
     }
 
     /// Shuts the cluster down and removes its on-disk state.
     pub fn shutdown(mut self) {
         let _ = write_message(&mut self.server_conn, &Message::Shutdown);
-        let _ = read_message(&mut self.server_conn);
+        // Wait for the shutdown echo (or the connection closing).
+        let deadline = Instant::now() + self.cfg.client_deadline;
+        loop {
+            match self.recv_event(deadline) {
+                Ok(ClientEvent::Server(Message::Shutdown))
+                | Ok(ClientEvent::ServerClosed)
+                | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
         if let Some(server) = self.server.take() {
             server.join();
+        }
+        if let Some(reader) = self.reader.take() {
+            // The reader exits once the server side closes the connection.
+            let _ = reader.join();
         }
         for node in self.nodes.drain(..) {
             node.join();
@@ -524,6 +706,23 @@ mod tests {
         let report = cluster.replay(&trace).expect("replay");
         assert_eq!(report.stats.hits, 0);
         assert_eq!(report.stats.spin_ups + report.stats.spin_downs, 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn resilience_counters_stay_zero_on_a_healthy_cluster() {
+        let trace = small_trace(12, 10, 4.0);
+        let mut cluster =
+            ClusterHandle::start(RuntimeConfig::small("zerores"), &trace).expect("start");
+        for file in 0..6u32 {
+            cluster.get(file).expect("get");
+        }
+        let s = cluster.stats().expect("stats");
+        assert_eq!(
+            (s.retries, s.hedges, s.breaker_trips, s.deadline_misses),
+            (0, 0, 0, 0),
+            "default policy on a healthy cluster must be invisible: {s:?}"
+        );
         cluster.shutdown();
     }
 }

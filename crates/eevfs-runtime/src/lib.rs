@@ -39,5 +39,6 @@ pub mod node;
 pub mod proto;
 pub mod server;
 pub mod store;
+pub mod transport;
 
 pub use cluster::{ClusterHandle, ReplayReport, RuntimeConfig};

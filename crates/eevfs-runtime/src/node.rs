@@ -193,17 +193,24 @@ impl NodeState {
                     Ok(d) => d,
                     Err(_) => return Ok(Message::Err { code: 2 }),
                 };
-                // Step 6: push the data to the client.
+                // Step 6: push the data to the client. A callback failure
+                // (listener gone — e.g. the client already took a hedged
+                // copy from another node) must not tear down the control
+                // connection, so it is contained as an io-error reply.
                 let addr = SocketAddr::from(([127, 0, 0, 1], client_port));
-                let mut conn = TcpStream::connect(addr)?;
-                write_message(
+                let Ok(mut conn) = TcpStream::connect(addr) else {
+                    return Ok(Message::Err { code: 2 });
+                };
+                match write_message(
                     &mut conn,
                     &Message::FileData {
                         file,
                         data: Bytes::from(data),
                     },
-                )?;
-                Ok(Message::Ok)
+                ) {
+                    Ok(()) => Ok(Message::Ok),
+                    Err(_) => Ok(Message::Err { code: 2 }),
+                }
             }
             Message::Put { file, client_port } => {
                 let fid = workload::record::FileId(file);
@@ -211,12 +218,17 @@ impl NodeState {
                     return Ok(Message::Err { code: 1 });
                 };
                 let size = self.size_of_file[&file];
-                // Pull the payload from the client (reverse push).
+                // Pull the payload from the client (reverse push). Like
+                // the Get push, callback failures are contained as error
+                // replies rather than control-connection teardown.
                 let addr = SocketAddr::from(([127, 0, 0, 1], client_port));
-                let mut conn = TcpStream::connect(addr)?;
-                let data = match read_message(&mut conn)? {
-                    Message::FileData { file: got, data } if got == file => data,
-                    _ => return Ok(Message::Err { code: 3 }),
+                let Ok(mut conn) = TcpStream::connect(addr) else {
+                    return Ok(Message::Err { code: 2 });
+                };
+                let data = match read_message(&mut conn) {
+                    Ok(Message::FileData { file: got, data }) if got == file => data,
+                    Ok(_) => return Ok(Message::Err { code: 3 }),
+                    Err(_) => return Ok(Message::Err { code: 2 }),
                 };
                 if data.len() as u64 != size {
                     return Ok(Message::Err { code: 3 });
@@ -264,7 +276,15 @@ impl NodeState {
                     spin_downs: downs,
                     hits: self.catalog.hits(),
                     misses: self.catalog.misses(),
+                    // The resilience counters are server-side; nodes
+                    // report zeros and the server adds its own.
                     failovers: 0,
+                    retries: 0,
+                    hedges: 0,
+                    hedges_won: 0,
+                    breaker_trips: 0,
+                    breaker_recoveries: 0,
+                    deadline_misses: 0,
                 })
             }
             Message::FailDisk { disk, .. } => {

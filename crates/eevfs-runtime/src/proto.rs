@@ -80,6 +80,20 @@ pub enum Message {
         /// node → server replies; the server adds its own count when
         /// aggregating).
         failovers: u64,
+        /// RPC flights re-sent after a drop, reset, or per-try timeout
+        /// (zero in node → server replies; server-side counter).
+        retries: u64,
+        /// Hedged reads issued against a second replica (server-side).
+        hedges: u64,
+        /// Hedged reads where the second replica answered first
+        /// (server-side).
+        hedges_won: u64,
+        /// Circuit-breaker trips, closed/half-open → open (server-side).
+        breaker_trips: u64,
+        /// Half-open probes that closed a breaker again (server-side).
+        breaker_recoveries: u64,
+        /// Requests that blew their end-to-end deadline (server-side).
+        deadline_misses: u64,
     },
     /// Orderly shutdown.
     Shutdown,
@@ -123,6 +137,18 @@ pub enum Message {
         /// Control port of the replacement daemon.
         port: u16,
     },
+    /// Client → server (admin / network-fault injection): cut the
+    /// server↔node link for `node`; requests reroute to surviving
+    /// replicas until a [`Message::HealLink`].
+    PartitionLink {
+        /// Node index.
+        node: u32,
+    },
+    /// Client → server: undo a [`Message::PartitionLink`].
+    HealLink {
+        /// Node index.
+        node: u32,
+    },
 }
 
 /// Codec errors.
@@ -132,6 +158,10 @@ pub enum CodecError {
     Io(std::io::Error),
     /// Frame violated the protocol.
     Malformed(&'static str),
+    /// Frame carried a tag this build does not understand (future
+    /// protocol revision or garbage) — distinct from [`CodecError::Malformed`]
+    /// so callers can choose to skip rather than tear down the connection.
+    UnknownTag(u8),
 }
 
 impl std::fmt::Display for CodecError {
@@ -139,6 +169,7 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::Io(e) => write!(f, "io: {e}"),
             CodecError::Malformed(why) => write!(f, "malformed frame: {why}"),
+            CodecError::UnknownTag(tag) => write!(f, "unknown message tag {tag}"),
         }
     }
 }
@@ -169,6 +200,8 @@ impl Message {
             Message::FailDisk { .. } => 13,
             Message::RepairDisk { .. } => 14,
             Message::ReviveNode { .. } => 15,
+            Message::PartitionLink { .. } => 16,
+            Message::HealLink { .. } => 17,
         }
     }
 
@@ -218,6 +251,7 @@ impl Message {
                 body.put_u32_le(*node);
                 body.put_u16_le(*port);
             }
+            Message::PartitionLink { node } | Message::HealLink { node } => body.put_u32_le(*node),
             Message::Err { code } => body.put_u16_le(*code),
             Message::Stats {
                 disk_joules,
@@ -226,6 +260,12 @@ impl Message {
                 hits,
                 misses,
                 failovers,
+                retries,
+                hedges,
+                hedges_won,
+                breaker_trips,
+                breaker_recoveries,
+                deadline_misses,
             } => {
                 body.put_f64_le(*disk_joules);
                 body.put_u64_le(*spin_ups);
@@ -233,6 +273,12 @@ impl Message {
                 body.put_u64_le(*hits);
                 body.put_u64_le(*misses);
                 body.put_u64_le(*failovers);
+                body.put_u64_le(*retries);
+                body.put_u64_le(*hedges);
+                body.put_u64_le(*hedges_won);
+                body.put_u64_le(*breaker_trips);
+                body.put_u64_le(*breaker_recoveries);
+                body.put_u64_le(*deadline_misses);
             }
         }
         let mut framed = BytesMut::with_capacity(4 + body.len());
@@ -264,8 +310,10 @@ impl Message {
             }
             2 => {
                 need!(4, "Prefetch count");
-                let n = body.get_u32_le() as usize;
-                if body.remaining() < n * 4 {
+                let n = body.get_u32_le();
+                // Multiply in u64 so a hostile count cannot overflow the
+                // size computation on any pointer width.
+                if (body.remaining() as u64) < u64::from(n) * 4 {
                     return Err(Malformed("truncated Prefetch list"));
                 }
                 Message::Prefetch {
@@ -274,8 +322,8 @@ impl Message {
             }
             3 => {
                 need!(4, "Hints count");
-                let n = body.get_u32_le() as usize;
-                if body.remaining() < n * 12 {
+                let n = body.get_u32_le();
+                if (body.remaining() as u64) < u64::from(n) * 12 {
                     return Err(Malformed("truncated Hints list"));
                 }
                 Message::Hints {
@@ -294,13 +342,15 @@ impl Message {
             5 => {
                 need!(12, "FileData header");
                 let file = body.get_u32_le();
-                let len = body.get_u64_le() as usize;
-                if body.remaining() != len {
+                let len = body.get_u64_le();
+                // Compare in u64: `len as usize` first would wrap on
+                // 32-bit targets and could spuriously match `remaining`.
+                if body.remaining() as u64 != len {
                     return Err(Malformed("FileData length mismatch"));
                 }
                 Message::FileData {
                     file,
-                    data: body.copy_to_bytes(len),
+                    data: body.copy_to_bytes(len as usize),
                 }
             }
             6 => Message::Ok,
@@ -312,7 +362,7 @@ impl Message {
             }
             8 => Message::StatsRequest,
             9 => {
-                need!(48, "Stats");
+                need!(96, "Stats");
                 Message::Stats {
                     disk_joules: body.get_f64_le(),
                     spin_ups: body.get_u64_le(),
@@ -320,6 +370,12 @@ impl Message {
                     hits: body.get_u64_le(),
                     misses: body.get_u64_le(),
                     failovers: body.get_u64_le(),
+                    retries: body.get_u64_le(),
+                    hedges: body.get_u64_le(),
+                    hedges_won: body.get_u64_le(),
+                    breaker_trips: body.get_u64_le(),
+                    breaker_recoveries: body.get_u64_le(),
+                    deadline_misses: body.get_u64_le(),
                 }
             }
             10 => Message::Shutdown,
@@ -357,7 +413,19 @@ impl Message {
                     port: body.get_u16_le(),
                 }
             }
-            _ => return Err(Malformed("unknown tag")),
+            16 => {
+                need!(4, "PartitionLink");
+                Message::PartitionLink {
+                    node: body.get_u32_le(),
+                }
+            }
+            17 => {
+                need!(4, "HealLink");
+                Message::HealLink {
+                    node: body.get_u32_le(),
+                }
+            }
+            other => return Err(CodecError::UnknownTag(other)),
         };
         if body.has_remaining() && !matches!(msg, Message::FileData { .. }) {
             return Err(Malformed("trailing bytes"));
@@ -434,6 +502,12 @@ mod tests {
             hits: 10,
             misses: 2,
             failovers: 5,
+            retries: 7,
+            hedges: 2,
+            hedges_won: 1,
+            breaker_trips: 1,
+            breaker_recoveries: 1,
+            deadline_misses: 0,
         });
         roundtrip(Message::Shutdown);
         roundtrip(Message::Put {
@@ -447,6 +521,8 @@ mod tests {
             node: 2,
             port: 40123,
         });
+        roundtrip(Message::PartitionLink { node: 1 });
+        roundtrip(Message::HealLink { node: 1 });
     }
 
     #[test]
@@ -485,8 +561,42 @@ mod tests {
     fn unknown_tag_rejected() {
         assert!(matches!(
             Message::decode(Bytes::from_static(&[200])),
-            Err(CodecError::Malformed("unknown tag"))
+            Err(CodecError::UnknownTag(200))
         ));
+        // The first unassigned tag after the current protocol revision.
+        assert!(matches!(
+            Message::decode(Bytes::from_static(&[18])),
+            Err(CodecError::UnknownTag(18))
+        ));
+    }
+
+    #[test]
+    fn hostile_list_counts_rejected_without_overflow() {
+        // Prefetch claiming u32::MAX entries: `count * 4` must not wrap
+        // into something smaller than `remaining`.
+        let mut body = BytesMut::new();
+        body.put_u8(2);
+        body.put_u32_le(u32::MAX);
+        body.extend_from_slice(&[0u8; 64]);
+        assert!(Message::decode(body.freeze()).is_err());
+        // Same for Hints (12-byte entries).
+        let mut body = BytesMut::new();
+        body.put_u8(3);
+        body.put_u32_le(u32::MAX);
+        body.extend_from_slice(&[0u8; 64]);
+        assert!(Message::decode(body.freeze()).is_err());
+    }
+
+    #[test]
+    fn filedata_u64_length_compared_exactly() {
+        // A length field larger than the buffer must be rejected even if
+        // its low 32 bits happen to match the remaining byte count.
+        let mut body = BytesMut::new();
+        body.put_u8(5);
+        body.put_u32_le(1);
+        body.put_u64_le((1u64 << 32) + 4);
+        body.extend_from_slice(&[9u8; 4]);
+        assert!(Message::decode(body.freeze()).is_err());
     }
 
     #[test]
@@ -530,6 +640,8 @@ mod tests {
                     .prop_map(|(node, disk)| Message::RepairDisk { node, disk }),
                 (any::<u32>(), any::<u16>())
                     .prop_map(|(node, port)| Message::ReviveNode { node, port }),
+                any::<u32>().prop_map(|node| Message::PartitionLink { node }),
+                any::<u32>().prop_map(|node| Message::HealLink { node }),
                 (
                     any::<u32>(),
                     proptest::collection::vec(any::<u8>(), 0..2048)
@@ -543,24 +655,22 @@ mod tests {
                 Just(Message::StatsRequest),
                 (
                     any::<f64>().prop_filter("finite", |f| f.is_finite()),
-                    any::<u64>(),
-                    any::<u64>(),
-                    any::<u64>(),
-                    any::<u64>(),
-                    any::<u64>()
+                    proptest::collection::vec(any::<u64>(), 11usize)
                 )
-                    .prop_map(
-                        |(disk_joules, spin_ups, spin_downs, hits, misses, failovers)| {
-                            Message::Stats {
-                                disk_joules,
-                                spin_ups,
-                                spin_downs,
-                                hits,
-                                misses,
-                                failovers,
-                            }
-                        }
-                    ),
+                    .prop_map(|(disk_joules, c)| Message::Stats {
+                        disk_joules,
+                        spin_ups: c[0],
+                        spin_downs: c[1],
+                        hits: c[2],
+                        misses: c[3],
+                        failovers: c[4],
+                        retries: c[5],
+                        hedges: c[6],
+                        hedges_won: c[7],
+                        breaker_trips: c[8],
+                        breaker_recoveries: c[9],
+                        deadline_misses: c[10],
+                    }),
                 Just(Message::Shutdown),
             ]
         }
@@ -582,6 +692,43 @@ mod tests {
                     let reframed = msg.clone().encode();
                     let again = Message::decode(reframed.slice(4..)).expect("re-decode");
                     prop_assert_eq!(msg, again);
+                }
+            }
+
+            /// Every prefix of a valid frame body is rejected cleanly —
+            /// truncation mid-field must never panic or decode as a
+            /// different message.
+            #[test]
+            fn fuzz_truncated_valid_frames_never_panic(
+                msg in arb_message(),
+                keep_frac in 0.0f64..1.0,
+            ) {
+                let body = msg.encode().slice(4..);
+                let keep = ((body.len() as f64) * keep_frac) as usize;
+                if keep < body.len() {
+                    // Only FileData carries an inner length that could make
+                    // a prefix self-consistent; everything else must error.
+                    let r = Message::decode(body.slice(..keep));
+                    if let Ok(decoded) = r {
+                        prop_assert!(matches!(decoded, Message::FileData { .. }));
+                    }
+                }
+            }
+
+            /// Flipping one byte of a valid frame body never panics the
+            /// decoder (it may still decode, to the same or a sibling
+            /// message — only totality is asserted).
+            #[test]
+            fn fuzz_byte_flips_never_panic(
+                msg in arb_message(),
+                pos_frac in 0.0f64..1.0,
+                flip in 1u8..=255,
+            ) {
+                let mut bytes = msg.encode().slice(4..).to_vec();
+                if !bytes.is_empty() {
+                    let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+                    bytes[pos] ^= flip;
+                    let _ = Message::decode(Bytes::from(bytes));
                 }
             }
         }

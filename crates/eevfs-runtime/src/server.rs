@@ -5,17 +5,32 @@
 //! setup (steps 1–4 of the process flow), and at run time resolves each
 //! client request and forwards it to the owning node (step 5). It never
 //! touches file data — responses flow node → client directly.
+//!
+//! Request forwarding runs under an [`fault_model::RpcPolicy`]: bounded
+//! retries with seeded exponential backoff, per-node circuit breakers,
+//! optional hedged reads against the next replica, and a
+//! [`crate::transport::FaultyTransport`] per node link that can drop,
+//! delay, or reset request-path frames (admin-driven partitions and
+//! probabilistic link faults). `SimDuration` fields of the policy are
+//! interpreted as **wall-clock** durations here; the default options
+//! reproduce the historical fail-fast behaviour exactly.
 
 use crate::proto::{read_message, write_message, CodecError, Message};
+use crate::transport::{FaultyTransport, SendError};
 use eevfs::config::PlacementPolicy;
 use eevfs::placement::place;
 use eevfs::replication::replicate;
-use sim_core::SimTime;
+use fault_model::{CircuitBreaker, LinkFaultProfile, NetFaultInjector, NetFaultPlan, RpcPolicy};
+use sim_core::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use workload::popularity::PopularityTable;
 use workload::record::{FileId, Trace};
+
+/// Poll quantum while racing a hedged read's two in-flight replies.
+const HEDGE_POLL: Duration = Duration::from_millis(2);
 
 /// Aggregated node statistics. Cumulative from cluster boot; subtract two
 /// snapshots to measure a window.
@@ -33,6 +48,18 @@ pub struct ClusterStats {
     pub misses: u64,
     /// Requests the server redirected to a non-primary replica.
     pub failovers: u64,
+    /// Request forwards re-sent after a drop, reset, or transport error.
+    pub retries: u64,
+    /// Hedged reads issued against a second replica.
+    pub hedges: u64,
+    /// Hedged reads the second replica won.
+    pub hedges_won: u64,
+    /// Circuit-breaker trips across node links.
+    pub breaker_trips: u64,
+    /// Half-open probes that closed a breaker again.
+    pub breaker_recoveries: u64,
+    /// Requests that exhausted their deadline or retry budget.
+    pub deadline_misses: u64,
 }
 
 impl std::ops::Sub for ClusterStats {
@@ -47,12 +74,47 @@ impl std::ops::Sub for ClusterStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
             failovers: self.failovers.saturating_sub(earlier.failovers),
+            retries: self.retries.saturating_sub(earlier.retries),
+            hedges: self.hedges.saturating_sub(earlier.hedges),
+            hedges_won: self.hedges_won.saturating_sub(earlier.hedges_won),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            breaker_recoveries: self
+                .breaker_recoveries
+                .saturating_sub(earlier.breaker_recoveries),
+            deadline_misses: self.deadline_misses.saturating_sub(earlier.deadline_misses),
         }
     }
 }
 
+/// Resilience knobs for the server's request forwarding.
+#[derive(Debug, Clone)]
+pub struct ResilienceOptions {
+    /// Retry/hedge/breaker policy; durations are wall-interpreted.
+    pub policy: RpcPolicy,
+    /// Probabilistic per-link faults on request-path sends (injected
+    /// delays are wall-interpreted and capped at the per-try timeout).
+    pub profile: LinkFaultProfile,
+}
+
+impl Default for ResilienceOptions {
+    /// No retries, no hedging, no injected faults: an effectively
+    /// unbounded deadline keeps the legacy fail-fast routing.
+    fn default() -> ResilienceOptions {
+        ResilienceOptions {
+            policy: RpcPolicy::no_retry(SimDuration::from_secs(3600)),
+            profile: LinkFaultProfile::none(),
+        }
+    }
+}
+
+/// Converts a wall-interpreted policy duration.
+fn wall(d: SimDuration) -> Duration {
+    Duration::from_micros(d.as_micros())
+}
+
 struct ServerState {
-    node_conns: Vec<TcpStream>,
+    /// One fault-gated control link per node.
+    links: Vec<FaultyTransport>,
     /// Routing availability. A node is marked down by `KillNode` or by a
     /// transport failure mid-request, and up again by `ReviveNode`.
     node_up: Vec<bool>,
@@ -65,13 +127,43 @@ struct ServerState {
     create_log: Vec<Vec<(u32, u64, u32)>>,
     prefetch_log: Vec<Vec<u32>>,
     hints_log: Vec<Vec<(u64, u32)>>,
+    /// Request-forwarding policy (wall-interpreted durations).
+    policy: RpcPolicy,
+    /// Link fault injection (admin partitions + probabilistic profile).
+    injector: NetFaultInjector,
+    /// One circuit breaker per node link, fed wall-derived ticks.
+    breakers: Vec<CircuitBreaker>,
+    /// Wall epoch the breakers' virtual clock counts from.
+    epoch: Instant,
+    /// Monotone id seeding each request's deterministic backoff schedule.
+    next_request_id: u64,
+    retries: u64,
+    hedges: u64,
+    hedges_won: u64,
+    deadline_misses: u64,
 }
 
 impl ServerState {
+    /// Wall time since boot on the breakers' `SimTime` axis.
+    fn wall_now(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Marks a link's transport as failed: breaker tick, and (for real
+    /// socket errors) routing removal until revival.
+    fn fail_link(&mut self, node: usize, node_died: bool) {
+        let now = self.wall_now();
+        self.breakers[node].on_failure(now);
+        if node_died {
+            self.node_up[node] = false;
+        }
+    }
+
+    /// Raw request/reply exchange bypassing fault injection (setup,
+    /// stats, admin, shutdown).
     fn rpc(&mut self, node: usize, msg: &Message) -> Result<Message, CodecError> {
-        let conn = &mut self.node_conns[node];
-        write_message(conn, msg)?;
-        read_message(conn)
+        self.links[node].send_raw(msg)?;
+        self.links[node].recv()
     }
 
     /// Steps 1-4: placement, creation (all `replication` copies),
@@ -160,52 +252,225 @@ impl ServerState {
         Ok(())
     }
 
-    /// Step 5: resolve and forward one client request (read or write),
-    /// failing a read over to the next replica when a copy's node is down
-    /// (routing state or transport error) or its disk cannot serve.
+    /// Step 5: resolve and forward one client request (read or write)
+    /// under the RPC policy: replica failover, circuit-breaker gating,
+    /// optional hedging, then bounded backoff retries until the deadline.
     fn route(&mut self, msg: Message) -> Message {
-        let (file, is_read) = match &msg {
+        let rid = self.next_request_id;
+        self.next_request_id += 1;
+        let schedule = self.policy.backoff_schedule(rid);
+        let deadline = wall(self.policy.deadline);
+        let started = Instant::now();
+        let mut retry = 0usize;
+        loop {
+            match self.route_once(&msg, started) {
+                Ok(reply) => return reply,
+                Err(last) => {
+                    let give_up = |state: &mut ServerState| {
+                        state.deadline_misses += 1;
+                        last.unwrap_or(Message::Err { code: 2 })
+                    };
+                    let Some(delay) = schedule.delay(retry) else {
+                        return give_up(self);
+                    };
+                    let d = wall(delay);
+                    if started.elapsed() + d >= deadline {
+                        return give_up(self);
+                    }
+                    std::thread::sleep(d);
+                    self.retries += 1;
+                    retry += 1;
+                }
+            }
+        }
+    }
+
+    /// One pass over the healthy, breaker-admitted copies. `Ok` carries a
+    /// terminal reply; `Err` means every copy failed transiently (with
+    /// the last node-level error, if any, for the give-up reply).
+    fn route_once(&mut self, msg: &Message, started: Instant) -> Result<Message, Option<Message>> {
+        let (file, is_read) = match msg {
             Message::Get { file, .. } => (*file, true),
             Message::Put { file, .. } => (*file, false),
-            _ => return Message::Err { code: 3 },
+            _ => return Ok(Message::Err { code: 3 }),
         };
         let Some(copies) = self.copies_of_file.get(&file).cloned() else {
-            return Message::Err { code: 1 };
+            return Ok(Message::Err { code: 1 });
         };
         // Writes go to the primary only (§III-C write buffering is a
         // per-node affair; the prototype does not propagate writes to
         // backups, so failing a write over would fork the copies).
         let tries = if is_read { copies.len() } else { 1 };
-        for (i, &(node, _disk)) in copies.iter().take(tries).enumerate() {
-            if !self.node_up[node] {
-                continue;
+        let mut candidates = Vec::with_capacity(tries);
+        let now = self.wall_now();
+        for &(node, _disk) in copies.iter().take(tries) {
+            // `allows` doubles as the half-open probe admission: an open
+            // breaker past its cooldown lets exactly this request through.
+            if self.node_up[node] && self.breakers[node].allows(now) {
+                candidates.push(node);
             }
-            match self.rpc(node, &msg) {
-                Ok(Message::Err { code: 1 | 2 }) if i + 1 < tries => {
+        }
+        let mut last = None;
+        for (i, &node) in candidates.iter().enumerate() {
+            // Hedge only the first attempt of a read, against the next
+            // admitted copy.
+            let hedge_with = if is_read && i == 0 && self.policy.hedge_after.is_some() {
+                candidates.get(1).copied()
+            } else {
+                None
+            };
+            match self.exchange(node, msg, hedge_with, started) {
+                Ok(Message::Err {
+                    code: code @ (1 | 2),
+                }) => {
                     // This copy cannot serve (failed disk, lost file);
-                    // fall through to the next one.
+                    // transient from the route's point of view.
+                    last = Some(Message::Err { code });
                 }
                 Ok(reply) => {
-                    if i > 0 && !matches!(reply, Message::Err { .. }) {
+                    if node != copies[0].0 && !matches!(reply, Message::Err { .. }) {
                         self.failovers += 1;
                     }
-                    return reply;
+                    return Ok(reply);
                 }
+                Err(()) => {}
+            }
+        }
+        Err(last)
+    }
+
+    /// One request/reply exchange with node `node`, hedged against
+    /// `hedge_with` when the policy arms hedging.
+    fn exchange(
+        &mut self,
+        node: usize,
+        msg: &Message,
+        hedge_with: Option<usize>,
+        started: Instant,
+    ) -> Result<Message, ()> {
+        let cap = wall(self.policy.per_try_timeout);
+        if self.links[node].drain_pending().is_err() {
+            self.fail_link(node, true);
+            return Err(());
+        }
+        match self.links[node].send(&mut self.injector, msg, cap) {
+            Ok(()) => {}
+            Err(SendError::Dropped) | Err(SendError::Reset) => {
+                // Injected loss: the node never saw the frame. Tick the
+                // breaker but keep the node routable — the link may heal.
+                self.fail_link(node, false);
+                return Err(());
+            }
+            Err(SendError::Io(_)) => {
+                self.fail_link(node, true);
+                return Err(());
+            }
+        }
+        if let (Some(h), Some(second)) = (self.policy.hedge_after, hedge_with) {
+            return self.race_hedge(node, second, msg, h, started);
+        }
+        match self.links[node].recv() {
+            Ok(reply) => {
+                self.breakers[node].on_success();
+                Ok(reply)
+            }
+            Err(_) => {
+                self.fail_link(node, true);
+                Err(())
+            }
+        }
+    }
+
+    /// The hedged-read race: wait `hedge_after` for the primary, then
+    /// issue the same request to `second` and take whichever answers
+    /// first. The loser's reply is left on its link's pending ledger.
+    fn race_hedge(
+        &mut self,
+        primary: usize,
+        second: usize,
+        msg: &Message,
+        hedge_after: SimDuration,
+        started: Instant,
+    ) -> Result<Message, ()> {
+        let wait = wall(hedge_after).saturating_sub(started.elapsed());
+        // A zero budget means the latency bound is already blown (e.g. an
+        // injected delay burned it during the send): hedge immediately.
+        if wait > Duration::ZERO {
+            match self.links[primary].recv_timeout(wait) {
+                Ok(Some(reply)) => {
+                    self.breakers[primary].on_success();
+                    return Ok(reply);
+                }
+                Ok(None) => {}
                 Err(_) => {
-                    // Transport failure: the node is gone. Stop routing
-                    // to it and keep trying the remaining copies.
-                    self.node_up[node] = false;
+                    self.fail_link(primary, true);
+                    return Err(());
                 }
             }
         }
-        Message::Err { code: 2 }
+        // Primary exceeded the hedge latency bound: race the next copy.
+        self.hedges += 1;
+        let cap = wall(self.policy.per_try_timeout);
+        let mut hedged = self.links[second].drain_pending().is_ok()
+            && self.links[second]
+                .send(&mut self.injector, msg, cap)
+                .is_ok();
+        let mut primary_alive = true;
+        let deadline = wall(self.policy.deadline);
+        loop {
+            if started.elapsed() >= deadline || (!primary_alive && !hedged) {
+                if primary_alive {
+                    self.links[primary].abandon_reply();
+                }
+                if hedged {
+                    self.links[second].abandon_reply();
+                }
+                return Err(());
+            }
+            if primary_alive {
+                match self.links[primary].recv_timeout(HEDGE_POLL) {
+                    Ok(Some(reply)) => {
+                        self.breakers[primary].on_success();
+                        if hedged {
+                            self.links[second].abandon_reply();
+                        }
+                        return Ok(reply);
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        self.fail_link(primary, true);
+                        primary_alive = false;
+                    }
+                }
+            }
+            if hedged {
+                match self.links[second].recv_timeout(HEDGE_POLL) {
+                    Ok(Some(reply)) => {
+                        self.breakers[second].on_success();
+                        self.hedges_won += 1;
+                        if primary_alive {
+                            self.links[primary].abandon_reply();
+                        }
+                        return Ok(reply);
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        self.fail_link(second, true);
+                        hedged = false;
+                    }
+                }
+            }
+        }
     }
 
     /// Reconnects to a replacement daemon for `node` and replays the
     /// node's setup (creates, prefetch, hints) so it holds the same files.
     fn revive(&mut self, node: usize, port: u16) -> Result<(), CodecError> {
         let conn = TcpStream::connect(SocketAddr::from(([127, 0, 0, 1], port)))?;
-        self.node_conns[node] = conn;
+        self.links[node].reconnect(conn);
+        // A fresh daemon earns a fresh breaker: failures of its
+        // predecessor say nothing about it.
+        self.breakers[node] = CircuitBreaker::new(self.policy.breaker);
         for (file, size, disk) in self.create_log[node].clone() {
             match self.rpc(node, &Message::CreateFile { file, size, disk })? {
                 Message::Ok => {}
@@ -231,9 +496,15 @@ impl ServerState {
     fn collect_stats(&mut self) -> Result<ClusterStats, CodecError> {
         let mut total = ClusterStats {
             failovers: self.failovers,
+            retries: self.retries,
+            hedges: self.hedges,
+            hedges_won: self.hedges_won,
+            breaker_trips: self.breakers.iter().map(|b| b.trips()).sum(),
+            breaker_recoveries: self.breakers.iter().map(|b| b.recoveries()).sum(),
+            deadline_misses: self.deadline_misses,
             ..ClusterStats::default()
         };
-        for node in 0..self.node_conns.len() {
+        for node in 0..self.links.len() {
             if !self.node_up[node] {
                 continue;
             }
@@ -244,7 +515,7 @@ impl ServerState {
                     spin_downs,
                     hits,
                     misses,
-                    failovers: _,
+                    ..
                 }) => {
                     total.disk_joules += disk_joules;
                     total.spin_ups += spin_ups;
@@ -262,7 +533,7 @@ impl ServerState {
     }
 
     fn shutdown_nodes(&mut self) {
-        for node in 0..self.node_conns.len() {
+        for node in 0..self.links.len() {
             if self.node_up[node] {
                 let _ = self.rpc(node, &Message::Shutdown);
             }
@@ -278,9 +549,8 @@ pub struct ServerDaemon {
 }
 
 impl ServerDaemon {
-    /// Connects to the nodes (step 1), performs setup (steps 2–4) with
-    /// `replication` copies per file, then serves client requests until it
-    /// receives `Shutdown` from a client.
+    /// [`ServerDaemon::spawn_resilient`] with the default (legacy
+    /// fail-fast, fault-free) options.
     pub fn spawn(
         node_addrs: &[SocketAddr],
         disks_per_node: Vec<usize>,
@@ -288,19 +558,50 @@ impl ServerDaemon {
         prefetch_k: u32,
         replication: usize,
     ) -> std::io::Result<ServerDaemon> {
-        let mut conns = Vec::with_capacity(node_addrs.len());
-        for addr in node_addrs {
-            conns.push(TcpStream::connect(addr)?);
+        ServerDaemon::spawn_resilient(
+            node_addrs,
+            disks_per_node,
+            trace,
+            prefetch_k,
+            replication,
+            ResilienceOptions::default(),
+        )
+    }
+
+    /// Connects to the nodes (step 1), performs setup (steps 2–4) with
+    /// `replication` copies per file, then serves client requests until it
+    /// receives `Shutdown` from a client. Request forwarding runs under
+    /// `opts` (retry policy, link fault profile).
+    pub fn spawn_resilient(
+        node_addrs: &[SocketAddr],
+        disks_per_node: Vec<usize>,
+        trace: &Trace,
+        prefetch_k: u32,
+        replication: usize,
+        opts: ResilienceOptions,
+    ) -> std::io::Result<ServerDaemon> {
+        let mut links = Vec::with_capacity(node_addrs.len());
+        for (i, addr) in node_addrs.iter().enumerate() {
+            links.push(FaultyTransport::new(TcpStream::connect(addr)?, i));
         }
         let n_nodes = node_addrs.len();
         let mut state = ServerState {
-            node_conns: conns,
+            links,
             node_up: vec![true; n_nodes],
             copies_of_file: HashMap::new(),
             failovers: 0,
             create_log: vec![Vec::new(); n_nodes],
             prefetch_log: vec![Vec::new(); n_nodes],
             hints_log: vec![Vec::new(); n_nodes],
+            injector: NetFaultInjector::new(opts.profile, NetFaultPlan::none(), n_nodes),
+            breakers: vec![CircuitBreaker::new(opts.policy.breaker); n_nodes],
+            policy: opts.policy,
+            epoch: Instant::now(),
+            next_request_id: 0,
+            retries: 0,
+            hedges: 0,
+            hedges_won: 0,
+            deadline_misses: 0,
         };
         state
             .setup(trace, prefetch_k, &disks_per_node, replication)
@@ -324,17 +625,36 @@ impl ServerDaemon {
                                     hits: s.hits,
                                     misses: s.misses,
                                     failovers: s.failovers,
+                                    retries: s.retries,
+                                    hedges: s.hedges,
+                                    hedges_won: s.hedges_won,
+                                    breaker_trips: s.breaker_trips,
+                                    breaker_recoveries: s.breaker_recoveries,
+                                    deadline_misses: s.deadline_misses,
                                 },
                                 Err(_) => Message::Err { code: 2 },
                             },
                             Message::KillNode { node } => {
                                 let n = node as usize;
-                                if n < state.node_conns.len() {
+                                if n < state.links.len() {
                                     // Best effort: the node acks Shutdown
                                     // and its thread exits. Routing skips
                                     // it from here on.
                                     let _ = state.rpc(n, &Message::Shutdown);
                                     state.node_up[n] = false;
+                                    Message::Ok
+                                } else {
+                                    Message::Err { code: 3 }
+                                }
+                            }
+                            msg @ (Message::PartitionLink { .. } | Message::HealLink { .. }) => {
+                                let (node, up) = match msg {
+                                    Message::PartitionLink { node } => (node as usize, false),
+                                    Message::HealLink { node } => (node as usize, true),
+                                    _ => unreachable!(),
+                                };
+                                if node < state.links.len() {
+                                    state.injector.set_link(node, up);
                                     Message::Ok
                                 } else {
                                     Message::Err { code: 3 }
@@ -346,7 +666,7 @@ impl ServerDaemon {
                                     | Message::RepairDisk { node, .. } => node as usize,
                                     _ => unreachable!(),
                                 };
-                                if node < state.node_conns.len() && state.node_up[node] {
+                                if node < state.links.len() && state.node_up[node] {
                                     state.rpc(node, &msg).unwrap_or(Message::Err { code: 2 })
                                 } else {
                                     Message::Err { code: 3 }
@@ -354,7 +674,7 @@ impl ServerDaemon {
                             }
                             Message::ReviveNode { node, port } => {
                                 let n = node as usize;
-                                if n < state.node_conns.len() {
+                                if n < state.links.len() {
                                     match state.revive(n, port) {
                                         Ok(()) => Message::Ok,
                                         Err(_) => Message::Err { code: 2 },

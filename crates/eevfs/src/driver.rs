@@ -23,7 +23,7 @@
 use crate::buffer::BufferCatalog;
 use crate::config::{BufferPolicy, ClusterSpec, EevfsConfig, ReplicaSelection};
 use crate::metadata::ServerMetadata;
-use crate::metrics::{NodeMetrics, PrefetchStats, ResponseStats, RunMetrics};
+use crate::metrics::{NodeMetrics, PrefetchStats, ResilienceStats, ResponseStats, RunMetrics};
 use crate::placement::{place, PlacementPlan};
 use crate::power::{DiskPredictor, PowerManager, SleepDecision};
 use crate::prefetch::{plan_topk, predict_benefit, PrefetchPlan};
@@ -31,7 +31,10 @@ use crate::replication::{replicate, select_replica, ReplicaPlan, Selected};
 use crate::server::StorageServer;
 use disk_model::perf::AccessKind;
 use disk_model::{Disk, TransitionCounts};
-use fault_model::{FaultEvent, FaultPlan, HealthTracker};
+use fault_model::{
+    CircuitBreaker, FaultEvent, FaultPlan, HealthTracker, LinkDecision, LinkFaultProfile,
+    NetFaultEvent, NetFaultInjector, NetFaultPlan, RpcPolicy,
+};
 use net_model::message::control_message_time;
 use net_model::Nic;
 use sim_core::{Engine, EventQueue, Model, SimDuration, SimTime};
@@ -65,6 +68,13 @@ struct ReqState {
     spun_up: bool,
     /// Routing attempts so far; bounded by [`MAX_ROUTE_ATTEMPTS`].
     attempts: u32,
+    /// RPC-level retries consumed (drops, resets, per-try timeouts).
+    rpc_tries: u32,
+    /// `Some(original)` for a hedge flight: it races the original and
+    /// records its response into the original's slot.
+    mirror_of: Option<u32>,
+    /// A hedge has been armed for this request (at most one per request).
+    hedge_armed: bool,
     response_s: Option<f64>,
 }
 
@@ -95,6 +105,13 @@ enum Ev {
     /// A fault-plan event comes due (the health tracker's own cursor
     /// knows which).
     Fault,
+    /// A network fault-plan event (partition/heal) comes due.
+    NetFault,
+    /// A dropped RPC flight's per-try timeout expired; retry or give up.
+    RpcLost(u32),
+    /// The hedge timer for a read fired; race a second replica if the
+    /// response is still outstanding.
+    Hedge(u32),
     /// Power-management check for a data disk.
     SleepCheck {
         node: u16,
@@ -114,6 +131,14 @@ struct ClusterSim {
     placement: PlacementPlan,
     replicas: ReplicaPlan,
     health: HealthTracker,
+    /// Network fault injection on the server→node leg (None = perfect
+    /// network, zero overhead on the legacy paths).
+    net: Option<NetFaultInjector>,
+    /// RPC resilience policy; `None` preserves the legacy behaviour
+    /// bit-for-bit (no retries, no hedging, no breakers).
+    policy: Option<RpcPolicy>,
+    breakers: Vec<CircuitBreaker>,
+    res: ResilienceStats,
     prefetch_member: Vec<bool>,
     reqs: Vec<ReqState>,
     /// Client -> server control-message time.
@@ -230,7 +255,9 @@ impl ClusterSim {
     /// Closed loop: a completion frees a stream to issue the next request
     /// after its inter-arrival delay.
     fn maybe_issue_next(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
-        if !self.closed_loop || self.next_issue >= self.reqs.len() {
+        // `arrival_gaps.len()` is the trace length; `reqs` also holds hedge
+        // mirrors, which must never be issued as trace requests.
+        if !self.closed_loop || self.next_issue >= self.arrival_gaps.len() {
             return;
         }
         let i = self.next_issue;
@@ -238,11 +265,33 @@ impl ClusterSim {
         queue.schedule(now + self.arrival_gaps[i], Ev::Issue(i as u32));
     }
 
-    fn record_response(&mut self, req: u32, now: SimTime) {
-        let r = &mut self.reqs[req as usize];
-        debug_assert!(r.response_s.is_none(), "response recorded twice");
-        r.response_s = Some((now - r.submitted).as_secs_f64());
+    /// Records the response for `req` (or, for a hedge mirror, for the
+    /// original it races). Returns false when the response was already
+    /// recorded — the racing flight lost, and the caller must not act on
+    /// the completion (no closed-loop issue, no failure accounting).
+    fn record_response(&mut self, req: u32, now: SimTime) -> bool {
+        let root = self.reqs[req as usize].mirror_of.unwrap_or(req);
+        let is_mirror = root != req;
+        if self.reqs[root as usize].response_s.is_some() {
+            // Only hedge/retry races may complete twice.
+            debug_assert!(
+                is_mirror || self.policy.is_some(),
+                "response recorded twice"
+            );
+            return false;
+        }
+        let elapsed = now - self.reqs[root as usize].submitted;
+        self.reqs[root as usize].response_s = Some(elapsed.as_secs_f64());
         self.responses_recorded += 1;
+        if is_mirror {
+            self.res.hedges_won += 1;
+        }
+        if let Some(p) = &self.policy {
+            if elapsed > p.deadline {
+                self.res.deadline_misses += 1;
+            }
+        }
+        true
     }
 
     /// True when `(node, disk)` is the file's placement-plan home — the
@@ -256,7 +305,7 @@ impl ClusterSim {
     /// selection policy; writes always land on the first serviceable copy
     /// in placement order so the authoritative copy stays the primary
     /// whenever it is up.
-    fn select_for(&self, req: u32) -> Option<Selected> {
+    fn select_for(&self, req: u32, breaker_ok: Option<&[bool]>) -> Option<Selected> {
         let r = &self.reqs[req as usize];
         let file = r.file;
         let policy = match r.op {
@@ -267,7 +316,8 @@ impl ClusterSim {
             self.replicas.of(file),
             policy,
             |n, d| {
-                self.health.node_ok(n)
+                breaker_ok.is_none_or(|ok| ok[n])
+                    && self.health.node_ok(n)
                     && (self.health.disk_ok(n, d) || self.nodes[n].catalog.contains(file))
             },
             |n| self.nodes[n].catalog.contains(file),
@@ -276,21 +326,146 @@ impl ClusterSim {
         )
     }
 
+    /// Breaker admission per node at `now`; open breakers whose cooldown
+    /// elapsed transition to half-open here (the probe side effect).
+    fn breaker_admissions(&mut self, now: SimTime) -> Option<Vec<bool>> {
+        self.policy.as_ref()?;
+        Some(self.breakers.iter_mut().map(|b| b.allows(now)).collect())
+    }
+
+    fn breaker_failure(&mut self, node: usize, now: SimTime) {
+        if self.policy.is_some() {
+            if let Some(b) = self.breakers.get_mut(node) {
+                b.on_failure(now);
+            }
+        }
+    }
+
+    fn breaker_success(&mut self, node: usize) {
+        if self.policy.is_some() {
+            if let Some(b) = self.breakers.get_mut(node) {
+                b.on_success();
+            }
+        }
+    }
+
+    /// An RPC flight for `req` was lost (drop, reset). Re-sends it through
+    /// routing after the request's deterministic backoff, or gives up when
+    /// the schedule (which never outlives the deadline) is exhausted.
+    /// Hedge mirrors are never retried — the original still owns recovery.
+    fn rpc_retry(&mut self, req: u32, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let Some(policy) = self.policy.clone() else {
+            return;
+        };
+        let (tries, is_mirror) = {
+            let r = &self.reqs[req as usize];
+            (r.rpc_tries, r.mirror_of.is_some())
+        };
+        if is_mirror {
+            return;
+        }
+        if self.reqs[req as usize].response_s.is_some() {
+            return; // a hedge already answered for this request
+        }
+        match policy.backoff_schedule(req as u64).delay(tries as usize) {
+            Some(backoff) => {
+                self.reqs[req as usize].rpc_tries += 1;
+                self.res.rpc_retries += 1;
+                queue.schedule(now + backoff, Ev::ServerArrive(req));
+            }
+            None => {
+                // Retry budget (bounded by the deadline) exhausted.
+                self.res.deadline_misses += 1;
+                self.failed_requests += 1;
+                if self.record_response(req, now) {
+                    self.maybe_issue_next(now, queue);
+                }
+            }
+        }
+    }
+
+    /// Spawns the hedge flight for `req`: a mirror request against the
+    /// best alternate replica, racing the original through the full
+    /// server→node→disk→NIC path (so its disk activations are charged).
+    fn spawn_hedge(&mut self, req: u32, now: SimTime, queue: &mut EventQueue<Ev>) {
+        if self.reqs[req as usize].response_s.is_some() {
+            return;
+        }
+        let breaker_ok = self.breaker_admissions(now);
+        let primary_node = self.reqs[req as usize].node;
+        let sel = {
+            let r = &self.reqs[req as usize];
+            let file = r.file;
+            select_replica(
+                self.replicas.of(file),
+                self.cfg.replica_selection,
+                |n, d| {
+                    n != primary_node
+                        && breaker_ok.as_deref().is_none_or(|ok| ok[n])
+                        && self.health.node_ok(n)
+                        && (self.health.disk_ok(n, d) || self.nodes[n].catalog.contains(file))
+                },
+                |n| self.nodes[n].catalog.contains(file),
+                |n, d| self.health.disk_ok(n, d) && !self.nodes[n].data_disks[d].is_sleeping(),
+                req as u64,
+            )
+        };
+        let Some(sel) = sel else {
+            return; // no alternate replica to race
+        };
+        let mirror = self.reqs.len() as u32;
+        let (trace_at, submitted, op, size, file) = {
+            let r = &self.reqs[req as usize];
+            (r.trace_at, r.submitted, r.op, r.size, r.file)
+        };
+        self.reqs.push(ReqState {
+            trace_at,
+            submitted,
+            node: sel.node,
+            disk: sel.disk,
+            op,
+            size,
+            file,
+            from_buffer: false,
+            spun_up: false,
+            attempts: 0,
+            rpc_tries: 0,
+            mirror_of: Some(req),
+            hedge_armed: true,
+            response_s: None,
+        });
+        self.res.hedges += 1;
+        let done = self.server.admit(now);
+        queue.schedule(
+            done,
+            Ev::ServerDone {
+                req: mirror,
+                node: sel.node as u32,
+            },
+        );
+    }
+
     /// Degraded mode: sends the request back through routing after a
     /// backoff, or abandons it once the attempt budget is spent (the
     /// response is recorded at give-up time so the run still terminates
     /// and accounts every request).
     fn retry_route(&mut self, req: u32, now: SimTime, queue: &mut EventQueue<Ev>) {
-        let attempts = {
+        let (attempts, is_mirror) = {
             let r = &mut self.reqs[req as usize];
             r.from_buffer = false;
             r.attempts += 1;
-            r.attempts
+            (r.attempts, r.mirror_of.is_some())
         };
+        if is_mirror {
+            // A hedge that cannot route is simply abandoned; the original
+            // flight still owns completion and failure accounting.
+            return;
+        }
         if attempts >= MAX_ROUTE_ATTEMPTS {
             self.failed_requests += 1;
-            self.record_response(req, now);
-            self.maybe_issue_next(now, queue);
+            if self.record_response(req, now) {
+                self.maybe_issue_next(now, queue);
+            }
         } else {
             queue.schedule(
                 now + SimDuration::from_millis(ROUTE_RETRY_BACKOFF_MS),
@@ -317,7 +492,8 @@ impl Model for ClusterSim {
             }
 
             Ev::ServerArrive(req) => {
-                match self.select_for(req) {
+                let breaker_ok = self.breaker_admissions(now);
+                match self.select_for(req, breaker_ok.as_deref()) {
                     Some(sel) => {
                         if sel.replica != 0 {
                             self.replica_redirects += 1;
@@ -341,8 +517,52 @@ impl Model for ClusterSim {
             }
 
             Ev::ServerDone { req, node } => {
-                let ctl = self.nodes[node as usize].ctl_in;
-                queue.schedule(now + ctl, Ev::NodeArrive(req));
+                let node = node as usize;
+                let ctl = self.nodes[node].ctl_in;
+                // Arm at most one hedge per read, timed from this flight's
+                // departure: if no response lands within `hedge_after`, a
+                // second replica is raced (whatever delayed the first —
+                // injected latency, a drop, or a slow spin-up).
+                let arm_hedge = {
+                    let r = &self.reqs[req as usize];
+                    r.op == Op::Read && r.mirror_of.is_none() && !r.hedge_armed
+                };
+                if arm_hedge {
+                    if let Some(after) = self.policy.as_ref().and_then(|p| p.hedge_after) {
+                        self.reqs[req as usize].hedge_armed = true;
+                        queue.schedule(now + after, Ev::Hedge(req));
+                    }
+                }
+                let decision = match self.net.as_mut() {
+                    Some(inj) => inj.decide(node),
+                    None => LinkDecision::Deliver,
+                };
+                match decision {
+                    LinkDecision::Deliver => {
+                        queue.schedule(now + ctl, Ev::NodeArrive(req));
+                    }
+                    LinkDecision::Delay(spike) => {
+                        self.res.rpc_delays += 1;
+                        queue.schedule(now + ctl + spike, Ev::NodeArrive(req));
+                    }
+                    LinkDecision::Drop => {
+                        self.res.rpc_drops += 1;
+                        self.breaker_failure(node, now);
+                        let per_try = self
+                            .policy
+                            .as_ref()
+                            .map(|p| p.per_try_timeout)
+                            .unwrap_or(SimDuration::from_secs(10));
+                        queue.schedule(now + per_try, Ev::RpcLost(req));
+                    }
+                    LinkDecision::Reset => {
+                        // The sender sees the reset immediately; back off
+                        // and retry without burning a per-try timeout.
+                        self.res.rpc_resets += 1;
+                        self.breaker_failure(node, now);
+                        self.rpc_retry(req, now, queue);
+                    }
+                }
             }
 
             Ev::NodeArrive(req) => {
@@ -356,6 +576,9 @@ impl Model for ClusterSim {
                     self.retry_route(req, now, queue);
                     return;
                 }
+                // Delivery succeeded: the link and node answered, which is
+                // what the circuit breaker tracks.
+                self.breaker_success(node);
                 match op {
                     Op::Read => {
                         let resident = self.nodes[node].catalog.lookup(file);
@@ -428,8 +651,9 @@ impl Model for ClusterSim {
                     }
                     Op::Write => {
                         // Durable: respond.
-                        self.record_response(req, now);
-                        self.maybe_issue_next(now, queue);
+                        if self.record_response(req, now) {
+                            self.maybe_issue_next(now, queue);
+                        }
                     }
                 }
             }
@@ -441,8 +665,9 @@ impl Model for ClusterSim {
                 };
                 match op {
                     Op::Read => {
-                        self.record_response(req, now);
-                        self.maybe_issue_next(now, queue);
+                        if self.record_response(req, now) {
+                            self.maybe_issue_next(now, queue);
+                        }
                     }
                     Op::Write => {
                         // The node may have died while the payload was in
@@ -503,6 +728,25 @@ impl Model for ClusterSim {
                 self.fault_events += fired.len() as u64;
             }
 
+            Ev::NetFault => {
+                if let Some(inj) = self.net.as_mut() {
+                    let fired = inj.apply_until(now);
+                    self.res.net_fault_events += fired.len() as u64;
+                }
+            }
+
+            Ev::RpcLost(req) => {
+                // The flight was silently dropped; if nothing (a hedge)
+                // answered meanwhile, consume a retry.
+                let root = self.reqs[req as usize].mirror_of.unwrap_or(req);
+                if self.reqs[root as usize].response_s.is_some() {
+                    return;
+                }
+                self.rpc_retry(req, now, queue);
+            }
+
+            Ev::Hedge(req) => self.spawn_hedge(req, now, queue),
+
             Ev::SleepCheck {
                 node,
                 disk,
@@ -548,7 +792,7 @@ impl Model for ClusterSim {
 /// Panics on invalid cluster specs or traces — experiment configs are
 /// programmer input, not runtime data.
 pub fn run_cluster(cluster: &ClusterSpec, cfg: &EevfsConfig, trace: &Trace) -> RunMetrics {
-    run_cluster_inner(cluster, cfg, trace, false, &FaultPlan::none()).0
+    run_cluster_inner(cluster, cfg, trace, false, &FaultPlan::none(), None).0
 }
 
 /// Like [`run_cluster`], but injects the fault schedule into the replay.
@@ -563,7 +807,38 @@ pub fn run_cluster_faulted(
     trace: &Trace,
     faults: &FaultPlan,
 ) -> RunMetrics {
-    run_cluster_inner(cluster, cfg, trace, false, faults).0
+    run_cluster_inner(cluster, cfg, trace, false, faults, None).0
+}
+
+/// The network-resilience knobs for [`run_cluster_resilient`], borrowed
+/// together so call sites stay readable.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceSetup<'a> {
+    /// Scheduled partitions/heals on the server↔node links.
+    pub net_plan: &'a NetFaultPlan,
+    /// Per-message drop/reset/delay probabilities.
+    pub profile: &'a LinkFaultProfile,
+    /// Deadlines, retries, hedging, breakers.
+    pub policy: &'a RpcPolicy,
+}
+
+/// Like [`run_cluster_faulted`], but additionally injects *network* faults
+/// on the server→node leg and runs every request under the RPC resilience
+/// policy: bounded retries with deterministic jittered backoff, per-node
+/// circuit breakers gating replica selection, and hedged reads that race a
+/// second replica (whose duplicate disk activations are charged to the
+/// run's energy — the paper-relevant hedging penalty). Network fault plan
+/// times are replay-relative, like disk fault plans. A run remains a pure
+/// function of its inputs: replaying the same (config, trace, plans,
+/// policy) is bit-identical, including every [`ResilienceStats`] counter.
+pub fn run_cluster_resilient(
+    cluster: &ClusterSpec,
+    cfg: &EevfsConfig,
+    trace: &Trace,
+    faults: &FaultPlan,
+    setup: ResilienceSetup<'_>,
+) -> RunMetrics {
+    run_cluster_inner(cluster, cfg, trace, false, faults, Some(setup)).0
 }
 
 /// Like [`run_cluster`], but also records and returns the whole-cluster
@@ -575,7 +850,7 @@ pub fn run_cluster_traced(
     cfg: &EevfsConfig,
     trace: &Trace,
 ) -> (RunMetrics, sim_core::TimeSeries) {
-    let (metrics, curve) = run_cluster_inner(cluster, cfg, trace, true, &FaultPlan::none());
+    let (metrics, curve) = run_cluster_inner(cluster, cfg, trace, true, &FaultPlan::none(), None);
     (metrics, curve.expect("curve recording was requested"))
 }
 
@@ -585,6 +860,7 @@ fn run_cluster_inner(
     trace: &Trace,
     record_curve: bool,
     faults: &FaultPlan,
+    resilience: Option<ResilienceSetup<'_>>,
 ) -> (RunMetrics, Option<sim_core::TimeSeries>) {
     cluster
         .validate()
@@ -598,6 +874,13 @@ fn run_cluster_inner(
         assert!(
             stray.is_empty(),
             "fault plan targets outside the cluster: {stray:?}"
+        );
+    }
+    if let Some(setup) = &resilience {
+        let stray = setup.net_plan.out_of_range(cluster.node_count() as u32);
+        assert!(
+            stray.is_empty(),
+            "network fault plan targets outside the cluster: {stray:?}"
         );
     }
 
@@ -775,6 +1058,26 @@ fn run_cluster_inner(
     let max_disks = cluster.data_disk_counts().into_iter().max().unwrap_or(0);
     let health = HealthTracker::new(shifted_faults.clone(), cluster.node_count(), max_disks);
 
+    // Network fault injection, shifted into sim time the same way.
+    let shifted_net = resilience.as_ref().map(|setup| {
+        NetFaultPlan::from_trace(setup.net_plan.events().iter().map(|e| NetFaultEvent {
+            at: e.at + warmup,
+            kind: e.kind,
+        }))
+    });
+    let net = resilience.as_ref().map(|setup| {
+        NetFaultInjector::new(
+            setup.profile.clone(),
+            shifted_net.clone().expect("built together"),
+            cluster.node_count(),
+        )
+    });
+    let policy = resilience.as_ref().map(|setup| setup.policy.clone());
+    let breakers = match &policy {
+        Some(p) => vec![CircuitBreaker::new(p.breaker); cluster.node_count()],
+        None => Vec::new(),
+    };
+
     let ctl_client_server = control_message_time(
         &cluster
             .client_nic
@@ -796,6 +1099,9 @@ fn run_cluster_inner(
             from_buffer: false,
             spun_up: false,
             attempts: 0,
+            rpc_tries: 0,
+            mirror_of: None,
+            hedge_armed: false,
             response_s: None,
         })
         .collect();
@@ -826,6 +1132,10 @@ fn run_cluster_inner(
         placement,
         replicas,
         health,
+        net,
+        policy,
+        breakers,
+        res: ResilienceStats::default(),
         prefetch_member,
         reqs,
         ctl_client_server,
@@ -847,6 +1157,11 @@ fn run_cluster_inner(
     // Fault events fire at their scheduled instants.
     for e in shifted_faults.events() {
         engine.queue_mut().schedule(e.at, Ev::Fault);
+    }
+    if let Some(net_plan) = &shifted_net {
+        for e in net_plan.events() {
+            engine.queue_mut().schedule(e.at, Ev::NetFault);
+        }
     }
     // Initial power check: disks idle after their prefetch tail.
     for node in 0..cluster.node_count() {
@@ -966,11 +1281,20 @@ fn run_cluster_inner(
     disk_energy += server_disk_energy;
     base_energy += cluster.server_base_power_w * duration_s;
 
+    // Hedge mirrors record into their original's slot; only trace
+    // requests contribute response samples.
     let samples: Vec<f64> = sim
         .reqs
         .iter()
+        .filter(|r| r.mirror_of.is_none())
         .map(|r| r.response_s.expect("all responses recorded"))
         .collect();
+
+    let resilience = ResilienceStats {
+        breaker_trips: sim.breakers.iter().map(|b| b.trips()).sum(),
+        breaker_recoveries: sim.breakers.iter().map(|b| b.recoveries()).sum(),
+        ..sim.res
+    };
 
     let curve = if record_curve {
         let mut ts = sim_core::TimeSeries::new();
@@ -1023,6 +1347,7 @@ fn run_cluster_inner(
         replica_redirects: sim.replica_redirects,
         spin_up_failures: sim.spin_up_failures,
         failed_requests: sim.failed_requests,
+        resilience,
         per_node,
     };
     (metrics, curve)
@@ -1468,6 +1793,167 @@ mod tests {
         let cluster = ClusterSpec::paper_testbed();
         let faults = FaultPlan::builder().node_crash(SimTime::ZERO, 99).build();
         let _ = run_cluster_faulted(&cluster, &EevfsConfig::paper_npf(), &trace, &faults);
+    }
+
+    fn sim_policy() -> RpcPolicy {
+        RpcPolicy {
+            seed: 11,
+            ..RpcPolicy::retrying(SimDuration::from_secs(60), SimDuration::from_secs(3), 4)
+        }
+    }
+
+    #[test]
+    fn resilient_with_perfect_network_matches_plain_run() {
+        // The resilience layer must be pay-for-what-you-use: with no
+        // network faults and no hedging, the event flow is identical to
+        // the legacy path and only the (all-zero) counters differ.
+        let trace = small_trace(1000.0, 200);
+        let cluster = ClusterSpec::paper_testbed();
+        let cfg = EevfsConfig::paper_pf_replicated(70, 2);
+        let plain = run_cluster_faulted(&cluster, &cfg, &trace, &FaultPlan::none());
+        let resilient = run_cluster_resilient(
+            &cluster,
+            &cfg,
+            &trace,
+            &FaultPlan::none(),
+            ResilienceSetup {
+                net_plan: &NetFaultPlan::none(),
+                profile: &LinkFaultProfile::none(),
+                policy: &sim_policy(),
+            },
+        );
+        assert_eq!(resilient.resilience, ResilienceStats::default());
+        let mut stripped = resilient.clone();
+        stripped.resilience = plain.resilience;
+        assert_eq!(stripped, plain);
+    }
+
+    #[test]
+    fn resilient_runs_are_deterministic() {
+        // The PR's acceptance criterion: a seeded network fault plan
+        // replayed twice produces identical Stats — retries, hedges,
+        // breaker trips, and energy joules included.
+        let trace = small_trace(1000.0, 300);
+        let cluster = ClusterSpec::paper_testbed();
+        let cfg = EevfsConfig::paper_pf_replicated(70, 2);
+        let net_plan = NetFaultPlan::generate(&fault_model::NetFaultSpec {
+            seed: 5,
+            horizon: SimDuration::from_secs(600),
+            links: 8,
+            partition_per_hour: 12.0,
+            mean_partition: SimDuration::from_secs(20),
+        });
+        let profile = LinkFaultProfile::lossy(3, 0.1);
+        let policy = RpcPolicy {
+            hedge_after: Some(SimDuration::from_secs(4)),
+            ..sim_policy()
+        };
+        let setup = ResilienceSetup {
+            net_plan: &net_plan,
+            profile: &profile,
+            policy: &policy,
+        };
+        let a = run_cluster_resilient(&cluster, &cfg, &trace, &FaultPlan::none(), setup);
+        let b = run_cluster_resilient(&cluster, &cfg, &trace, &FaultPlan::none(), setup);
+        assert_eq!(a, b, "resilient replays must be bit-identical");
+        assert_eq!(a.response.count, 300);
+        assert!(a.resilience.rpc_drops > 0, "{:?}", a.resilience);
+        assert!(a.resilience.rpc_retries > 0, "{:?}", a.resilience);
+    }
+
+    #[test]
+    fn partition_is_absorbed_and_breaker_recovers() {
+        // A node partitioned mid-trace with R=2: reads keep completing via
+        // the surviving replica, the partitioned node's breaker trips so
+        // later requests fail over without burning per-try timeouts, and
+        // after the heal a half-open probe closes the breaker again.
+        let trace = small_trace(1000.0, 300);
+        let cluster = ClusterSpec::paper_testbed();
+        let cfg = EevfsConfig::paper_pf_replicated(70, 2);
+        let mid = trace.records[trace.len() / 2].at;
+        let net_plan = NetFaultPlan::partition_window(0, mid, mid + SimDuration::from_secs(30));
+        let policy = RpcPolicy {
+            breaker: fault_model::BreakerConfig {
+                failure_threshold: 3,
+                cooldown: SimDuration::from_secs(20),
+            },
+            ..sim_policy()
+        };
+        let m = run_cluster_resilient(
+            &cluster,
+            &cfg,
+            &trace,
+            &FaultPlan::none(),
+            ResilienceSetup {
+                net_plan: &net_plan,
+                profile: &LinkFaultProfile::none(),
+                policy: &policy,
+            },
+        );
+        assert_eq!(m.response.count, 300);
+        assert_eq!(m.failed_requests, 0, "replicas must absorb the partition");
+        assert_eq!(m.resilience.net_fault_events, 2);
+        assert!(m.resilience.rpc_drops > 0);
+        assert!(m.resilience.rpc_retries > 0);
+        assert!(m.resilience.breaker_trips >= 1, "{:?}", m.resilience);
+        assert!(
+            m.resilience.breaker_recoveries >= 1,
+            "breaker must half-open and recover after the heal: {:?}",
+            m.resilience
+        );
+        assert!(m.replica_redirects > 0);
+    }
+
+    #[test]
+    fn hedged_reads_cut_tail_latency_for_extra_disk_energy() {
+        // Latency spikes on the wire; hedging races a second replica. The
+        // tail improves, and the duplicated flights do real disk work —
+        // the energy cost the paper's buffer-disk accounting surfaces.
+        let trace = small_trace(1000.0, 300);
+        let cluster = ClusterSpec::paper_testbed();
+        let cfg = EevfsConfig::paper_pf_replicated(70, 2);
+        let profile = LinkFaultProfile {
+            seed: 21,
+            drop_prob: 0.0,
+            reset_prob: 0.0,
+            delay_prob: 0.25,
+            mean_delay: SimDuration::from_secs(10),
+        };
+        let base = sim_policy();
+        let hedged = RpcPolicy {
+            hedge_after: Some(SimDuration::from_secs(3)),
+            ..base.clone()
+        };
+        let run = |policy: &RpcPolicy| {
+            run_cluster_resilient(
+                &cluster,
+                &cfg,
+                &trace,
+                &FaultPlan::none(),
+                ResilienceSetup {
+                    net_plan: &NetFaultPlan::none(),
+                    profile: &profile,
+                    policy,
+                },
+            )
+        };
+        let without = run(&base);
+        let with = run(&hedged);
+        assert_eq!(without.resilience.hedges, 0);
+        assert!(with.resilience.hedges > 0);
+        assert!(with.resilience.hedges_won > 0, "{:?}", with.resilience);
+        assert!(
+            with.response.p95_s < without.response.p95_s,
+            "hedging must cut the tail: with {} vs without {}",
+            with.response.p95_s,
+            without.response.p95_s
+        );
+        assert!(
+            with.disk_energy_j > without.disk_energy_j,
+            "duplicate flights must cost disk energy: with {} vs without {}",
+            with.disk_energy_j,
+            without.disk_energy_j
+        );
     }
 
     #[test]

@@ -92,6 +92,33 @@ pub struct PrefetchStats {
     pub energy_j: f64,
 }
 
+/// RPC resilience counters for one run (all zero when the run used a
+/// perfect network and no retry policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ResilienceStats {
+    /// RPC flights re-sent after a drop, reset, or per-try timeout.
+    pub rpc_retries: u64,
+    /// Requests the network silently dropped.
+    pub rpc_drops: u64,
+    /// Requests that saw a connection reset.
+    pub rpc_resets: u64,
+    /// Injected latency spikes on delivered requests.
+    pub rpc_delays: u64,
+    /// Hedged reads issued (second replica raced).
+    pub hedges: u64,
+    /// Hedged reads where the second replica answered first.
+    pub hedges_won: u64,
+    /// Circuit-breaker trips (closed/half-open → open).
+    pub breaker_trips: u64,
+    /// Half-open probes that closed a breaker again.
+    pub breaker_recoveries: u64,
+    /// Requests that blew their end-to-end deadline (completed late or
+    /// exhausted the retry budget).
+    pub deadline_misses: u64,
+    /// Scheduled network fault-plan events (partitions/heals) that fired.
+    pub net_fault_events: u64,
+}
+
 /// Everything one cluster run produces.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -146,6 +173,8 @@ pub struct RunMetrics {
     /// Requests that exhausted their retry budget with no healthy replica
     /// (only possible when replication cannot cover a failure).
     pub failed_requests: u64,
+    /// RPC resilience counters (retries, hedges, breaker trips…).
+    pub resilience: ResilienceStats,
     /// Per-node breakdown.
     pub per_node: Vec<NodeMetrics>,
 }
@@ -226,6 +255,7 @@ mod tests {
             replica_redirects: 0,
             spin_up_failures: 0,
             failed_requests: 0,
+            resilience: ResilienceStats::default(),
             per_node: vec![],
         }
     }

@@ -18,6 +18,15 @@
 use serde::{Deserialize, Serialize};
 use sim_core::{SimDuration, SimRng, SimTime};
 
+pub mod net;
+pub mod policy;
+
+pub use net::{
+    LinkDecision, LinkFaultProfile, NetFaultEvent, NetFaultInjector, NetFaultKind, NetFaultPlan,
+    NetFaultSpec,
+};
+pub use policy::{BackoffSchedule, BreakerConfig, BreakerState, CircuitBreaker, RpcPolicy};
+
 /// One injected fault (or the repair that clears it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultKind {

@@ -262,6 +262,113 @@ fn killed_node_can_be_revived_without_replication() {
 }
 
 #[test]
+fn partitioned_node_heals_through_the_breaker_without_restart() {
+    use fault_model::{BreakerConfig, RpcPolicy};
+
+    // The resilience acceptance case on the real TCP stack: cut the
+    // server↔node link (the node stays alive), reads keep completing via
+    // the surviving replica within the policy deadline, the partitioned
+    // node's breaker trips, and after the heal a half-open probe restores
+    // it — no cluster restart.
+    let trace = small_trace(12, 8, 4.0);
+    let mut cfg = RuntimeConfig::small("partition");
+    cfg.replication = 2;
+    cfg.resilience.policy = RpcPolicy {
+        backoff_base: SimDuration::from_millis(20),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: SimDuration::from_millis(300),
+        },
+        ..RpcPolicy::retrying(SimDuration::from_secs(5), SimDuration::from_millis(500), 2)
+    };
+    let mut cluster = ClusterHandle::start(cfg, &trace).expect("start");
+
+    for file in 0..6u32 {
+        cluster
+            .get(file)
+            .unwrap_or_else(|e| panic!("healthy get {file}: {e}"));
+    }
+
+    cluster.partition_node(0).expect("partition node 0");
+    for file in 0..12u32 {
+        let got = cluster
+            .get(file)
+            .unwrap_or_else(|e| panic!("partitioned get {file}: {e}"));
+        assert!(
+            verify_pattern(file, &got.data),
+            "file {file} corrupted during the partition"
+        );
+    }
+    let mid = cluster.stats().expect("stats");
+    assert!(
+        mid.breaker_trips >= 1,
+        "repeated drops must trip the breaker: {mid:?}"
+    );
+    assert!(
+        mid.failovers > 0,
+        "node 0's files must fail over to node 1: {mid:?}"
+    );
+
+    cluster.heal_node(0).expect("heal node 0");
+    // Let the breaker cooldown (wall-interpreted) elapse so the next
+    // request is admitted as the half-open probe.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    for file in 0..12u32 {
+        let got = cluster
+            .get(file)
+            .unwrap_or_else(|e| panic!("healed get {file}: {e}"));
+        assert!(verify_pattern(file, &got.data));
+    }
+    let end = cluster.stats().expect("stats");
+    assert!(
+        end.breaker_recoveries >= 1,
+        "the half-open probe must close the breaker again: {end:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn slow_links_trigger_hedged_reads_on_the_wire() {
+    use fault_model::{LinkFaultProfile, RpcPolicy};
+
+    // Injected latency spikes on every request-path frame; with hedging
+    // armed, slow primaries get raced by the second replica.
+    let trace = small_trace(10, 6, 3.0);
+    let mut cfg = RuntimeConfig::small("hedge");
+    cfg.replication = 2;
+    cfg.resilience.policy = RpcPolicy::hedged(
+        SimDuration::from_secs(5),
+        SimDuration::from_secs(1),
+        1,
+        SimDuration::from_millis(20),
+    );
+    cfg.resilience.profile = LinkFaultProfile {
+        seed: 7,
+        drop_prob: 0.0,
+        reset_prob: 0.0,
+        delay_prob: 1.0,
+        mean_delay: SimDuration::from_millis(60),
+    };
+    let mut cluster = ClusterHandle::start(cfg, &trace).expect("start");
+    let mut ok = 0;
+    for file in 0..10u32 {
+        if let Ok(got) = cluster.get(file) {
+            assert!(verify_pattern(file, &got.data));
+            ok += 1;
+        }
+    }
+    let stats = cluster.stats().expect("stats");
+    cluster.shutdown();
+    // The race between a hedge loser's error and the winner's push can
+    // cost the odd request; the bulk must still land in time.
+    assert!(ok >= 8, "only {ok}/10 reads landed: {stats:?}");
+    assert!(
+        stats.hedges >= 1,
+        "60 ms mean spikes vs a 20 ms hedge trigger must hedge: {stats:?}"
+    );
+}
+
+#[test]
 fn malformed_frames_do_not_wedge_a_node() {
     use eevfs_runtime::node::{NodeConfig, NodeDaemon};
     use eevfs_runtime::proto::{read_message, write_message, Message};
