@@ -85,6 +85,12 @@ impl Disk {
         self.meter.enable_trace();
     }
 
+    /// Enables power-state edge logging (read back via
+    /// [`EnergyMeter::state_log`] on [`Self::meter`]).
+    pub fn enable_state_log(&mut self) {
+        self.meter.enable_state_log();
+    }
+
     /// Transition ledger so far.
     pub fn transitions(&self) -> TransitionCounts {
         self.meter.transitions()

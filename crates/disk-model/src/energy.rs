@@ -42,6 +42,9 @@ pub struct EnergyMeter {
     /// harness's power-over-time plots.
     trace: TimeSeries,
     trace_enabled: bool,
+    /// Every state edge as `(at, from, to)`, for trace-event export.
+    state_log: Vec<(SimTime, PowerState, PowerState)>,
+    state_log_enabled: bool,
 }
 
 impl EnergyMeter {
@@ -57,6 +60,8 @@ impl EnergyMeter {
             transitions: TransitionCounts::default(),
             trace: TimeSeries::new(),
             trace_enabled: false,
+            state_log: Vec::new(),
+            state_log_enabled: false,
         }
     }
 
@@ -67,6 +72,18 @@ impl EnergyMeter {
     pub fn enable_trace(&mut self) {
         self.trace_enabled = true;
         self.record_sample();
+    }
+
+    /// Enables recording of every power-state edge (off by default; the
+    /// log grows with transition count, so sweeps leave it disabled).
+    pub fn enable_state_log(&mut self) {
+        self.state_log_enabled = true;
+    }
+
+    /// The recorded `(at, from, to)` edges, in time order (empty unless
+    /// [`Self::enable_state_log`] was called before the run).
+    pub fn state_log(&self) -> &[(SimTime, PowerState, PowerState)] {
+        &self.state_log
     }
 
     /// The drive's spec.
@@ -120,6 +137,9 @@ impl EnergyMeter {
             PowerState::SpinningUp => self.transitions.spin_ups += 1,
             PowerState::SpinningDown => self.transitions.spin_downs += 1,
             _ => {}
+        }
+        if self.state_log_enabled {
+            self.state_log.push((at, self.state, new_state));
         }
         self.state = new_state;
         if self.trace_enabled {
@@ -291,6 +311,31 @@ mod tests {
         // The curve is non-decreasing.
         let vals: Vec<f64> = m.trace().iter().map(|(_, v)| v).collect();
         assert!(vals.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn state_log_records_every_edge_in_order() {
+        let mut m = meter();
+        m.enable_state_log();
+        m.set_state(secs(10), PowerState::SpinningDown);
+        m.set_state(secs(12), PowerState::Standby);
+        m.set_state(secs(12), PowerState::Standby); // same-state: no edge
+        m.set_state(secs(100), PowerState::SpinningUp);
+        assert_eq!(
+            m.state_log(),
+            &[
+                (secs(10), PowerState::Idle, PowerState::SpinningDown),
+                (secs(12), PowerState::SpinningDown, PowerState::Standby),
+                (secs(100), PowerState::Standby, PowerState::SpinningUp),
+            ]
+        );
+    }
+
+    #[test]
+    fn state_log_off_by_default() {
+        let mut m = meter();
+        m.set_state(secs(10), PowerState::Active);
+        assert!(m.state_log().is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every table/figure in the paper.
 //!
 //! ```text
-//! harness [--requests N] [--seed S] [--json PATH] <command>
+//! harness [--requests N] [--seed S] [--json PATH] [--trace-out PATH] <command>
 //!
 //! commands:
 //!   all        every figure and ablation
@@ -15,6 +15,8 @@
 //!   resilience network drop-rate × RPC-policy grid (retries/hedging)
 //!   power-curve  whole-cluster power over time, PF vs NPF
 //!   hist         response-time distributions, PF vs NPF
+//!   trace        observed PF run: JSONL trace (--trace-out), power/state
+//!                timeline, prediction accuracy, one request walkthrough
 //! ```
 
 use eevfs_bench::ablate::all_ablations;
@@ -26,12 +28,14 @@ use std::process::ExitCode;
 struct Args {
     params: SweepParams,
     json_path: Option<String>,
+    trace_path: Option<String>,
     command: String,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut params = SweepParams::default();
     let mut json_path = None;
+    let mut trace_path = None;
     let mut command = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -47,6 +51,9 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 json_path = Some(it.next().ok_or("--json needs a path")?);
             }
+            "--trace-out" => {
+                trace_path = Some(it.next().ok_or("--trace-out needs a path")?);
+            }
             other if command.is_none() && !other.starts_with('-') => {
                 command = Some(other.to_string());
             }
@@ -56,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         params,
         json_path,
+        trace_path,
         command: command.unwrap_or_else(|| "all".into()),
     })
 }
@@ -195,6 +203,58 @@ fn main() -> ExitCode {
             println!("PF(70):\n{}", render_response_histogram(&pf, 16));
             println!("NPF:\n{}", render_response_histogram(&npf, 16));
         }
+        "trace" => {
+            use eevfs::config::{ClusterSpec, EevfsConfig};
+            use eevfs::driver::run_cluster_observed;
+            use eevfs_obs::{Recorder, TraceEvent};
+            use fault_model::FaultPlan;
+            use workload::synthetic::{generate, SyntheticSpec};
+            let trace = generate(&SyntheticSpec {
+                requests: p.requests,
+                seed: p.seed,
+                ..SyntheticSpec::paper_default()
+            });
+            let cluster = ClusterSpec::paper_testbed();
+            let (metrics, report) = run_cluster_observed(
+                &cluster,
+                &EevfsConfig::paper_pf(70),
+                &trace,
+                &FaultPlan::none(),
+                None,
+                Recorder::default(),
+            );
+            let events: Vec<TraceEvent> = report.recorder.events().cloned().collect();
+            let end_us = events.last().map(|e| e.at_us).unwrap_or(0);
+            println!(
+                "# observed PF(70) run: {} requests, seed {}, {} trace events",
+                p.requests,
+                p.seed,
+                events.len()
+            );
+            println!("{}", eevfs_obs::render_power_timeline(&events, end_us, 72));
+            println!("{}", report.registry.render_scalars());
+            let pred = &metrics.prediction;
+            println!(
+                "prediction accuracy: {}/{} sleeps paid off ({:.1}%), \
+                 mean predicted idle {:.1}s vs realised {:.1}s",
+                pred.paid_off,
+                pred.sleeps,
+                pred.accuracy() * 100.0,
+                pred.mean_predicted_s,
+                pred.mean_realized_s,
+            );
+            println!("request 0, arrival to completion:");
+            for e in report.recorder.request_history(0) {
+                println!("  t={:>10.3}s  {:?}", e.at_us as f64 / 1e6, e.kind);
+            }
+            if let Some(path) = &args.trace_path {
+                if let Err(e) = std::fs::write(path, report.recorder.to_jsonl()) {
+                    eprintln!("error writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+        }
         "ablate" => {
             for a in all_ablations(p) {
                 println!("{}", render_ablation(&a));
@@ -260,7 +320,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown command {other}; try: all, sweeps, fig3a-d, fig4, fig5, fig6, \
-                 ablate, faults, resilience, power-curve, hist"
+                 ablate, faults, resilience, power-curve, hist, trace"
             );
             return ExitCode::FAILURE;
         }

@@ -1,0 +1,88 @@
+//! CLI-level acceptance tests for the `harness` binary: error paths must
+//! exit non-zero (CI pipelines gate on exit codes, not log scraping), and
+//! the `trace` subcommand must be a pure function of its seed.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn harness(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_harness"))
+        .args(args)
+        .output()
+        .expect("spawn harness")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("eevfs-harness-cli-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = harness(&["frobnicate"]);
+    assert!(!out.status.success(), "unknown command must fail the run");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"), "stderr: {err}");
+}
+
+#[test]
+fn bad_flag_exits_nonzero() {
+    let out = harness(&["--bogus", "trace"]);
+    assert!(!out.status.success(), "unknown flag must fail the run");
+    let out = harness(&["--requests"]);
+    assert!(!out.status.success(), "missing flag value must fail");
+    let out = harness(&["--requests", "many", "trace"]);
+    assert!(!out.status.success(), "unparsable value must fail");
+}
+
+#[test]
+fn unwritable_trace_out_exits_nonzero() {
+    let out = harness(&[
+        "--requests",
+        "40",
+        "--trace-out",
+        "/nonexistent-dir/trace.jsonl",
+        "trace",
+    ]);
+    assert!(!out.status.success(), "unwritable output must fail the run");
+}
+
+#[test]
+fn trace_is_bit_identical_across_same_seed_runs() {
+    let (p1, p2) = (temp_path("t1.jsonl"), temp_path("t2.jsonl"));
+    let run = |p: &PathBuf| {
+        let out = harness(&[
+            "--requests",
+            "150",
+            "--seed",
+            "7",
+            "--trace-out",
+            p.to_str().expect("utf8 path"),
+            "trace",
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let (stdout1, stdout2) = (run(&p1), run(&p2));
+    let (j1, j2) = (
+        std::fs::read(&p1).expect("read t1"),
+        std::fs::read(&p2).expect("read t2"),
+    );
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p2);
+    assert!(!j1.is_empty(), "trace JSONL must not be empty");
+    assert_eq!(j1, j2, "same-seed JSONL traces must be byte-identical");
+    assert_eq!(stdout1, stdout2, "same-seed reports must be byte-identical");
+    let text = String::from_utf8(stdout1).expect("utf8 report");
+    // The report carries all three promised views: the timeline, the
+    // prediction score, and a followable request.
+    assert!(text.contains("power/state timeline"), "{text}");
+    assert!(text.contains("prediction accuracy:"), "{text}");
+    assert!(text.contains("RequestArrive"), "{text}");
+    assert!(text.contains("RequestComplete"), "{text}");
+    let jsonl = String::from_utf8(j1).expect("utf8 jsonl");
+    assert!(jsonl.contains("DiskTransition"), "trace must cover disks");
+}

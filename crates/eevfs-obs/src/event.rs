@@ -1,0 +1,350 @@
+//! The structured trace-event schema.
+//!
+//! Every observable moment in a simulated run is one [`TraceEvent`]: a
+//! sim-time-stamped, sequence-numbered record whose [`EventKind`] payload
+//! carries only integers and enums. Keeping floats out of the schema is a
+//! deliberate determinism measure — the JSONL rendering of an event is then
+//! a pure function of the simulation state with no float-formatting edge
+//! cases, which is what lets two same-seed runs produce byte-identical
+//! traces.
+
+use disk_model::PowerState;
+use serde::{Deserialize, Serialize};
+
+/// Event severity, ordered from chattiest to most urgent.
+///
+/// The [`Recorder`](crate::Recorder) drops events below its configured
+/// minimum, so high-volume bookkeeping (`Debug`) can be silenced without
+/// losing the power-management story (`Info`/`Warn`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// High-volume per-request/per-transition bookkeeping.
+    Debug,
+    /// The normal lifecycle narrative.
+    Info,
+    /// Something cost energy or latency it should not have.
+    Warn,
+}
+
+/// Coarse event family, the unit of the recorder's kind filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Category {
+    /// Request lifecycle: arrive, queue, serve, complete.
+    Request,
+    /// Disk power-state transitions.
+    Disk,
+    /// Power-manager decisions and their outcomes.
+    Power,
+    /// Prefetch activity.
+    Prefetch,
+    /// RPC spans: send, retry, hedge, complete.
+    Rpc,
+}
+
+impl Category {
+    /// Number of categories, for sizing filter masks.
+    pub const COUNT: usize = 5;
+
+    /// Dense index of this category into tables sized [`Self::COUNT`].
+    pub fn index(self) -> usize {
+        match self {
+            Category::Request => 0,
+            Category::Disk => 1,
+            Category::Power => 2,
+            Category::Prefetch => 3,
+            Category::Rpc => 4,
+        }
+    }
+}
+
+/// The typed payload of one trace event.
+///
+/// `req` fields are simulation request IDs (for the runtime prototype, the
+/// client-assigned wire `req_id`); `node`/`disk` index into the cluster
+/// spec. Durations are integer microseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A request entered the system.
+    RequestArrive {
+        /// Request ID.
+        req: u64,
+        /// File the request touches.
+        file: u64,
+        /// True for writes.
+        write: bool,
+        /// Request size in bytes.
+        bytes: u64,
+    },
+    /// The storage server admitted and routed the request to a node.
+    RequestQueued {
+        /// Request ID.
+        req: u64,
+        /// Destination node.
+        node: u32,
+    },
+    /// The request had to wait for a data-disk spin-up (the paper's ~2 s
+    /// wake penalty).
+    SpinupWait {
+        /// Request ID.
+        req: u64,
+        /// Node whose disk spun up.
+        node: u32,
+        /// The disk that was asleep.
+        disk: u32,
+    },
+    /// A disk (buffer or data) began servicing the request.
+    RequestServe {
+        /// Request ID.
+        req: u64,
+        /// Serving node.
+        node: u32,
+        /// Serving disk (data-disk index; ignored when `from_buffer`).
+        disk: u32,
+        /// True when the buffer disk absorbed the access.
+        from_buffer: bool,
+    },
+    /// The response reached the client.
+    RequestComplete {
+        /// Request ID.
+        req: u64,
+        /// End-to-end response time in microseconds.
+        response_us: u64,
+    },
+    /// A disk crossed a power-state edge.
+    DiskTransition {
+        /// Node owning the disk.
+        node: u32,
+        /// Disk index within the node (`u32::MAX` for the buffer disk).
+        disk: u32,
+        /// State before the edge.
+        from: PowerState,
+        /// State after the edge.
+        to: PowerState,
+    },
+    /// The prefetcher staged a file onto a buffer disk.
+    PrefetchFile {
+        /// Node whose buffer disk received the file.
+        node: u32,
+        /// File staged.
+        file: u64,
+        /// Bytes copied.
+        bytes: u64,
+    },
+    /// The power manager decided to spin a disk down.
+    SleepDecision {
+        /// Node owning the disk.
+        node: u32,
+        /// Disk index.
+        disk: u32,
+        /// Predicted idle window at decision time (`None` when the
+        /// predictor saw no future touches — an unbounded prediction).
+        predicted_idle_us: Option<u64>,
+        /// The drive's breakeven time: sleeping pays off only if the
+        /// realised idle window meets it.
+        breakeven_us: u64,
+    },
+    /// A sleeping disk woke (or the run ended): the realised idle window
+    /// behind a [`EventKind::SleepDecision`] is now known.
+    IdleRealized {
+        /// Node owning the disk.
+        node: u32,
+        /// Disk index.
+        disk: u32,
+        /// How long the disk actually stayed down, microseconds.
+        realized_us: u64,
+        /// True when the realised window met the breakeven time, i.e. the
+        /// prediction that justified sleeping was right.
+        paid_off: bool,
+    },
+    /// The server forwarded a request to a node (one RPC attempt).
+    RpcSend {
+        /// Request ID.
+        req: u64,
+        /// Destination node.
+        node: u32,
+        /// 1-based attempt number (retries and hedges increment it).
+        attempt: u32,
+    },
+    /// The network dropped an RPC flight.
+    RpcDropped {
+        /// Request ID.
+        req: u64,
+        /// Node the flight was bound for.
+        node: u32,
+        /// Attempt that was lost.
+        attempt: u32,
+    },
+    /// The RPC policy scheduled a retry after backoff.
+    RpcRetry {
+        /// Request ID.
+        req: u64,
+        /// Attempt number the retry will carry.
+        attempt: u32,
+    },
+    /// The hedging policy launched a speculative duplicate.
+    RpcHedge {
+        /// The hedge's own request ID (a mirror).
+        req: u64,
+        /// The request the hedge covers; the hedge span nests under it.
+        parent: u64,
+        /// Node the hedge was sent to.
+        node: u32,
+    },
+    /// The RPC completed and the response was recorded.
+    RpcComplete {
+        /// Root request ID.
+        req: u64,
+        /// True when a hedge flight produced the winning response.
+        won_by_hedge: bool,
+    },
+}
+
+impl EventKind {
+    /// The family this event belongs to, for kind filtering.
+    pub fn category(&self) -> Category {
+        match self {
+            EventKind::RequestArrive { .. }
+            | EventKind::RequestQueued { .. }
+            | EventKind::SpinupWait { .. }
+            | EventKind::RequestServe { .. }
+            | EventKind::RequestComplete { .. } => Category::Request,
+            EventKind::DiskTransition { .. } => Category::Disk,
+            EventKind::SleepDecision { .. } | EventKind::IdleRealized { .. } => Category::Power,
+            EventKind::PrefetchFile { .. } => Category::Prefetch,
+            EventKind::RpcSend { .. }
+            | EventKind::RpcDropped { .. }
+            | EventKind::RpcRetry { .. }
+            | EventKind::RpcHedge { .. }
+            | EventKind::RpcComplete { .. } => Category::Rpc,
+        }
+    }
+
+    /// Inherent severity of this event.
+    pub fn severity(&self) -> Severity {
+        match self {
+            EventKind::RequestQueued { .. }
+            | EventKind::RequestServe { .. }
+            | EventKind::DiskTransition { .. }
+            | EventKind::RpcSend { .. } => Severity::Debug,
+            EventKind::SpinupWait { .. } | EventKind::RpcDropped { .. } => Severity::Warn,
+            EventKind::IdleRealized { paid_off, .. } => {
+                if *paid_off {
+                    Severity::Info
+                } else {
+                    Severity::Warn
+                }
+            }
+            _ => Severity::Info,
+        }
+    }
+
+    /// The request ID this event belongs to, if it is request-scoped.
+    pub fn request_id(&self) -> Option<u64> {
+        match self {
+            EventKind::RequestArrive { req, .. }
+            | EventKind::RequestQueued { req, .. }
+            | EventKind::SpinupWait { req, .. }
+            | EventKind::RequestServe { req, .. }
+            | EventKind::RequestComplete { req, .. }
+            | EventKind::RpcSend { req, .. }
+            | EventKind::RpcDropped { req, .. }
+            | EventKind::RpcRetry { req, .. }
+            | EventKind::RpcComplete { req, .. } => Some(*req),
+            // A hedge span nests under the request it covers.
+            EventKind::RpcHedge { parent, .. } => Some(*parent),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded trace event.
+///
+/// `seq` is the recorder's admission counter: it breaks timestamp ties with
+/// insertion order, so a stable sort by `(at_us, seq)` reconstructs a
+/// deterministic timeline even after late events (e.g. disk transitions
+/// merged post-run) are appended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Admission sequence number.
+    pub seq: u64,
+    /// Simulation timestamp, microseconds.
+    pub at_us: u64,
+    /// Severity at admission time.
+    pub sev: Severity,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_indices_are_dense() {
+        let cats = [
+            Category::Request,
+            Category::Disk,
+            Category::Power,
+            Category::Prefetch,
+            Category::Rpc,
+        ];
+        let mut seen = [false; Category::COUNT];
+        for c in cats {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn severity_orders_debug_below_warn() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Info < Severity::Warn);
+    }
+
+    #[test]
+    fn unrealised_sleep_payoff_warns() {
+        let bad = EventKind::IdleRealized {
+            node: 0,
+            disk: 0,
+            realized_us: 10,
+            paid_off: false,
+        };
+        let good = EventKind::IdleRealized {
+            node: 0,
+            disk: 0,
+            realized_us: 10_000_000,
+            paid_off: true,
+        };
+        assert_eq!(bad.severity(), Severity::Warn);
+        assert_eq!(good.severity(), Severity::Info);
+    }
+
+    #[test]
+    fn hedge_nests_under_parent_request() {
+        let hedge = EventKind::RpcHedge {
+            req: 400,
+            parent: 7,
+            node: 2,
+        };
+        assert_eq!(hedge.request_id(), Some(7));
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let ev = TraceEvent {
+            seq: 3,
+            at_us: 1_500_000,
+            sev: Severity::Info,
+            kind: EventKind::SleepDecision {
+                node: 1,
+                disk: 2,
+                predicted_idle_us: Some(40_000_000),
+                breakeven_us: 8_000_000,
+            },
+        };
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(ev, back);
+    }
+}

@@ -1,0 +1,195 @@
+//! Named counters, gauges, histograms, and time series.
+//!
+//! The registry is the aggregate companion to the event trace: where the
+//! [`Recorder`](crate::Recorder) answers "what happened to request 17", the
+//! registry answers "what did queue depth look like over the run". All
+//! collections are `BTreeMap`s so iteration (and therefore export) order is
+//! the lexicographic name order — deterministic by construction.
+
+use sim_core::{Histogram, SimDuration, SimTime, TimeSeries};
+use std::collections::BTreeMap;
+
+/// A deterministic, name-keyed metrics store.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter, creating it at zero.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Current value of a counter (zero when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to its latest value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `x` into the named histogram, creating it with the given
+    /// range and bin count on first use (later calls reuse the existing
+    /// shape).
+    pub fn observe(&mut self, name: &str, lo: f64, hi: f64, bins: usize, x: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(lo, hi, bins))
+            .record(x);
+    }
+
+    /// The named histogram, if any value has been observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Appends a sample to the named time series. Timestamps must be
+    /// non-decreasing per series (simulation time is).
+    pub fn sample(&mut self, name: &str, at: SimTime, value: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .push(at, value);
+    }
+
+    /// The named time series.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Names of all recorded time series, lexicographically.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Names of all counters, lexicographically.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+
+    /// Renders counters and gauges as a deterministic `name value` table,
+    /// one per line, counters first.
+    pub fn render_scalars(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{k} {v}\n"));
+        }
+        out
+    }
+}
+
+/// Interval gate for periodic sampling without scheduling extra simulation
+/// events.
+///
+/// The driver consults the sampler from inside its event handler: the
+/// first event at or past each interval boundary triggers a sample. This
+/// keeps the event queue — and therefore the simulated outcome — exactly
+/// identical to an uninstrumented run.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    interval_us: u64,
+    next_us: u64,
+}
+
+impl Sampler {
+    /// A sampler firing once per `interval` (clamped to ≥ 1 µs).
+    pub fn new(interval: SimDuration) -> Self {
+        Sampler {
+            interval_us: interval.as_micros().max(1),
+            next_us: 0,
+        }
+    }
+
+    /// True when `now` has reached the next boundary; advances the
+    /// boundary past `now` so each interval fires at most once.
+    pub fn due(&mut self, now: SimTime) -> bool {
+        let now_us = now.as_micros();
+        if now_us < self.next_us {
+            return false;
+        }
+        // Skip intervals nothing happened in rather than replaying them.
+        self.next_us = now_us - (now_us % self.interval_us) + self.interval_us;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_from_zero() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.inc("x", 2);
+        m.inc("x", 3);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn gauges_keep_latest() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("depth", 3.0);
+        m.set_gauge("depth", 1.0);
+        assert_eq!(m.gauge("depth"), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_created_on_first_observe() {
+        let mut m = MetricsRegistry::new();
+        m.observe("rt", 0.0, 10.0, 10, 2.5);
+        m.observe("rt", 0.0, 10.0, 10, 3.5);
+        assert_eq!(m.histogram("rt").unwrap().total(), 2);
+    }
+
+    #[test]
+    fn series_samples_in_time_order() {
+        let mut m = MetricsRegistry::new();
+        m.sample("q", SimTime::from_secs(1), 1.0);
+        m.sample("q", SimTime::from_secs(2), 4.0);
+        let s = m.series("q").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last(), Some((SimTime::from_secs(2), 4.0)));
+    }
+
+    #[test]
+    fn scalar_render_is_name_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.inc("b", 1);
+        m.inc("a", 1);
+        m.set_gauge("z", 0.5);
+        assert_eq!(m.render_scalars(), "a 1\nb 1\nz 0.5\n");
+    }
+
+    #[test]
+    fn sampler_fires_once_per_interval() {
+        let mut s = Sampler::new(SimDuration::from_secs(10));
+        assert!(s.due(SimTime::ZERO));
+        assert!(!s.due(SimTime::from_secs(5)));
+        assert!(s.due(SimTime::from_secs(10)));
+        assert!(!s.due(SimTime::from_secs(19)));
+        // A long gap does not replay the skipped intervals.
+        assert!(s.due(SimTime::from_secs(65)));
+        assert!(!s.due(SimTime::from_secs(66)));
+        assert!(s.due(SimTime::from_secs(70)));
+    }
+}

@@ -1,0 +1,155 @@
+//! ASCII power/state timeline rendering — the paper's Fig-2-style view.
+//!
+//! The paper argues its case with side-by-side timelines of disk power
+//! states under different strategies (§III, Fig 2). [`render_power_timeline`]
+//! reconstructs that view from the `DiskTransition` events in a trace: one
+//! row per disk, one glyph per time bucket.
+
+use crate::event::{EventKind, TraceEvent};
+use disk_model::PowerState;
+use std::collections::BTreeMap;
+
+/// Glyph for one power state.
+fn glyph(state: PowerState) -> char {
+    match state {
+        PowerState::Active => '#',
+        PowerState::Idle => '-',
+        PowerState::Standby => '.',
+        PowerState::SpinningUp => '^',
+        PowerState::SpinningDown => 'v',
+    }
+}
+
+/// Renders per-disk power-state timelines from the `DiskTransition` events
+/// in `events`, covering `[0, end_us]` with `width` buckets.
+///
+/// Disks start Idle at `t = 0` (the meter's initial state); each bucket
+/// shows the state in force at its start. Rows are labelled `n<node>.buf`
+/// for buffer disks (`disk == u32::MAX`) and `n<node>.d<disk>` otherwise,
+/// sorted by `(node, disk)`; a legend and second-resolution axis frame the
+/// plot. Output is deterministic for a deterministic trace.
+pub fn render_power_timeline(events: &[TraceEvent], end_us: u64, width: usize) -> String {
+    let width = width.max(10);
+    let mut edges: BTreeMap<(u32, u32), Vec<(u64, PowerState)>> = BTreeMap::new();
+    for ev in events {
+        if let EventKind::DiskTransition { node, disk, to, .. } = ev.kind {
+            edges.entry((node, disk)).or_default().push((ev.at_us, to));
+        }
+    }
+    let mut out = String::new();
+    out.push_str("power/state timeline  (# active  - idle  . standby  ^ spin-up  v spin-down)\n");
+    if edges.is_empty() {
+        out.push_str("  (no disk transitions recorded)\n");
+        return out;
+    }
+    let end_us = end_us.max(1);
+    let label_w = edges
+        .keys()
+        .map(|&(n, d)| row_label(n, d).len())
+        .max()
+        .unwrap_or(0);
+    for (&(node, disk), log) in &edges {
+        let mut row = String::new();
+        let mut cursor = 0usize; // index of the next edge to apply
+        let mut state = PowerState::Idle;
+        for b in 0..width {
+            let bucket_start = (b as u64 * end_us) / width as u64;
+            while cursor < log.len() && log[cursor].0 <= bucket_start {
+                state = log[cursor].1;
+                cursor += 1;
+            }
+            row.push(glyph(state));
+        }
+        out.push_str(&format!("{:>label_w$} |{row}|\n", row_label(node, disk)));
+    }
+    let end_s = end_us as f64 / 1e6;
+    out.push_str(&format!(
+        "{:>label_w$} |0{:>pad$.0}s|\n",
+        "t",
+        end_s,
+        pad = width.saturating_sub(2),
+    ));
+    out
+}
+
+fn row_label(node: u32, disk: u32) -> String {
+    if disk == u32::MAX {
+        format!("n{node}.buf")
+    } else {
+        format!("n{node}.d{disk}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Severity;
+
+    fn transition(
+        at_us: u64,
+        node: u32,
+        disk: u32,
+        from: PowerState,
+        to: PowerState,
+    ) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            at_us,
+            sev: Severity::Debug,
+            kind: EventKind::DiskTransition {
+                node,
+                disk,
+                from,
+                to,
+            },
+        }
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let s = render_power_timeline(&[], 1_000_000, 40);
+        assert!(s.contains("no disk transitions"));
+    }
+
+    #[test]
+    fn sleep_cycle_shows_standby_run() {
+        use PowerState::*;
+        let events = vec![
+            transition(10_000_000, 0, 0, Idle, SpinningDown),
+            transition(12_000_000, 0, 0, SpinningDown, Standby),
+            transition(90_000_000, 0, 0, Standby, SpinningUp),
+            transition(92_000_000, 0, 0, SpinningUp, Idle),
+        ];
+        let s = render_power_timeline(&events, 100_000_000, 50);
+        let row = s.lines().find(|l| l.contains("n0.d0")).unwrap();
+        assert!(row.contains('.'), "standby stretch missing: {row}");
+        assert!(row.starts_with("n0.d0 |-"), "starts idle: {row}");
+        // Mostly standby: the dots dominate.
+        let dots = row.matches('.').count();
+        assert!(
+            dots > 25,
+            "expected a long standby run, got {dots} in {row}"
+        );
+    }
+
+    #[test]
+    fn buffer_disk_gets_its_own_label() {
+        use PowerState::*;
+        let events = vec![transition(0, 1, u32::MAX, Idle, Active)];
+        let s = render_power_timeline(&events, 1_000_000, 20);
+        assert!(s.contains("n1.buf"), "{s}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        use PowerState::*;
+        let events = vec![
+            transition(5_000_000, 1, 0, Idle, Active),
+            transition(6_000_000, 0, 2, Idle, SpinningDown),
+        ];
+        assert_eq!(
+            render_power_timeline(&events, 10_000_000, 30),
+            render_power_timeline(&events, 10_000_000, 30)
+        );
+    }
+}

@@ -149,6 +149,9 @@ pub struct ClusterHandle {
     /// Bumped per revival so each replacement daemon gets a fresh store
     /// directory.
     revival_gen: u32,
+    /// Next end-to-end request id; assigned per `get`/`put` and echoed by
+    /// the owning node so one id follows client → server → node → client.
+    next_req_id: u64,
 }
 
 /// Wakes an acceptor thread stuck in `accept` by connecting to its
@@ -214,6 +217,7 @@ impl ClusterHandle {
             reader: Some(reader),
             owed_acks: 0,
             revival_gen: 0,
+            next_req_id: 1,
         })
     }
 
@@ -301,6 +305,8 @@ impl ClusterHandle {
     /// [`verify_pattern`]).
     pub fn get(&mut self, file: u32) -> io::Result<GetResult> {
         self.drain_stale();
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let acceptor = self.spawn_acceptor(listener)?;
@@ -309,6 +315,7 @@ impl ClusterHandle {
         if let Err(e) = write_message(
             &mut self.server_conn,
             &Message::Get {
+                req_id,
                 file,
                 client_port: addr.port(),
             },
@@ -346,7 +353,11 @@ impl ClusterHandle {
         };
         let _ = acceptor.join();
         let data = match read_message(&mut push).map_err(|e| io::Error::other(e.to_string()))? {
-            Message::FileData { file: got, data } if got == file => data.to_vec(),
+            Message::FileData {
+                req_id: got_id,
+                file: got,
+                data,
+            } if got == file && got_id == req_id => data.to_vec(),
             other => return Err(io::Error::other(format!("unexpected push {other:?}"))),
         };
         let response = start.elapsed();
@@ -361,6 +372,8 @@ impl ClusterHandle {
     /// The payload length must equal the file's creation size.
     pub fn put(&mut self, file: u32, data: &[u8]) -> io::Result<Duration> {
         self.drain_stale();
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let acceptor = self.spawn_acceptor(listener)?;
@@ -369,6 +382,7 @@ impl ClusterHandle {
         if let Err(e) = write_message(
             &mut self.server_conn,
             &Message::Put {
+                req_id,
                 file,
                 client_port: addr.port(),
             },
@@ -403,6 +417,7 @@ impl ClusterHandle {
         if let Err(e) = write_message(
             &mut pull,
             &Message::FileData {
+                req_id,
                 file,
                 data: bytes::Bytes::copy_from_slice(data),
             },
@@ -707,6 +722,35 @@ mod tests {
         assert_eq!(report.stats.hits, 0);
         assert_eq!(report.stats.spin_ups + report.stats.spin_downs, 0);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn rpc_spans_follow_the_request_id() {
+        use crate::server::{RpcSpan, SpanKind};
+        use std::sync::{Arc, Mutex};
+        let trace = small_trace(12, 8, 3.0);
+        let mut cfg = RuntimeConfig::small("spans");
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        cfg.resilience.spans = Some(sink.clone());
+        let mut cluster = ClusterHandle::start(cfg, &trace).expect("start");
+        cluster.get(0).expect("get 0");
+        cluster.get(1).expect("get 1");
+        cluster.shutdown();
+        let spans: Vec<RpcSpan> = sink.lock().expect("sink").clone();
+        // Each get produces at least Send then Complete, stamped with the
+        // client-assigned id (1-based, monotone) on the same attempt.
+        for req_id in [1u64, 2] {
+            let of_req: Vec<_> = spans.iter().filter(|s| s.req_id == req_id).collect();
+            assert!(
+                of_req.iter().any(|s| s.kind == SpanKind::Send),
+                "req {req_id} missing Send: {spans:?}"
+            );
+            let done = of_req
+                .iter()
+                .find(|s| s.kind == SpanKind::Complete)
+                .unwrap_or_else(|| panic!("req {req_id} missing Complete: {spans:?}"));
+            assert_eq!(done.attempt, 1, "healthy cluster needs one attempt");
+        }
     }
 
     #[test]

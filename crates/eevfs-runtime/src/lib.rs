@@ -42,3 +42,4 @@ pub mod store;
 pub mod transport;
 
 pub use cluster::{ClusterHandle, ReplayReport, RuntimeConfig};
+pub use server::{ResilienceOptions, RpcSpan, SpanKind, SpanSink};

@@ -174,7 +174,11 @@ impl NodeState {
                 }
                 Ok(Message::Ok)
             }
-            Message::Get { file, client_port } => {
+            Message::Get {
+                req_id,
+                file,
+                client_port,
+            } => {
                 let fid = workload::record::FileId(file);
                 let Some(&disk) = self.disk_of_file.get(&file) else {
                     return Ok(Message::Err { code: 1 });
@@ -204,6 +208,7 @@ impl NodeState {
                 match write_message(
                     &mut conn,
                     &Message::FileData {
+                        req_id,
                         file,
                         data: Bytes::from(data),
                     },
@@ -212,7 +217,11 @@ impl NodeState {
                     Err(_) => Ok(Message::Err { code: 2 }),
                 }
             }
-            Message::Put { file, client_port } => {
+            Message::Put {
+                req_id,
+                file,
+                client_port,
+            } => {
                 let fid = workload::record::FileId(file);
                 let Some(&disk) = self.disk_of_file.get(&file) else {
                     return Ok(Message::Err { code: 1 });
@@ -226,7 +235,11 @@ impl NodeState {
                     return Ok(Message::Err { code: 2 });
                 };
                 let data = match read_message(&mut conn) {
-                    Ok(Message::FileData { file: got, data }) if got == file => data,
+                    Ok(Message::FileData {
+                        req_id: got_id,
+                        file: got,
+                        data,
+                    }) if got == file && got_id == req_id => data,
                     Ok(_) => return Ok(Message::Err { code: 3 }),
                     Err(_) => return Ok(Message::Err { code: 2 }),
                 };
@@ -425,6 +438,7 @@ mod tests {
         write_message(
             &mut ctl,
             &Message::Get {
+                req_id: 31,
                 file: 2,
                 client_port: port,
             },
@@ -433,7 +447,8 @@ mod tests {
         let (mut push, _) = client.accept().expect("accept push");
         let data = read_message(&mut push).expect("read push");
         match data {
-            Message::FileData { file, data } => {
+            Message::FileData { req_id, file, data } => {
+                assert_eq!(req_id, 31, "node must echo the request id");
                 assert_eq!(file, 2);
                 assert_eq!(data.len(), 2048);
                 assert!(verify_pattern(2, &data));
@@ -483,6 +498,7 @@ mod tests {
         write_message(
             &mut ctl,
             &Message::Get {
+                req_id: 1,
                 file: 9,
                 client_port: port,
             },
@@ -516,6 +532,7 @@ mod tests {
             rpc(
                 &mut ctl,
                 &Message::Get {
+                    req_id: 1,
                     file: 404,
                     client_port: 1
                 }

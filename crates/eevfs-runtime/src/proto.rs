@@ -43,6 +43,9 @@ pub enum Message {
     /// Client → server, then server → node: fetch `file`; the node must
     /// push the data to `127.0.0.1:client_port` (steps 5-6).
     Get {
+        /// Request id assigned by the client, echoed end-to-end so one id
+        /// follows client → server → node → disk in traces.
+        req_id: u64,
         /// File id.
         file: u32,
         /// Client callback port.
@@ -50,6 +53,10 @@ pub enum Message {
     },
     /// Node → client: the file contents.
     FileData {
+        /// Request id echoed from the originating [`Message::Get`] /
+        /// [`Message::Put`] (zero for frames outside a request, e.g.
+        /// replication pushes).
+        req_id: u64,
         /// File id.
         file: u32,
         /// Contents.
@@ -101,6 +108,9 @@ pub enum Message {
     /// connects to `127.0.0.1:client_port` and *reads* a [`Message::FileData`]
     /// frame from the client (the push pattern, reversed).
     Put {
+        /// Request id assigned by the client, echoed end-to-end (same
+        /// contract as the `req_id` on [`Message::Get`]).
+        req_id: u64,
         /// File id.
         file: u32,
         /// Client callback port.
@@ -205,6 +215,17 @@ impl Message {
         }
     }
 
+    /// The end-to-end request id carried by request/response frames
+    /// (`Get`, `Put`, `FileData`); `None` for control traffic.
+    pub fn req_id(&self) -> Option<u64> {
+        match self {
+            Message::Get { req_id, .. }
+            | Message::Put { req_id, .. }
+            | Message::FileData { req_id, .. } => Some(*req_id),
+            _ => None,
+        }
+    }
+
     /// Encodes into a self-contained frame.
     pub fn encode(&self) -> Bytes {
         let mut body = BytesMut::new();
@@ -228,17 +249,28 @@ impl Message {
                     body.put_u32_le(*f);
                 }
             }
-            Message::Get { file, client_port } => {
+            Message::Get {
+                req_id,
+                file,
+                client_port,
+            } => {
+                body.put_u64_le(*req_id);
                 body.put_u32_le(*file);
                 body.put_u16_le(*client_port);
             }
-            Message::FileData { file, data } => {
+            Message::FileData { req_id, file, data } => {
+                body.put_u64_le(*req_id);
                 body.put_u32_le(*file);
                 body.put_u64_le(data.len() as u64);
                 body.extend_from_slice(data);
             }
             Message::Ok | Message::StatsRequest | Message::Shutdown => {}
-            Message::Put { file, client_port } => {
+            Message::Put {
+                req_id,
+                file,
+                client_port,
+            } => {
+                body.put_u64_le(*req_id);
                 body.put_u32_le(*file);
                 body.put_u16_le(*client_port);
             }
@@ -333,14 +365,16 @@ impl Message {
                 }
             }
             4 => {
-                need!(6, "Get");
+                need!(14, "Get");
                 Message::Get {
+                    req_id: body.get_u64_le(),
                     file: body.get_u32_le(),
                     client_port: body.get_u16_le(),
                 }
             }
             5 => {
-                need!(12, "FileData header");
+                need!(20, "FileData header");
+                let req_id = body.get_u64_le();
                 let file = body.get_u32_le();
                 let len = body.get_u64_le();
                 // Compare in u64: `len as usize` first would wrap on
@@ -349,6 +383,7 @@ impl Message {
                     return Err(Malformed("FileData length mismatch"));
                 }
                 Message::FileData {
+                    req_id,
                     file,
                     data: body.copy_to_bytes(len as usize),
                 }
@@ -380,8 +415,9 @@ impl Message {
             }
             10 => Message::Shutdown,
             11 => {
-                need!(6, "Put");
+                need!(14, "Put");
                 Message::Put {
+                    req_id: body.get_u64_le(),
                     file: body.get_u32_le(),
                     client_port: body.get_u16_le(),
                 }
@@ -481,14 +517,17 @@ mod tests {
             pattern: vec![(1000, 1), (2000, 2)],
         });
         roundtrip(Message::Get {
+            req_id: u64::MAX,
             file: 3,
             client_port: 54321,
         });
         roundtrip(Message::FileData {
+            req_id: 77,
             file: 3,
             data: Bytes::from_static(b"hello world"),
         });
         roundtrip(Message::FileData {
+            req_id: 0,
             file: 0,
             data: Bytes::new(),
         });
@@ -511,6 +550,7 @@ mod tests {
         });
         roundtrip(Message::Shutdown);
         roundtrip(Message::Put {
+            req_id: 12345,
             file: 8,
             client_port: 4242,
         });
@@ -526,15 +566,45 @@ mod tests {
     }
 
     #[test]
+    fn request_frames_carry_req_id() {
+        let get = Message::Get {
+            req_id: 42,
+            file: 1,
+            client_port: 2,
+        };
+        assert_eq!(get.req_id(), Some(42));
+        // length prefix + tag + u64 req_id + u32 file + u16 port.
+        assert_eq!(get.encode().len(), 4 + 1 + 14);
+        let put = Message::Put {
+            req_id: 43,
+            file: 1,
+            client_port: 2,
+        };
+        assert_eq!(put.req_id(), Some(43));
+        assert_eq!(put.encode().len(), 4 + 1 + 14);
+        let fd = Message::FileData {
+            req_id: 44,
+            file: 1,
+            data: Bytes::from_static(b"abc"),
+        };
+        assert_eq!(fd.req_id(), Some(44));
+        // length prefix + tag + 20-byte header + payload.
+        assert_eq!(fd.encode().len(), 4 + 1 + 20 + 3);
+        assert_eq!(Message::Ok.req_id(), None);
+    }
+
+    #[test]
     fn stream_roundtrip() {
         let mut buf = Vec::new();
         let msgs = vec![
             Message::Ok,
             Message::Get {
+                req_id: 9,
                 file: 1,
                 client_port: 1000,
             },
             Message::FileData {
+                req_id: 9,
                 file: 1,
                 data: Bytes::from(vec![42u8; 1024]),
             },
@@ -593,6 +663,7 @@ mod tests {
         // its low 32 bits happen to match the remaining byte count.
         let mut body = BytesMut::new();
         body.put_u8(5);
+        body.put_u64_le(0); // req_id
         body.put_u32_le(1);
         body.put_u64_le((1u64 << 32) + 4);
         body.extend_from_slice(&[9u8; 4]);
@@ -629,10 +700,20 @@ mod tests {
                     .prop_map(|files| Message::Prefetch { files }),
                 proptest::collection::vec((any::<u64>(), any::<u32>()), 0..64)
                     .prop_map(|pattern| Message::Hints { pattern }),
-                (any::<u32>(), any::<u16>())
-                    .prop_map(|(file, client_port)| Message::Get { file, client_port }),
-                (any::<u32>(), any::<u16>())
-                    .prop_map(|(file, client_port)| Message::Put { file, client_port }),
+                (any::<u64>(), any::<u32>(), any::<u16>()).prop_map(
+                    |(req_id, file, client_port)| Message::Get {
+                        req_id,
+                        file,
+                        client_port
+                    }
+                ),
+                (any::<u64>(), any::<u32>(), any::<u16>()).prop_map(
+                    |(req_id, file, client_port)| Message::Put {
+                        req_id,
+                        file,
+                        client_port
+                    }
+                ),
                 any::<u32>().prop_map(|node| Message::KillNode { node }),
                 (any::<u32>(), any::<u32>())
                     .prop_map(|(node, disk)| Message::FailDisk { node, disk }),
@@ -643,10 +724,12 @@ mod tests {
                 any::<u32>().prop_map(|node| Message::PartitionLink { node }),
                 any::<u32>().prop_map(|node| Message::HealLink { node }),
                 (
+                    any::<u64>(),
                     any::<u32>(),
                     proptest::collection::vec(any::<u8>(), 0..2048)
                 )
-                    .prop_map(|(file, data)| Message::FileData {
+                    .prop_map(|(req_id, file, data)| Message::FileData {
+                        req_id,
                         file,
                         data: Bytes::from(data)
                     }),
@@ -738,6 +821,7 @@ mod tests {
     fn filedata_length_mismatch_rejected() {
         let mut body = BytesMut::new();
         body.put_u8(5);
+        body.put_u64_le(0); // req_id
         body.put_u32_le(1);
         body.put_u64_le(100); // claims 100 bytes
         body.put_u8(0); // provides 1

@@ -24,6 +24,7 @@ use fault_model::{CircuitBreaker, LinkFaultProfile, NetFaultInjector, NetFaultPl
 use sim_core::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use workload::popularity::PopularityTable;
@@ -86,6 +87,39 @@ impl std::ops::Sub for ClusterStats {
     }
 }
 
+/// One step of a request's server-side RPC lifecycle, tagged with the
+/// end-to-end request id from the client's frame so traces can nest
+/// retries and hedges under the request they serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcSpan {
+    /// End-to-end request id (from the `Get`/`Put` frame).
+    pub req_id: u64,
+    /// Node the step talked to (`u32::MAX` when no node is involved,
+    /// e.g. a retry about to re-run candidate selection).
+    pub node: u32,
+    /// 1-based attempt number; all candidate sends within one routing
+    /// pass share it, and each retry starts a new one.
+    pub attempt: u32,
+    /// What happened.
+    pub kind: SpanKind,
+}
+
+/// The step kinds an [`RpcSpan`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A request frame went out to a node.
+    Send,
+    /// The routing pass failed everywhere; a backoff retry follows.
+    Retry,
+    /// A hedge fired against a second replica.
+    Hedge,
+    /// A node's reply was accepted as the request's answer.
+    Complete,
+}
+
+/// Shared sink the server appends [`RpcSpan`]s into when tracing is on.
+pub type SpanSink = Arc<Mutex<Vec<RpcSpan>>>;
+
 /// Resilience knobs for the server's request forwarding.
 #[derive(Debug, Clone)]
 pub struct ResilienceOptions {
@@ -94,6 +128,9 @@ pub struct ResilienceOptions {
     /// Probabilistic per-link faults on request-path sends (injected
     /// delays are wall-interpreted and capped at the per-try timeout).
     pub profile: LinkFaultProfile,
+    /// Optional span sink; when set, every request-path send, retry,
+    /// hedge, and completion is appended here with its request id.
+    pub spans: Option<SpanSink>,
 }
 
 impl Default for ResilienceOptions {
@@ -103,6 +140,7 @@ impl Default for ResilienceOptions {
         ResilienceOptions {
             policy: RpcPolicy::no_retry(SimDuration::from_secs(3600)),
             profile: LinkFaultProfile::none(),
+            spans: None,
         }
     }
 }
@@ -135,8 +173,14 @@ struct ServerState {
     breakers: Vec<CircuitBreaker>,
     /// Wall epoch the breakers' virtual clock counts from.
     epoch: Instant,
-    /// Monotone id seeding each request's deterministic backoff schedule.
+    /// Monotone id seeding backoff schedules for frames that carry no
+    /// request id (control traffic never routes, so this is a fallback).
     next_request_id: u64,
+    /// Span sink plus the request id / attempt the route in progress is
+    /// stamping its spans with.
+    spans: Option<SpanSink>,
+    current_req: u64,
+    current_attempt: u32,
     retries: u64,
     hedges: u64,
     hedges_won: u64,
@@ -144,6 +188,20 @@ struct ServerState {
 }
 
 impl ServerState {
+    /// Appends a span for the route in progress (no-op without a sink).
+    fn span(&self, node: u32, kind: SpanKind) {
+        if let Some(sink) = &self.spans {
+            if let Ok(mut v) = sink.lock() {
+                v.push(RpcSpan {
+                    req_id: self.current_req,
+                    node,
+                    attempt: self.current_attempt,
+                    kind,
+                });
+            }
+        }
+    }
+
     /// Wall time since boot on the breakers' `SimTime` axis.
     fn wall_now(&self) -> SimTime {
         SimTime::ZERO + SimDuration::from_micros(self.epoch.elapsed().as_micros() as u64)
@@ -256,13 +314,18 @@ impl ServerState {
     /// under the RPC policy: replica failover, circuit-breaker gating,
     /// optional hedging, then bounded backoff retries until the deadline.
     fn route(&mut self, msg: Message) -> Message {
-        let rid = self.next_request_id;
+        // Seed the deterministic backoff schedule with the client's
+        // end-to-end request id (every routable frame carries one; the
+        // monotone counter covers anything that doesn't).
+        let rid = msg.req_id().unwrap_or(self.next_request_id);
         self.next_request_id += 1;
+        self.current_req = rid;
         let schedule = self.policy.backoff_schedule(rid);
         let deadline = wall(self.policy.deadline);
         let started = Instant::now();
         let mut retry = 0usize;
         loop {
+            self.current_attempt = retry as u32 + 1;
             match self.route_once(&msg, started) {
                 Ok(reply) => return reply,
                 Err(last) => {
@@ -277,6 +340,9 @@ impl ServerState {
                     if started.elapsed() + d >= deadline {
                         return give_up(self);
                     }
+                    // The span carries the attempt the retry opens.
+                    self.current_attempt = retry as u32 + 2;
+                    self.span(u32::MAX, SpanKind::Retry);
                     std::thread::sleep(d);
                     self.retries += 1;
                     retry += 1;
@@ -331,6 +397,7 @@ impl ServerState {
                     if node != copies[0].0 && !matches!(reply, Message::Err { .. }) {
                         self.failovers += 1;
                     }
+                    self.span(node as u32, SpanKind::Complete);
                     return Ok(reply);
                 }
                 Err(()) => {}
@@ -353,6 +420,7 @@ impl ServerState {
             self.fail_link(node, true);
             return Err(());
         }
+        self.span(node as u32, SpanKind::Send);
         match self.links[node].send(&mut self.injector, msg, cap) {
             Ok(()) => {}
             Err(SendError::Dropped) | Err(SendError::Reset) => {
@@ -410,6 +478,7 @@ impl ServerState {
         }
         // Primary exceeded the hedge latency bound: race the next copy.
         self.hedges += 1;
+        self.span(second as u32, SpanKind::Hedge);
         let cap = wall(self.policy.per_try_timeout);
         let mut hedged = self.links[second].drain_pending().is_ok()
             && self.links[second]
@@ -598,6 +667,9 @@ impl ServerDaemon {
             policy: opts.policy,
             epoch: Instant::now(),
             next_request_id: 0,
+            spans: opts.spans,
+            current_req: 0,
+            current_attempt: 1,
             retries: 0,
             hedges: 0,
             hedges_won: 0,

@@ -84,7 +84,7 @@ impl FaultyTransport {
     /// Sends one request-path frame, consulting the injector.
     ///
     /// `delay_cap` additionally bounds injected delay sleeps (use the
-    /// policy's per-try timeout); [`MAX_DELAY_SLEEP`] always applies.
+    /// policy's per-try timeout); `MAX_DELAY_SLEEP` always applies.
     pub fn send(
         &mut self,
         injector: &mut NetFaultInjector,

@@ -30,7 +30,10 @@ use crate::prefetch::{plan_topk, predict_benefit, PrefetchPlan};
 use crate::replication::{replicate, select_replica, ReplicaPlan, Selected};
 use crate::server::StorageServer;
 use disk_model::perf::AccessKind;
-use disk_model::{Disk, TransitionCounts};
+use disk_model::{breakeven_time, Disk, TransitionCounts};
+use eevfs_obs::{
+    EventKind, MetricsRegistry, PredictionSample, PredictionTracker, Recorder, Sampler,
+};
 use fault_model::{
     CircuitBreaker, FaultEvent, FaultPlan, HealthTracker, LinkDecision, LinkFaultProfile,
     NetFaultEvent, NetFaultInjector, NetFaultPlan, RpcPolicy,
@@ -76,6 +79,23 @@ struct ReqState {
     /// A hedge has been armed for this request (at most one per request).
     hedge_armed: bool,
     response_s: Option<f64>,
+}
+
+/// Live observability capture for one run. `None` on unobserved paths,
+/// which therefore pay nothing beyond an `Option` check per site.
+struct ObsState {
+    rec: Recorder,
+    registry: MetricsRegistry,
+    /// Gate for the periodic queue-depth series. The sampler is consulted
+    /// from inside the event handler instead of scheduling its own events,
+    /// so the event queue — and therefore the simulated outcome — stays
+    /// exactly identical to an unobserved run.
+    sampler: Sampler,
+    /// Trace requests issued and not yet answered.
+    outstanding: u64,
+    /// In-flight disk operations per node (incremented when a `DiskDone`
+    /// is scheduled, decremented when it fires).
+    disk_inflight: Vec<u64>,
 }
 
 /// Delay before a request that found no serviceable replica is re-routed.
@@ -158,6 +178,15 @@ struct ClusterSim {
     replica_redirects: u64,
     spin_up_failures: u64,
     failed_requests: u64,
+    // Observability.
+    /// Predicted-vs-realised idle-window ledger. Always on — it only does
+    /// work when the power manager actually sleeps a disk, and it never
+    /// feeds back into scheduling.
+    pred: PredictionTracker,
+    /// Per-data-disk breakeven time, indexed `[node][disk]`.
+    breakeven: Vec<Vec<SimDuration>>,
+    /// Trace/metrics capture; `None` leaves the legacy paths untouched.
+    obs: Option<ObsState>,
 }
 
 impl ClusterSim {
@@ -181,11 +210,80 @@ impl ClusterSim {
                 let comp = self.nodes[node].data_disks[d].submit(now, chunk, kind);
                 finish = finish.max(comp.finish);
                 spun |= comp.spun_up;
+                if comp.spun_up {
+                    self.note_wake(node, d, now);
+                }
             }
             (finish, spun)
         } else {
             let comp = self.nodes[node].data_disks[home_disk].submit(now, size, kind);
+            if comp.spun_up {
+                self.note_wake(node, home_disk, now);
+            }
             (comp.finish, comp.spun_up)
+        }
+    }
+
+    /// Records a trace event when observability is on.
+    fn obs_event(&mut self, now: SimTime, kind: EventKind) {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.rec.record(now, kind);
+        }
+    }
+
+    /// Periodic queue-depth sample, driven from the event handler so no
+    /// extra simulation events exist on observed runs.
+    fn obs_tick(&mut self, now: SimTime) {
+        if let Some(obs) = self.obs.as_mut() {
+            if obs.sampler.due(now) {
+                obs.registry
+                    .sample("queue_depth", now, obs.outstanding as f64);
+            }
+        }
+    }
+
+    /// Adjusts a node's in-flight disk-operation count and samples it.
+    fn obs_inflight(&mut self, node: usize, now: SimTime, delta: i64) {
+        if let Some(obs) = self.obs.as_mut() {
+            let v = &mut obs.disk_inflight[node];
+            *v = v.saturating_add_signed(delta);
+            let depth = *v as f64;
+            obs.registry
+                .sample(&format!("disk_inflight.n{node}"), now, depth);
+        }
+    }
+
+    /// Books a sleep decision: opens a prediction-ledger window and emits
+    /// the trace event carrying the predicted window and breakeven time.
+    fn note_sleep(&mut self, node: usize, disk: usize, now: SimTime) {
+        let predicted = self.power.predicted_window(node, disk, now);
+        let breakeven = self.breakeven[node][disk];
+        self.pred
+            .on_sleep(node as u32, disk as u32, now, predicted, breakeven);
+        self.obs_event(
+            now,
+            EventKind::SleepDecision {
+                node: node as u32,
+                disk: disk as u32,
+                predicted_idle_us: predicted.map(|d| d.as_micros()),
+                breakeven_us: breakeven.as_micros(),
+            },
+        );
+    }
+
+    /// Books a wake: closes the prediction-ledger window and scores the
+    /// realised idle against breakeven.
+    fn note_wake(&mut self, node: usize, disk: usize, now: SimTime) {
+        if let Some(s) = self.pred.on_wake(node as u32, disk as u32, now) {
+            self.obs_event(
+                now,
+                EventKind::IdleRealized {
+                    node: node as u32,
+                    disk: disk as u32,
+                    realized_us: s.realized_us,
+                    paid_off: s.paid_off(),
+                },
+            );
         }
     }
 
@@ -291,6 +389,23 @@ impl ClusterSim {
                 self.res.deadline_misses += 1;
             }
         }
+        if let Some(obs) = self.obs.as_mut() {
+            obs.outstanding = obs.outstanding.saturating_sub(1);
+        }
+        self.obs_event(
+            now,
+            EventKind::RequestComplete {
+                req: root as u64,
+                response_us: elapsed.as_micros(),
+            },
+        );
+        self.obs_event(
+            now,
+            EventKind::RpcComplete {
+                req: root as u64,
+                won_by_hedge: is_mirror,
+            },
+        );
         true
     }
 
@@ -371,6 +486,13 @@ impl ClusterSim {
             Some(backoff) => {
                 self.reqs[req as usize].rpc_tries += 1;
                 self.res.rpc_retries += 1;
+                self.obs_event(
+                    now,
+                    EventKind::RpcRetry {
+                        req: req as u64,
+                        attempt: tries + 2,
+                    },
+                );
                 queue.schedule(now + backoff, Ev::ServerArrive(req));
             }
             None => {
@@ -435,6 +557,14 @@ impl ClusterSim {
             response_s: None,
         });
         self.res.hedges += 1;
+        self.obs_event(
+            now,
+            EventKind::RpcHedge {
+                req: mirror as u64,
+                parent: req as u64,
+                node: sel.node as u32,
+            },
+        );
         let done = self.server.admit(now);
         queue.schedule(
             done,
@@ -479,6 +609,7 @@ impl Model for ClusterSim {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+        self.obs_tick(now);
         match event {
             Ev::Issue(req) => {
                 let r = &mut self.reqs[req as usize];
@@ -487,7 +618,20 @@ impl Model for ClusterSim {
                 // clock by however long responses have taken; keep the
                 // power manager's window predictions aligned.
                 let drift = now - r.trace_at;
+                let (file, op, bytes) = (r.file, r.op, r.size);
                 self.power.set_drift(drift);
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.outstanding += 1;
+                }
+                self.obs_event(
+                    now,
+                    EventKind::RequestArrive {
+                        req: req as u64,
+                        file: file.index() as u64,
+                        write: op == Op::Write,
+                        bytes,
+                    },
+                );
                 queue.schedule(now + self.ctl_client_server, Ev::ServerArrive(req));
             }
 
@@ -506,6 +650,13 @@ impl Model for ClusterSim {
                             done,
                             Ev::ServerDone {
                                 req,
+                                node: sel.node as u32,
+                            },
+                        );
+                        self.obs_event(
+                            now,
+                            EventKind::RequestQueued {
+                                req: req as u64,
                                 node: sel.node as u32,
                             },
                         );
@@ -533,6 +684,15 @@ impl Model for ClusterSim {
                         queue.schedule(now + after, Ev::Hedge(req));
                     }
                 }
+                let attempt = self.reqs[req as usize].rpc_tries + 1;
+                self.obs_event(
+                    now,
+                    EventKind::RpcSend {
+                        req: req as u64,
+                        node: node as u32,
+                        attempt,
+                    },
+                );
                 let decision = match self.net.as_mut() {
                     Some(inj) => inj.decide(node),
                     None => LinkDecision::Deliver,
@@ -548,6 +708,14 @@ impl Model for ClusterSim {
                     LinkDecision::Drop => {
                         self.res.rpc_drops += 1;
                         self.breaker_failure(node, now);
+                        self.obs_event(
+                            now,
+                            EventKind::RpcDropped {
+                                req: req as u64,
+                                node: node as u32,
+                                attempt,
+                            },
+                        );
                         let per_try = self
                             .policy
                             .as_ref()
@@ -588,6 +756,16 @@ impl Model for ClusterSim {
                                     .buffer_disk
                                     .submit(now, size, AccessKind::Random);
                             self.reqs[req as usize].from_buffer = true;
+                            self.obs_event(
+                                now,
+                                EventKind::RequestServe {
+                                    req: req as u64,
+                                    node: node as u32,
+                                    disk: u32::MAX,
+                                    from_buffer: true,
+                                },
+                            );
+                            self.obs_inflight(node, now, 1);
                             queue.schedule(comp.finish, Ev::DiskDone(req));
                         } else {
                             if !self.health.disk_ok(node, disk) {
@@ -616,7 +794,25 @@ impl Model for ClusterSim {
                             if spun_up {
                                 self.reqs[req as usize].spun_up = true;
                                 self.spun_up_requests += 1;
+                                self.obs_event(
+                                    now,
+                                    EventKind::SpinupWait {
+                                        req: req as u64,
+                                        node: node as u32,
+                                        disk: disk as u32,
+                                    },
+                                );
                             }
+                            self.obs_event(
+                                now,
+                                EventKind::RequestServe {
+                                    req: req as u64,
+                                    node: node as u32,
+                                    disk: disk as u32,
+                                    from_buffer: false,
+                                },
+                            );
+                            self.obs_inflight(node, now, 1);
                             queue.schedule(finish, Ev::DiskDone(req));
                             if matches!(self.cfg.buffer, BufferPolicy::MaidLru { .. }) {
                                 queue.schedule(finish, Ev::MaidFill(req));
@@ -641,6 +837,8 @@ impl Model for ClusterSim {
             }
 
             Ev::DiskDone(req) => {
+                let node = self.reqs[req as usize].node;
+                self.obs_inflight(node, now, -1);
                 let r = &self.reqs[req as usize];
                 match r.op {
                     Op::Read => {
@@ -683,6 +881,16 @@ impl Model for ClusterSim {
                                 size,
                                 AccessKind::Sequential,
                             );
+                            self.obs_event(
+                                now,
+                                EventKind::RequestServe {
+                                    req: req as u64,
+                                    node: node as u32,
+                                    disk: u32::MAX,
+                                    from_buffer: true,
+                                },
+                            );
+                            self.obs_inflight(node, now, 1);
                             queue.schedule(comp.finish, Ev::DiskDone(req));
                         } else {
                             let disk = self.reqs[req as usize].disk;
@@ -698,7 +906,25 @@ impl Model for ClusterSim {
                             if spun_up {
                                 self.reqs[req as usize].spun_up = true;
                                 self.spun_up_requests += 1;
+                                self.obs_event(
+                                    now,
+                                    EventKind::SpinupWait {
+                                        req: req as u64,
+                                        node: node as u32,
+                                        disk: disk as u32,
+                                    },
+                                );
                             }
+                            self.obs_event(
+                                now,
+                                EventKind::RequestServe {
+                                    req: req as u64,
+                                    node: node as u32,
+                                    disk: disk as u32,
+                                    from_buffer: false,
+                                },
+                            );
+                            self.obs_inflight(node, now, 1);
                             queue.schedule(finish, Ev::DiskDone(req));
                             self.arm_after_physical(node, disk, queue);
                         }
@@ -761,12 +987,14 @@ impl Model for ClusterSim {
                 if armed {
                     if self.power.timer_allows_sleep() {
                         self.nodes[node].data_disks[disk].sleep(now);
+                        self.note_sleep(node, disk, now);
                     }
                     return;
                 }
                 match self.power.on_idle(node, disk, now) {
                     SleepDecision::SleepNow => {
                         self.nodes[node].data_disks[disk].sleep(now);
+                        self.note_sleep(node, disk, now);
                     }
                     SleepDecision::CheckAt(t) => {
                         queue.schedule(
@@ -792,7 +1020,7 @@ impl Model for ClusterSim {
 /// Panics on invalid cluster specs or traces — experiment configs are
 /// programmer input, not runtime data.
 pub fn run_cluster(cluster: &ClusterSpec, cfg: &EevfsConfig, trace: &Trace) -> RunMetrics {
-    run_cluster_inner(cluster, cfg, trace, false, &FaultPlan::none(), None).0
+    run_cluster_inner(cluster, cfg, trace, false, &FaultPlan::none(), None, None).0
 }
 
 /// Like [`run_cluster`], but injects the fault schedule into the replay.
@@ -807,7 +1035,7 @@ pub fn run_cluster_faulted(
     trace: &Trace,
     faults: &FaultPlan,
 ) -> RunMetrics {
-    run_cluster_inner(cluster, cfg, trace, false, faults, None).0
+    run_cluster_inner(cluster, cfg, trace, false, faults, None, None).0
 }
 
 /// The network-resilience knobs for [`run_cluster_resilient`], borrowed
@@ -838,7 +1066,7 @@ pub fn run_cluster_resilient(
     faults: &FaultPlan,
     setup: ResilienceSetup<'_>,
 ) -> RunMetrics {
-    run_cluster_inner(cluster, cfg, trace, false, faults, Some(setup)).0
+    run_cluster_inner(cluster, cfg, trace, false, faults, Some(setup), None).0
 }
 
 /// Like [`run_cluster`], but also records and returns the whole-cluster
@@ -850,10 +1078,53 @@ pub fn run_cluster_traced(
     cfg: &EevfsConfig,
     trace: &Trace,
 ) -> (RunMetrics, sim_core::TimeSeries) {
-    let (metrics, curve) = run_cluster_inner(cluster, cfg, trace, true, &FaultPlan::none(), None);
+    let (metrics, curve, _) =
+        run_cluster_inner(cluster, cfg, trace, true, &FaultPlan::none(), None, None);
     (metrics, curve.expect("curve recording was requested"))
 }
 
+/// The artefacts an observed run captures on top of [`RunMetrics`].
+#[derive(Debug)]
+pub struct ObsReport {
+    /// The trace-event buffer, time-sorted and ready for JSONL export.
+    pub recorder: Recorder,
+    /// Counters, histograms, and time series collected over the run:
+    /// cluster queue depth, per-node disk in-flight depth, per-node power
+    /// draw, and the response-time histogram.
+    pub registry: MetricsRegistry,
+    /// One entry per sleep decision, scored against breakeven.
+    pub samples: Vec<PredictionSample>,
+}
+
+/// Like [`run_cluster_faulted`] / [`run_cluster_resilient`] (pass
+/// `resilience: None` for a perfect network), but additionally streams a
+/// structured trace into `recorder` and collects a metrics registry.
+///
+/// Observation is passive: no extra simulation events exist, so the
+/// simulated outcome — every metric, every response time — is identical to
+/// the unobserved run, and the recorder's JSONL export is byte-identical
+/// across same-input replays.
+pub fn run_cluster_observed(
+    cluster: &ClusterSpec,
+    cfg: &EevfsConfig,
+    trace: &Trace,
+    faults: &FaultPlan,
+    resilience: Option<ResilienceSetup<'_>>,
+    recorder: Recorder,
+) -> (RunMetrics, ObsReport) {
+    let (metrics, _, report) = run_cluster_inner(
+        cluster,
+        cfg,
+        trace,
+        false,
+        faults,
+        resilience,
+        Some(recorder),
+    );
+    (metrics, report.expect("observation was requested"))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_cluster_inner(
     cluster: &ClusterSpec,
     cfg: &EevfsConfig,
@@ -861,7 +1132,8 @@ fn run_cluster_inner(
     record_curve: bool,
     faults: &FaultPlan,
     resilience: Option<ResilienceSetup<'_>>,
-) -> (RunMetrics, Option<sim_core::TimeSeries>) {
+    obs: Option<Recorder>,
+) -> (RunMetrics, Option<sim_core::TimeSeries>, Option<ObsReport>) {
     cluster
         .validate()
         .unwrap_or_else(|e| panic!("bad cluster: {e}"));
@@ -938,11 +1210,28 @@ fn run_cluster_inner(
             ),
         })
         .collect();
-    if record_curve {
+    // Observation needs the cumulative-energy traces (for the power-draw
+    // series) and the per-edge state logs (for `DiskTransition` events).
+    if record_curve || obs.is_some() {
         for n in &mut nodes {
             n.buffer_disk.enable_trace();
             for d in &mut n.data_disks {
                 d.enable_trace();
+            }
+        }
+    }
+    let mut obs_state = obs.map(|rec| ObsState {
+        rec,
+        registry: MetricsRegistry::new(),
+        sampler: Sampler::new(SimDuration::from_secs(1)),
+        outstanding: 0,
+        disk_inflight: vec![0; cluster.node_count()],
+    });
+    if obs_state.is_some() {
+        for n in &mut nodes {
+            n.buffer_disk.enable_state_log();
+            for d in &mut n.data_disks {
+                d.enable_state_log();
             }
         }
     }
@@ -984,6 +1273,16 @@ fn run_cluster_inner(
                 .catalog
                 .insert_pinned(f, size)
                 .expect("plan_topk respected capacity");
+            if let Some(o) = obs_state.as_mut() {
+                o.rec.record(
+                    comp.finish,
+                    EventKind::PrefetchFile {
+                        node: node_idx as u32,
+                        file: f.index() as u64,
+                        bytes: size,
+                    },
+                );
+            }
             warmup_end = warmup_end.max(comp.finish);
         }
     }
@@ -1124,6 +1423,13 @@ fn run_cluster_inner(
         crate::config::ArrivalMode::ClosedLoop { streams } => (true, streams.max(1) as usize),
     };
 
+    // Breakeven times drive the predicted-vs-realised sleep scoring.
+    let breakeven: Vec<Vec<SimDuration>> = cluster
+        .nodes
+        .iter()
+        .map(|n| n.data_disks.iter().map(breakeven_time).collect())
+        .collect();
+
     let sim = ClusterSim {
         cfg: cfg.clone(),
         server,
@@ -1151,6 +1457,9 @@ fn run_cluster_inner(
         replica_redirects: 0,
         spin_up_failures: 0,
         failed_requests: 0,
+        pred: PredictionTracker::new(),
+        breakeven,
+        obs: obs_state,
     };
 
     let mut engine = Engine::new(sim);
@@ -1229,6 +1538,22 @@ fn run_cluster_inner(
             d.finalize(end);
         }
     }
+    // Close the prediction ledger: disks still asleep at the end realised
+    // their whole remaining window.
+    for s in sim.pred.finish(end) {
+        if let Some(o) = sim.obs.as_mut() {
+            o.rec.record(
+                end,
+                EventKind::IdleRealized {
+                    node: s.node,
+                    disk: s.disk,
+                    realized_us: s.realized_us,
+                    paid_off: s.paid_off(),
+                },
+            );
+        }
+    }
+    let prediction = sim.pred.summary();
     // Metrics assembly. Energy is measured over the replay window
     // [warmup_end, end], the same window the paper's meters covered.
     let duration_s = (end - warmup_end).as_secs_f64();
@@ -1296,6 +1621,81 @@ fn run_cluster_inner(
         ..sim.res
     };
 
+    if let Some(o) = sim.obs.as_mut() {
+        // Merge the disks' power-state edges into the trace. Their
+        // timestamps lie in the past relative to the live events appended
+        // after them, hence the stable re-sort at the end.
+        for (ni, n) in sim.nodes.iter().enumerate() {
+            for &(at, from, to) in n.buffer_disk.meter().state_log() {
+                o.rec.record(
+                    at,
+                    EventKind::DiskTransition {
+                        node: ni as u32,
+                        disk: u32::MAX,
+                        from,
+                        to,
+                    },
+                );
+            }
+            for (di, d) in n.data_disks.iter().enumerate() {
+                for &(at, from, to) in d.meter().state_log() {
+                    o.rec.record(
+                        at,
+                        EventKind::DiskTransition {
+                            node: ni as u32,
+                            disk: di as u32,
+                            from,
+                            to,
+                        },
+                    );
+                }
+            }
+        }
+        o.rec.sort_by_time();
+
+        // Final counters and the response-time histogram.
+        o.registry.inc("requests", n_requests as u64);
+        o.registry.inc("buffer_hits", buffer_hits);
+        o.registry.inc("buffer_misses", buffer_misses);
+        o.registry.inc("spun_up_requests", sim.spun_up_requests);
+        o.registry.inc("rpc_retries", resilience.rpc_retries);
+        o.registry.inc("hedges", resilience.hedges);
+        o.registry.inc("sleeps", prediction.sleeps);
+        o.registry.inc("sleeps_paid_off", prediction.paid_off);
+        for s in &samples {
+            o.registry.observe("response_s", 0.0, 10.0, 50, *s);
+        }
+
+        // Per-node power-draw series: differentiate the cumulative-energy
+        // traces over uniform windows and add the node's base power.
+        let points = 120u64;
+        let end_us = end.as_micros().max(1);
+        for (ni, (spec, n)) in cluster.nodes.iter().zip(&sim.nodes).enumerate() {
+            let energy_at = |t: SimTime| {
+                let mut j = n.buffer_disk.meter().trace().interpolate(t).unwrap_or(0.0);
+                for d in &n.data_disks {
+                    j += d.meter().trace().interpolate(t).unwrap_or(0.0);
+                }
+                j
+            };
+            for i in 0..points {
+                let t0 = SimTime::from_micros(end_us * i / points);
+                let t1 = SimTime::from_micros(end_us * (i + 1) / points);
+                let dt = (t1 - t0).as_secs_f64();
+                if dt <= 0.0 {
+                    continue;
+                }
+                let w = (energy_at(t1) - energy_at(t0)) / dt + spec.base_power_w;
+                o.registry.sample(&format!("power_w.n{ni}"), t1, w);
+            }
+        }
+    }
+    let report = sim.obs.take().map(|o| ObsReport {
+        recorder: o.rec,
+        registry: o.registry,
+        samples: sim.pred.samples().to_vec(),
+    });
+
     let curve = if record_curve {
         let mut ts = sim_core::TimeSeries::new();
         let base_w: f64 = cluster.nodes.iter().map(|n| n.base_power_w).sum::<f64>()
@@ -1348,9 +1748,10 @@ fn run_cluster_inner(
         spin_up_failures: sim.spin_up_failures,
         failed_requests: sim.failed_requests,
         resilience,
+        prediction,
         per_node,
     };
-    (metrics, curve)
+    (metrics, curve, report)
 }
 
 #[cfg(test)]
@@ -1967,5 +2368,100 @@ mod tests {
         let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
         assert_eq!(npf.prefetch.warmup_us, 0);
         assert!(pf.duration_s > npf.duration_s * 0.9);
+    }
+
+    #[test]
+    fn observation_is_passive_and_bit_reproducible() {
+        let trace = small_trace(1000.0, 200);
+        let cluster = ClusterSpec::paper_testbed();
+        let cfg = EevfsConfig::paper_pf(70);
+        let plain = run_cluster(&cluster, &cfg, &trace);
+        let observed = || {
+            run_cluster_observed(
+                &cluster,
+                &cfg,
+                &trace,
+                &FaultPlan::none(),
+                None,
+                Recorder::default(),
+            )
+        };
+        let (m1, r1) = observed();
+        let (m2, r2) = observed();
+        assert_eq!(plain, m1, "observation must not perturb the simulation");
+        let jsonl = r1.recorder.to_jsonl();
+        assert_eq!(
+            jsonl,
+            r2.recorder.to_jsonl(),
+            "trace export must be byte-identical across replays"
+        );
+        assert_eq!(m1, m2);
+        assert!(!r1.recorder.is_empty());
+        assert_eq!(r1.registry.counter("requests"), 200);
+        assert!(r1.registry.series("queue_depth").is_some());
+        assert!(r1.registry.series("power_w.n0").is_some());
+        assert!(r2.registry.counter("sleeps") > 0, "PF runs sleep disks");
+    }
+
+    #[test]
+    fn one_request_is_followable_arrive_to_complete() {
+        let trace = small_trace(1000.0, 150);
+        let cluster = ClusterSpec::paper_testbed();
+        let (_, report) = run_cluster_observed(
+            &cluster,
+            &EevfsConfig::paper_pf(70),
+            &trace,
+            &FaultPlan::none(),
+            None,
+            Recorder::default(),
+        );
+        let hist = report.recorder.request_history(0);
+        assert!(
+            hist.iter()
+                .any(|e| matches!(e.kind, EventKind::RequestArrive { .. })),
+            "request 0 must arrive"
+        );
+        assert!(
+            hist.iter()
+                .any(|e| matches!(e.kind, EventKind::RequestQueued { .. })),
+            "request 0 must be routed to a node"
+        );
+        assert!(
+            hist.iter()
+                .any(|e| matches!(e.kind, EventKind::RequestServe { .. })),
+            "request 0 must be served by a disk"
+        );
+        assert!(
+            hist.iter()
+                .any(|e| matches!(e.kind, EventKind::RequestComplete { .. })),
+            "request 0 must complete"
+        );
+        // Arrive precedes complete in the sorted timeline.
+        let arrive = hist
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::RequestArrive { .. }))
+            .unwrap();
+        let complete = hist
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::RequestComplete { .. }))
+            .unwrap();
+        assert!(arrive < complete);
+    }
+
+    #[test]
+    fn prediction_summary_scores_sleeps_on_every_run() {
+        // MU=10 full coverage: every sleep window runs to the end of the
+        // trace, so every prediction pays off.
+        let trace = small_trace(10.0, 300);
+        let cluster = ClusterSpec::paper_testbed();
+        let pf = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+        assert!(pf.prediction.sleeps > 0);
+        assert_eq!(pf.prediction.sleeps, pf.prediction.paid_off);
+        assert_eq!(pf.prediction.accuracy(), 1.0);
+        assert!(pf.prediction.mean_realized_s > 0.0);
+        // NPF never engages power management: nothing to score.
+        let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+        assert_eq!(npf.prediction.sleeps, 0);
+        assert_eq!(npf.prediction.accuracy(), 1.0);
     }
 }

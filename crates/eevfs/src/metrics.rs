@@ -2,6 +2,7 @@
 //! internals needed to explain them.
 
 use disk_model::TransitionCounts;
+use eevfs_obs::PredictionSummary;
 use serde::{Deserialize, Serialize};
 use sim_core::stats::{percentile_sorted, sorted_samples};
 use sim_core::OnlineStats;
@@ -175,6 +176,9 @@ pub struct RunMetrics {
     pub failed_requests: u64,
     /// RPC resilience counters (retries, hedges, breaker trips…).
     pub resilience: ResilienceStats,
+    /// Predicted-vs-realised idle-window accounting for every sleep the
+    /// power manager took (all zero when nothing slept).
+    pub prediction: PredictionSummary,
     /// Per-node breakdown.
     pub per_node: Vec<NodeMetrics>,
 }
@@ -256,6 +260,7 @@ mod tests {
             spin_up_failures: 0,
             failed_requests: 0,
             resilience: ResilienceStats::default(),
+            prediction: PredictionSummary::default(),
             per_node: vec![],
         }
     }

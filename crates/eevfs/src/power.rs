@@ -184,6 +184,32 @@ impl PowerManager {
     pub fn timer_allows_sleep(&self) -> bool {
         self.engaged()
     }
+
+    /// The drift-shifted window to the next predicted physical touch of
+    /// `(node, disk)` as seen at `now` — the quantity the hints policy
+    /// compares against the idle threshold when it decides to sleep.
+    ///
+    /// Returns `None` when no bounded prediction exists: the policy does
+    /// not use predictors (idle-timer / hints off), the predictor has no
+    /// pending touches (window unbounded), or the predicted touch is
+    /// already overdue. Observability uses this to log predicted-vs-actual
+    /// idle windows without re-deriving policy internals.
+    pub fn predicted_window(&self, node: usize, disk: usize, now: SimTime) -> Option<SimDuration> {
+        if self.policy != PowerPolicy::PrefetchAware || !self.hints {
+            return None;
+        }
+        let next = self
+            .predictors
+            .get(node)
+            .and_then(|n| n.get(disk))
+            .and_then(|p| p.next_pending())?;
+        let next = next.saturating_add(self.drift);
+        if next > now {
+            Some(next - now)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +325,34 @@ mod tests {
         m.set_drift(SimDuration::from_secs(20));
         assert_eq!(m.on_idle(0, 0, secs(10)), SleepDecision::SleepNow);
         assert_eq!(m.drift(), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn predicted_window_mirrors_the_hints_decision() {
+        let cfg = EevfsConfig::paper_pf(70);
+        let mut m = manager(&cfg, true, vec![secs(12)]);
+        // Bounded window: 2 s to the predicted touch.
+        assert_eq!(
+            m.predicted_window(0, 0, secs(10)),
+            Some(SimDuration::from_secs(2))
+        );
+        // Drift shifts it exactly as on_idle sees it.
+        m.set_drift(SimDuration::from_secs(20));
+        assert_eq!(
+            m.predicted_window(0, 0, secs(10)),
+            Some(SimDuration::from_secs(22))
+        );
+        // Overdue touch: no bounded prediction.
+        m.set_drift(SimDuration::ZERO);
+        assert_eq!(m.predicted_window(0, 0, secs(12)), None);
+        // Nothing pending: unbounded.
+        let m = manager(&cfg, true, vec![]);
+        assert_eq!(m.predicted_window(0, 0, secs(10)), None);
+        // Timer policies never predict.
+        let mut cfg = EevfsConfig::paper_pf(70);
+        cfg.hints = false;
+        let m = manager(&cfg, true, vec![secs(100)]);
+        assert_eq!(m.predicted_window(0, 0, secs(10)), None);
     }
 
     #[test]

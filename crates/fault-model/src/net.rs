@@ -6,8 +6,8 @@
 //! scheduled heal times. Everything is a pure function of a seed:
 //!
 //! - [`NetFaultPlan`] is a time-ordered schedule of partition/heal events,
-//!   generated from a [`NetFaultSpec`] exactly like [`FaultPlan`]
-//!   ([`crate::FaultPlan`]) is generated from a `FaultSpec`;
+//!   generated from a [`NetFaultSpec`] exactly like [`crate::FaultPlan`]
+//!   is generated from a `FaultSpec`;
 //! - [`LinkFaultProfile`] holds per-message fault probabilities;
 //! - [`NetFaultInjector`] replays the plan with a cursor and draws one
 //!   per-link decision stream for the probabilistic faults, so the same

@@ -18,11 +18,18 @@ pub trait Model {
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
 }
 
+/// Callback invoked for every dispatched event, before the model handles
+/// it. Observers are read-only taps for tracing/telemetry: they cannot
+/// schedule events or mutate the model, so attaching one never perturbs
+/// the simulated outcome.
+pub type Observer<E> = Box<dyn FnMut(SimTime, &E)>;
+
 /// Drives a [`Model`] against an [`EventQueue`].
 pub struct Engine<M: Model> {
     queue: EventQueue<M::Event>,
     model: M,
     processed: u64,
+    observer: Option<Observer<M::Event>>,
 }
 
 impl<M: Model> Engine<M> {
@@ -32,7 +39,20 @@ impl<M: Model> Engine<M> {
             queue: EventQueue::new(),
             model,
             processed: 0,
+            observer: None,
         }
+    }
+
+    /// Installs an [`Observer`] called with `(now, &event)` for every
+    /// dispatch. Replaces any previous observer.
+    pub fn set_observer(&mut self, f: impl FnMut(SimTime, &M::Event) + 'static) {
+        self.observer = Some(Box::new(f));
+    }
+
+    /// Removes and returns the installed observer, if any — typically to
+    /// recover state captured by the closure after a run.
+    pub fn take_observer(&mut self) -> Option<Observer<M::Event>> {
+        self.observer.take()
     }
 
     /// Access to the queue, e.g. to seed initial events.
@@ -73,6 +93,9 @@ impl<M: Model> Engine<M> {
                 break;
             }
             let (now, ev) = self.queue.pop().expect("peeked event vanished");
+            if let Some(obs) = &mut self.observer {
+                obs(now, &ev);
+            }
             self.model.handle(now, ev, &mut self.queue);
             self.processed += 1;
         }
@@ -142,6 +165,43 @@ mod tests {
         // Resume to completion.
         eng.run();
         assert_eq!(eng.model().fired_at.len(), 11);
+    }
+
+    #[test]
+    fn observer_sees_every_dispatch_without_perturbing_the_run() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let run = |observed: Option<Rc<RefCell<Vec<SimTime>>>>| {
+            let mut eng = Engine::new(Countdown {
+                remaining: 3,
+                fired_at: vec![],
+            });
+            if let Some(log) = observed {
+                eng.set_observer(move |now, _ev| log.borrow_mut().push(now));
+            }
+            eng.queue_mut().schedule(SimTime::ZERO, ());
+            eng.run();
+            eng.into_model().fired_at
+        };
+
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let traced = run(Some(Rc::clone(&log)));
+        let plain = run(None);
+        assert_eq!(traced, plain, "observer must not change the outcome");
+        assert_eq!(*log.borrow(), traced, "observer sees each dispatch");
+    }
+
+    #[test]
+    fn take_observer_recovers_the_closure() {
+        let mut eng = Engine::new(Countdown {
+            remaining: 0,
+            fired_at: vec![],
+        });
+        assert!(eng.take_observer().is_none());
+        eng.set_observer(|_, _| {});
+        assert!(eng.take_observer().is_some());
+        assert!(eng.take_observer().is_none());
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod series;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Engine, Model};
+pub use engine::{Engine, Model, Observer};
 pub use event::EventQueue;
 pub use rng::SimRng;
 pub use series::TimeSeries;

@@ -8,13 +8,56 @@
 use serde::{Deserialize, Serialize};
 
 /// Welford online mean/variance plus min/max.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Serialisation is hand-written rather than derived: an empty accumulator
+/// holds `min = +inf` / `max = -inf`, and JSON has no representation for
+/// non-finite floats (the serialiser writes them as `null`, which a derived
+/// deserialiser would read back as NaN). The manual impl writes non-finite
+/// min/max as `null` and restores the empty-accumulator sentinels, so the
+/// struct round-trips through JSON in every state.
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Serialize for OnlineStats {
+    fn serialize(&self) -> serde::Value {
+        fn finite_or_null(x: f64) -> serde::Value {
+            if x.is_finite() {
+                serde::Value::F64(x)
+            } else {
+                serde::Value::Null
+            }
+        }
+        serde::Value::Map(vec![
+            ("count".to_string(), serde::Value::U64(self.count)),
+            ("mean".to_string(), serde::Value::F64(self.mean)),
+            ("m2".to_string(), serde::Value::F64(self.m2)),
+            ("min".to_string(), finite_or_null(self.min)),
+            ("max".to_string(), finite_or_null(self.max)),
+        ])
+    }
+}
+
+impl Deserialize for OnlineStats {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for OnlineStats"))?;
+        let min: Option<f64> = serde::de_field(m, "min")?;
+        let max: Option<f64> = serde::de_field(m, "max")?;
+        Ok(OnlineStats {
+            count: serde::de_field(m, "count")?,
+            mean: serde::de_field(m, "mean")?,
+            m2: serde::de_field(m, "m2")?,
+            min: min.unwrap_or(f64::INFINITY),
+            max: max.unwrap_or(f64::NEG_INFINITY),
+        })
+    }
 }
 
 impl OnlineStats {
@@ -186,6 +229,7 @@ pub struct Histogram {
     bins: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nan: u64,
 }
 
 impl Histogram {
@@ -199,12 +243,19 @@ impl Histogram {
             bins: vec![0; bins],
             underflow: 0,
             overflow: 0,
+            nan: 0,
         }
     }
 
     /// Records one observation.
+    ///
+    /// NaN fails both range comparisons, so without its own counter it
+    /// would cast to index 0 and silently inflate the first bin; it is
+    /// counted separately instead.
     pub fn record(&mut self, x: f64) {
-        if x < self.lo {
+        if x.is_nan() {
+            self.nan += 1;
+        } else if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
             self.overflow += 1;
@@ -243,9 +294,14 @@ impl Histogram {
         self.overflow
     }
 
-    /// Total observations recorded, including under/overflow.
+    /// NaN observations (unorderable, so binned nowhere).
+    pub fn nan(&self) -> u64 {
+        self.nan
+    }
+
+    /// Total observations recorded, including under/overflow and NaN.
     pub fn total(&self) -> u64 {
-        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow + self.nan
     }
 }
 
@@ -403,5 +459,53 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn histogram_rejects_zero_bins() {
         let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn histogram_counts_nan_separately() {
+        // Regression: NaN fails both range comparisons and `NaN as usize`
+        // is 0, so it used to land silently in bin 0.
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(f64::NAN);
+        h.record(f64::NAN);
+        h.record(1.0);
+        assert_eq!(h.bin_count(0), 1, "only the real observation");
+        assert_eq!(h.nan(), 2);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn empty_online_stats_roundtrip_through_json() {
+        // min/max are ±inf when empty; JSON would render them as null and
+        // a derived deserialiser would read NaN back. The manual impl
+        // restores the sentinels.
+        let empty = OnlineStats::new();
+        let json = serde_json::to_string(&empty).expect("serialise");
+        let back: OnlineStats = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.min(), f64::INFINITY);
+        assert_eq!(back.max(), f64::NEG_INFINITY);
+        // And the restored accumulator still works.
+        let mut back = back;
+        back.push(3.0);
+        assert_eq!(back.min(), 3.0);
+        assert_eq!(back.max(), 3.0);
+    }
+
+    #[test]
+    fn populated_online_stats_roundtrip_through_json() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 9.0] {
+            s.push(x);
+        }
+        let json = serde_json::to_string(&s).expect("serialise");
+        let back: OnlineStats = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.mean(), s.mean());
+        assert_eq!(back.variance(), s.variance());
+        assert_eq!(back.min(), 2.0);
+        assert_eq!(back.max(), 9.0);
     }
 }

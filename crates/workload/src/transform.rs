@@ -6,7 +6,7 @@
 //! amount of queuing"). These are generic trace operations; this module
 //! provides them for any trace:
 //!
-//! * [`slice`] — take a request range (a "section").
+//! * [`slice()`] — take a request range (a "section").
 //! * [`override_sizes`] — set every file to a fixed size, as the paper
 //!   did for the Berkeley trace.
 //! * [`override_inter_arrival`] — re-time requests on a fixed delay.

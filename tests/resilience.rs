@@ -65,6 +65,82 @@ fn seeded_fault_replay_is_bit_identical() {
 }
 
 #[test]
+fn observed_fault_replay_emits_bit_identical_jsonl() {
+    // The observability layer's contract on top of the determinism one:
+    // recording a trace must not perturb the run, and the exported JSONL
+    // must be byte-identical across same-seed replays — including under
+    // injected faults, where RPC retry/hedge events join the stream.
+    use eevfs::driver::run_cluster_observed;
+    use eevfs_obs::{EventKind, Recorder};
+    let trace = trace(300);
+    let cluster = ClusterSpec::paper_testbed();
+    let cfg = EevfsConfig::paper_pf_replicated(70, 2);
+    let profile = LinkFaultProfile::lossy(9, 0.15);
+    let policy = RpcPolicy {
+        seed: 17,
+        hedge_after: Some(SimDuration::from_secs(4)),
+        ..RpcPolicy::retrying(SimDuration::from_secs(60), SimDuration::from_secs(3), 4)
+    };
+    let net_plan = NetFaultPlan::none();
+    let run = || {
+        run_cluster_observed(
+            &cluster,
+            &cfg,
+            &trace,
+            &FaultPlan::none(),
+            Some(ResilienceSetup {
+                net_plan: &net_plan,
+                profile: &profile,
+                policy: &policy,
+            }),
+            Recorder::default(),
+        )
+    };
+    let (ma, ra) = run();
+    let (mb, rb) = run();
+    assert_eq!(ma, mb, "observed metrics must replay bit-identically");
+    assert_eq!(
+        ra.recorder.to_jsonl(),
+        rb.recorder.to_jsonl(),
+        "same-seed JSONL traces must be byte-identical"
+    );
+    // Observation must be passive: the observed metrics equal the plain
+    // resilient run's.
+    let plain = run_cluster_resilient(
+        &cluster,
+        &cfg,
+        &trace,
+        &FaultPlan::none(),
+        ResilienceSetup {
+            net_plan: &net_plan,
+            profile: &profile,
+            policy: &policy,
+        },
+    );
+    assert_eq!(ma, plain, "recording a trace must not perturb the run");
+    // The faults actually left marks in the trace stream.
+    assert!(ma.resilience.rpc_retries > 0, "{:?}", ma.resilience);
+    assert!(
+        ra.recorder
+            .events()
+            .any(|e| matches!(e.kind, EventKind::RpcRetry { .. })),
+        "retries must appear as trace events"
+    );
+    // One request id is followable from arrival to completion.
+    let hist = ra.recorder.request_history(0);
+    assert!(
+        hist.iter()
+            .any(|e| matches!(e.kind, EventKind::RequestArrive { .. })),
+        "request 0 must have an arrival event"
+    );
+    assert!(
+        hist.iter()
+            .any(|e| matches!(e.kind, EventKind::RpcSend { .. })),
+        "request 0 must have an RPC send span"
+    );
+}
+
+#[test]
 fn plan_seed_actually_steers_the_faults() {
     // Counterpart guard: different profile seeds must not collapse to the
     // same outcome, or the "seeded" in seeded determinism means nothing.
