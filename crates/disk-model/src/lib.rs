@@ -17,10 +17,13 @@
 //!   of the above, driven in event order by the cluster simulation.
 //! * [`breakeven`] — the standby break-even time the paper's related-work
 //!   discussion centres on.
+//! * [`checksum`] — per-block CRC32 integrity primitives used by the
+//!   durability layer (detection on read, opportunistic scrubbing).
 
 #![warn(missing_docs)]
 
 pub mod breakeven;
+pub mod checksum;
 pub mod disk;
 pub mod energy;
 pub mod perf;
@@ -28,6 +31,7 @@ pub mod spec;
 pub mod state;
 
 pub use breakeven::breakeven_time;
+pub use checksum::{blocks_of, crc32, BLOCK_SIZE};
 pub use disk::{CompletionInfo, Disk};
 pub use energy::{EnergyMeter, TransitionCounts};
 pub use perf::service_time;

@@ -475,6 +475,115 @@ pub fn ablate_resilience(p: &SweepParams) -> Ablation {
     }
 }
 
+/// Corruption rate × replication × scrub policy: the integrity grid
+/// (ISSUE 4).
+///
+/// Injects seeded latent sector errors and bit flips at two rates and
+/// runs each rate against R ∈ {1, 2} with scrubbing off and on. What the
+/// grid shows: checksum-on-read alone leaves blocks latent, piggyback
+/// scrubbing converts latent damage into detections while the disk is
+/// already spinning, and a second replica is what turns a detection into
+/// a repair instead of data loss — at R ≥ 2 with scrubbing the
+/// unrecoverable count is zero. The last row crashes a node mid-run so
+/// the journal-replay counters appear in the same report.
+pub fn ablate_scrub(p: &SweepParams) -> Ablation {
+    use eevfs::driver::{run_cluster_durable, DurabilitySetup};
+    use eevfs::scrub::ScrubPolicy;
+    use fault_model::{CorruptionPlan, CorruptionSpec, CrashPlan};
+    use sim_core::SimTime;
+
+    let cluster = ClusterSpec::paper_testbed();
+    let trace = trace_default(p, 1000.0);
+    let horizon = trace
+        .records
+        .last()
+        .map_or(SimDuration::from_secs(600), |r| {
+            SimDuration::from_micros(r.at.as_micros()) + SimDuration::from_secs(120)
+        });
+    // Small enough that a 256-block piggyback pass covers a meaningful
+    // slice of each disk within one run.
+    let blocks_per_disk = 2048u32;
+    let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
+    let mut rows = vec![AblationRow {
+        name: "NPF healthy".into(),
+        savings: 0.0,
+        penalty: 0.0,
+        run: npf.clone(),
+    }];
+    for &rate in &[2.0f64, 10.0] {
+        let corruption = CorruptionPlan::generate(&CorruptionSpec {
+            seed: p.seed,
+            horizon,
+            nodes: cluster.node_count() as u32,
+            disks_per_node: 2,
+            blocks_per_disk,
+            lse_per_disk_hour: rate,
+            flip_per_disk_hour: rate,
+        });
+        for r in [1u32, 2] {
+            for (scrub_name, scrub) in [
+                ("scrub=off", ScrubPolicy::Off),
+                ("scrub=piggyback", ScrubPolicy::piggyback_default()),
+            ] {
+                let cfg = EevfsConfig::paper_pf_replicated(70, r);
+                let run = run_cluster_durable(
+                    &cluster,
+                    &cfg,
+                    &trace,
+                    &FaultPlan::none(),
+                    DurabilitySetup {
+                        corruption: &corruption,
+                        crashes: &CrashPlan::none(),
+                        scrub,
+                        blocks_per_disk,
+                    },
+                );
+                rows.push(AblationRow {
+                    name: format!("R={r}, rot={rate}/disk-h, {scrub_name}"),
+                    savings: run.savings_vs(&npf),
+                    penalty: run.response_penalty_vs(&npf),
+                    run,
+                });
+            }
+        }
+    }
+    // Crash cell: kill a node mid-run under the heavy-rot scrubbed R=2
+    // config; its restart replays the buffer-disk journal.
+    let corruption = CorruptionPlan::generate(&CorruptionSpec {
+        seed: p.seed,
+        horizon,
+        nodes: cluster.node_count() as u32,
+        disks_per_node: 2,
+        blocks_per_disk,
+        lse_per_disk_hour: 10.0,
+        flip_per_disk_hour: 10.0,
+    });
+    let mid = SimTime::ZERO + SimDuration::from_micros(horizon.as_micros() / 2);
+    let crashes = CrashPlan::one(2, mid, mid + SimDuration::from_secs(30));
+    let run = run_cluster_durable(
+        &cluster,
+        &EevfsConfig::paper_pf_replicated(70, 2),
+        &trace,
+        &FaultPlan::none(),
+        DurabilitySetup {
+            corruption: &corruption,
+            crashes: &crashes,
+            scrub: ScrubPolicy::piggyback_default(),
+            blocks_per_disk,
+        },
+    );
+    rows.push(AblationRow {
+        name: "R=2, rot=10/disk-h, scrub=piggyback, node crash mid-run".into(),
+        savings: run.savings_vs(&npf),
+        penalty: run.response_penalty_vs(&npf),
+        run,
+    });
+    Ablation {
+        title: "Corruption rate × replication × scrub (integrity)".into(),
+        rows,
+    }
+}
+
 /// The three retry policies the resilience grid compares.
 pub fn resilience_policies(seed: u64) -> Vec<(&'static str, RpcPolicy)> {
     let deadline = SimDuration::from_secs(60);
@@ -518,6 +627,7 @@ pub fn all_ablations(p: &SweepParams) -> Vec<Ablation> {
         ablate_arrival_mode(p),
         ablate_faults(p),
         ablate_resilience(p),
+        ablate_scrub(p),
     ]
 }
 
@@ -649,6 +759,51 @@ mod tests {
             r3.run.failed_requests, 0,
             "three copies over eight nodes: {r3:?}"
         );
+    }
+
+    #[test]
+    fn scrub_ablation_shows_replication_repairing_detections() {
+        // 120 requests leave the buffer unmissed — the piggyback scrubber
+        // rides physical data-disk accesses, so give it some.
+        let a = ablate_scrub(&SweepParams {
+            requests: 300,
+            ..SweepParams::default()
+        });
+        // NPF baseline + 2 rates × 2 R × 2 scrub policies + crash row.
+        assert_eq!(a.rows.len(), 10, "{a:?}");
+        for r in &a.rows[1..] {
+            let d = &r.run.durability;
+            assert!(d.corruptions_landed > 0, "{}: {d:?}", r.name);
+            // Whatever was detected was either repaired or counted lost.
+            assert_eq!(
+                d.detected_on_read + d.detected_by_scrub,
+                d.repaired_blocks + d.unrecoverable_blocks,
+                "{}: {d:?}",
+                r.name
+            );
+            // Two healthy copies cover every detection. (The crash row is
+            // exempt: a detection while the replica's node is down has no
+            // repair source.)
+            if r.name.contains("R=2") && !r.name.contains("crash") {
+                assert_eq!(d.unrecoverable_blocks, 0, "{}: {d:?}", r.name);
+            }
+            if r.name.contains("scrub=piggyback") {
+                assert!(d.scrub_passes > 0, "{}: {d:?}", r.name);
+                assert!(d.scrubbed_blocks > 0, "{}: {d:?}", r.name);
+                assert!(r.run.scrub_energy_j > 0.0, "{}", r.name);
+            } else {
+                assert_eq!(d.scrub_passes, 0, "{}: {d:?}", r.name);
+            }
+        }
+        // Scrubbing surfaces latent damage the read path alone missed.
+        let off = &a.rows[7].run.durability; // R=2, rot=10, scrub=off
+        let on = &a.rows[8].run.durability; // R=2, rot=10, scrub=piggyback
+        assert!(on.detected_by_scrub > 0, "{on:?}");
+        assert!(on.latent_at_end < off.latent_at_end, "{off:?} vs {on:?}");
+        // The crash row replayed the buffer-disk journal.
+        let crash = &a.rows[9].run.durability;
+        assert!(crash.journal_replays >= 1, "{crash:?}");
+        assert!(crash.journal_bytes_replayed > 0, "{crash:?}");
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   ablate     all ablations
 //!   faults     fault injection × replication grid (degraded mode)
 //!   resilience network drop-rate × RPC-policy grid (retries/hedging)
+//!   scrub      corruption-rate × replication × scrub-policy grid
+//!              (integrity: detect/repair/unrecoverable counters)
 //!   power-curve  whole-cluster power over time, PF vs NPF
 //!   hist         response-time distributions, PF vs NPF
 //!   trace        observed PF run: JSONL trace (--trace-out), power/state
@@ -317,10 +319,47 @@ fn main() -> ExitCode {
             }
             output.ablations.push(a);
         }
+        "scrub" => {
+            let a = eevfs_bench::ablate::ablate_scrub(p);
+            println!("{}", render_ablation(&a));
+            // Machine-readable grid: one line per rate × R × policy cell.
+            println!(
+                "{:>48} {:>10} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>8} {:>8}",
+                "config",
+                "energy J",
+                "landed",
+                "det rd",
+                "det scr",
+                "repaired",
+                "unrecov",
+                "latent",
+                "passes",
+                "scrub J",
+                "replays"
+            );
+            for r in &a.rows {
+                let d = &r.run.durability;
+                println!(
+                    "{:>48} {:>10.0} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>8.1} {:>8}",
+                    r.name,
+                    r.run.total_energy_j,
+                    d.corruptions_landed,
+                    d.detected_on_read,
+                    d.detected_by_scrub,
+                    d.repaired_blocks,
+                    d.unrecoverable_blocks,
+                    d.latent_at_end,
+                    d.scrub_passes,
+                    r.run.scrub_energy_j,
+                    d.journal_replays,
+                );
+            }
+            output.ablations.push(a);
+        }
         other => {
             eprintln!(
                 "unknown command {other}; try: all, sweeps, fig3a-d, fig4, fig5, fig6, \
-                 ablate, faults, resilience, power-curve, hist, trace"
+                 ablate, faults, resilience, scrub, power-curve, hist, trace"
             );
             return ExitCode::FAILURE;
         }

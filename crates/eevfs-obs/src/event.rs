@@ -39,11 +39,14 @@ pub enum Category {
     Prefetch,
     /// RPC spans: send, retry, hedge, complete.
     Rpc,
+    /// Durability: corruption detection, scrub passes, journal replays,
+    /// node restarts.
+    Durability,
 }
 
 impl Category {
     /// Number of categories, for sizing filter masks.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// Dense index of this category into tables sized [`Self::COUNT`].
     pub fn index(self) -> usize {
@@ -53,6 +56,7 @@ impl Category {
             Category::Power => 2,
             Category::Prefetch => 3,
             Category::Rpc => 4,
+            Category::Durability => 5,
         }
     }
 }
@@ -197,6 +201,45 @@ pub enum EventKind {
         /// True when a hedge flight produced the winning response.
         won_by_hedge: bool,
     },
+    /// A checksum mismatch was caught — on the read path or by a scrub.
+    CorruptionDetected {
+        /// Node owning the corrupt disk.
+        node: u32,
+        /// Data-disk index.
+        disk: u32,
+        /// Corrupt block in the disk's scrub address space.
+        block: u32,
+        /// True when a scrub pass (not a client read) found it.
+        by_scrub: bool,
+        /// True when a healthy replica restored the block; false means the
+        /// block is unrecoverable at the current replication factor.
+        repaired: bool,
+    },
+    /// An opportunistic scrub pass verified a window of an Active disk.
+    ScrubPass {
+        /// Node owning the disk.
+        node: u32,
+        /// Data-disk index.
+        disk: u32,
+        /// Blocks verified in this pass.
+        blocks: u32,
+        /// Corrupt blocks the pass uncovered.
+        found: u32,
+    },
+    /// A restarting node replayed its buffer-disk metadata journal.
+    JournalReplay {
+        /// The node that replayed.
+        node: u32,
+        /// Intact records applied.
+        records: u64,
+        /// Journal bytes read back from the buffer disk.
+        bytes: u64,
+    },
+    /// A crashed node came back and re-registered with the server.
+    NodeRestart {
+        /// The node that restarted.
+        node: u32,
+    },
 }
 
 impl EventKind {
@@ -216,6 +259,10 @@ impl EventKind {
             | EventKind::RpcRetry { .. }
             | EventKind::RpcHedge { .. }
             | EventKind::RpcComplete { .. } => Category::Rpc,
+            EventKind::CorruptionDetected { .. }
+            | EventKind::ScrubPass { .. }
+            | EventKind::JournalReplay { .. }
+            | EventKind::NodeRestart { .. } => Category::Durability,
         }
     }
 
@@ -225,8 +272,18 @@ impl EventKind {
             EventKind::RequestQueued { .. }
             | EventKind::RequestServe { .. }
             | EventKind::DiskTransition { .. }
-            | EventKind::RpcSend { .. } => Severity::Debug,
+            | EventKind::RpcSend { .. }
+            | EventKind::ScrubPass { .. } => Severity::Debug,
             EventKind::SpinupWait { .. } | EventKind::RpcDropped { .. } => Severity::Warn,
+            // Every corruption is worth seeing; one that replication could
+            // not cover is the loudest thing the tracer can say.
+            EventKind::CorruptionDetected { repaired, .. } => {
+                if *repaired {
+                    Severity::Info
+                } else {
+                    Severity::Warn
+                }
+            }
             EventKind::IdleRealized { paid_off, .. } => {
                 if *paid_off {
                     Severity::Info
@@ -287,6 +344,7 @@ mod tests {
             Category::Power,
             Category::Prefetch,
             Category::Rpc,
+            Category::Durability,
         ];
         let mut seen = [false; Category::COUNT];
         for c in cats {

@@ -565,6 +565,43 @@ impl ClusterHandle {
         res
     }
 
+    /// Crash-recovery flow: boots a replacement daemon for a killed node
+    /// over its **original** store directory. The daemon replays the
+    /// node's buffer-disk journal at boot — recovering its file map,
+    /// buffer catalog, and power arming on its own — and the server is
+    /// asked to `Register` it: reconnect, re-send hints, resume routing.
+    /// Contrast [`ClusterHandle::revive_node`], which rebuilds a node
+    /// from scratch by replaying the server-side setup logs.
+    pub fn restart_node(&mut self, node: usize) -> io::Result<()> {
+        if node >= self.nodes.len() {
+            return Err(io::Error::other(format!("restart_node: no node {node}")));
+        }
+        let replacement = NodeDaemon::spawn(NodeConfig {
+            root: self.cfg.root_dir.join(format!("node{node}")),
+            data_disks: self.cfg.data_disks_per_node,
+            disk_spec: self.cfg.disk_spec.clone(),
+            idle_threshold: self.cfg.idle_threshold,
+            clock: self.clock.clone(),
+        })?;
+        let port = replacement.addr.port();
+        let old = std::mem::replace(&mut self.nodes[node], replacement);
+        let res = self.admin(
+            &Message::Register {
+                node: node as u32,
+                port,
+            },
+            "restart_node",
+        );
+        if !old.is_finished() {
+            if let Ok(mut conn) = TcpStream::connect(old.addr) {
+                let _ = write_message(&mut conn, &Message::Shutdown);
+                let _ = read_message(&mut conn);
+            }
+        }
+        old.join();
+        res
+    }
+
     /// Collects cluster-wide statistics.
     pub fn stats(&mut self) -> io::Result<ClusterStats> {
         self.drain_stale();
@@ -586,6 +623,8 @@ impl ClusterHandle {
                     breaker_trips,
                     breaker_recoveries,
                     deadline_misses,
+                    journal_replays,
+                    corruptions_detected,
                 }) => {
                     return Ok(ClusterStats {
                         disk_joules,
@@ -600,6 +639,8 @@ impl ClusterHandle {
                         breaker_trips,
                         breaker_recoveries,
                         deadline_misses,
+                        journal_replays,
+                        corruptions_detected,
                     })
                 }
                 ClientEvent::Server(other) => {
@@ -750,6 +791,94 @@ mod tests {
                 .find(|s| s.kind == SpanKind::Complete)
                 .unwrap_or_else(|| panic!("req {req_id} missing Complete: {spans:?}"));
             assert_eq!(done.attempt, 1, "healthy cluster needs one attempt");
+        }
+    }
+
+    #[test]
+    fn killed_node_restarts_from_its_journal() {
+        let trace = small_trace(20, 10, 5.0);
+        let mut cfg = RuntimeConfig::small("restart");
+        let journal = cfg.root_dir.join("placement.journal");
+        cfg.resilience.placement_journal = Some(journal.clone());
+        let mut cluster = ClusterHandle::start(cfg, &trace).expect("start");
+        // The placement journal tells us which files node 1 owns.
+        let placements = crate::server::recover_placements(&journal).expect("recover");
+        let victim = placements
+            .iter()
+            .find(|(_, copies)| copies[0].0 == 1)
+            .map(|(&file, _)| file)
+            .expect("node 1 owns at least one of 20 files");
+        cluster.get_verified(victim).expect("healthy get");
+
+        cluster.kill_node(1).expect("kill");
+        assert!(
+            cluster.get(victim).is_err(),
+            "unreplicated file must be unreachable while its node is down"
+        );
+        cluster.restart_node(1).expect("restart");
+        cluster
+            .get_verified(victim)
+            .expect("restarted node serves from journal-recovered state");
+        let stats = cluster.stats().expect("stats");
+        assert_eq!(stats.journal_replays, 1, "stats {stats:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn corrupt_primary_fails_over_and_is_counted() {
+        let trace = small_trace(12, 8, 3.0);
+        let mut cfg = RuntimeConfig::small("corrupt");
+        cfg.replication = 2;
+        cfg.prefetch_k = 0; // force data-disk reads
+        let journal = cfg.root_dir.join("placement.journal");
+        cfg.resilience.placement_journal = Some(journal.clone());
+        let root = cfg.root_dir.clone();
+        let mut cluster = ClusterHandle::start(cfg, &trace).expect("start");
+        // Rot one byte of file 0's primary copy behind the node's back,
+        // leaving its checksum sidecar untouched.
+        let placements = crate::server::recover_placements(&journal).expect("recover");
+        let (node, disk) = placements[&0][0];
+        let path = root
+            .join(format!("node{node}"))
+            .join(format!("disk{disk}"))
+            .join("f00000000");
+        let mut data = std::fs::read(&path).expect("read primary copy");
+        data[100] ^= 0x01;
+        std::fs::write(&path, data).expect("write rot");
+
+        let r = cluster.get_verified(0).expect("replica serves clean data");
+        assert_eq!(r.data.len(), 16 * 1024);
+        let stats = cluster.stats().expect("stats");
+        assert!(stats.corruptions_detected >= 1, "stats {stats:?}");
+        assert!(stats.failovers >= 1, "stats {stats:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn placement_journal_is_reproducible_and_recovers_the_map() {
+        let trace = small_trace(20, 15, 4.0);
+        let mut journals = Vec::new();
+        for tag in ["pj-a", "pj-b"] {
+            let mut cfg = RuntimeConfig::small(tag);
+            cfg.replication = 2;
+            let journal = cfg.root_dir.join("placement.journal");
+            cfg.resilience.placement_journal = Some(journal.clone());
+            let cluster = ClusterHandle::start(cfg, &trace).expect("start");
+            journals.push(std::fs::read(&journal).expect("journal bytes"));
+            cluster.shutdown();
+        }
+        assert_eq!(
+            journals[0], journals[1],
+            "same trace + config must journal byte-identically"
+        );
+        let recovered = eevfs::journal::MetaState::from_bytes(&journals[0]).placements;
+        assert_eq!(recovered.len(), 20, "every file has a recovered placement");
+        for (file, copies) in &recovered {
+            assert_eq!(copies.len(), 2, "file {file} must have two copies");
+            assert_ne!(
+                copies[0].0, copies[1].0,
+                "file {file} copies must be on distinct nodes"
+            );
         }
     }
 

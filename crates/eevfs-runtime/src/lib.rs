@@ -42,4 +42,4 @@ pub mod store;
 pub mod transport;
 
 pub use cluster::{ClusterHandle, ReplayReport, RuntimeConfig};
-pub use server::{ResilienceOptions, RpcSpan, SpanKind, SpanSink};
+pub use server::{recover_placements, ResilienceOptions, RpcSpan, SpanKind, SpanSink};

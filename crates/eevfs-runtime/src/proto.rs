@@ -101,6 +101,11 @@ pub enum Message {
         breaker_recoveries: u64,
         /// Requests that blew their end-to-end deadline (server-side).
         deadline_misses: u64,
+        /// Journal replays this node performed at boot (1 after a
+        /// restart with an intact journal, 0 on a cold start).
+        journal_replays: u64,
+        /// Checksum mismatches caught on the node's data-disk reads.
+        corruptions_detected: u64,
     },
     /// Orderly shutdown.
     Shutdown,
@@ -159,6 +164,18 @@ pub enum Message {
         /// Node index.
         node: u32,
     },
+    /// Client → server (crash-recovery flow): a *restarted* daemon for
+    /// `node` — same store directory, its own metadata recovered by
+    /// replaying its buffer-disk journal — is listening on
+    /// `127.0.0.1:port`. Unlike [`Message::ReviveNode`], the server does
+    /// **not** replay creates/prefetch (the node already owns its files);
+    /// it reconnects, re-sends the soft-state hints, and resumes routing.
+    Register {
+        /// Node index.
+        node: u32,
+        /// Control port of the restarted daemon.
+        port: u16,
+    },
 }
 
 /// Codec errors.
@@ -212,6 +229,7 @@ impl Message {
             Message::ReviveNode { .. } => 15,
             Message::PartitionLink { .. } => 16,
             Message::HealLink { .. } => 17,
+            Message::Register { .. } => 18,
         }
     }
 
@@ -279,7 +297,7 @@ impl Message {
                 body.put_u32_le(*node);
                 body.put_u32_le(*disk);
             }
-            Message::ReviveNode { node, port } => {
+            Message::ReviveNode { node, port } | Message::Register { node, port } => {
                 body.put_u32_le(*node);
                 body.put_u16_le(*port);
             }
@@ -298,6 +316,8 @@ impl Message {
                 breaker_trips,
                 breaker_recoveries,
                 deadline_misses,
+                journal_replays,
+                corruptions_detected,
             } => {
                 body.put_f64_le(*disk_joules);
                 body.put_u64_le(*spin_ups);
@@ -311,6 +331,8 @@ impl Message {
                 body.put_u64_le(*breaker_trips);
                 body.put_u64_le(*breaker_recoveries);
                 body.put_u64_le(*deadline_misses);
+                body.put_u64_le(*journal_replays);
+                body.put_u64_le(*corruptions_detected);
             }
         }
         let mut framed = BytesMut::with_capacity(4 + body.len());
@@ -397,7 +419,7 @@ impl Message {
             }
             8 => Message::StatsRequest,
             9 => {
-                need!(96, "Stats");
+                need!(112, "Stats");
                 Message::Stats {
                     disk_joules: body.get_f64_le(),
                     spin_ups: body.get_u64_le(),
@@ -411,6 +433,8 @@ impl Message {
                     breaker_trips: body.get_u64_le(),
                     breaker_recoveries: body.get_u64_le(),
                     deadline_misses: body.get_u64_le(),
+                    journal_replays: body.get_u64_le(),
+                    corruptions_detected: body.get_u64_le(),
                 }
             }
             10 => Message::Shutdown,
@@ -459,6 +483,13 @@ impl Message {
                 need!(4, "HealLink");
                 Message::HealLink {
                     node: body.get_u32_le(),
+                }
+            }
+            18 => {
+                need!(6, "Register");
+                Message::Register {
+                    node: body.get_u32_le(),
+                    port: body.get_u16_le(),
                 }
             }
             other => return Err(CodecError::UnknownTag(other)),
@@ -547,6 +578,8 @@ mod tests {
             breaker_trips: 1,
             breaker_recoveries: 1,
             deadline_misses: 0,
+            journal_replays: 2,
+            corruptions_detected: 6,
         });
         roundtrip(Message::Shutdown);
         roundtrip(Message::Put {
@@ -563,6 +596,10 @@ mod tests {
         });
         roundtrip(Message::PartitionLink { node: 1 });
         roundtrip(Message::HealLink { node: 1 });
+        roundtrip(Message::Register {
+            node: 1,
+            port: 40999,
+        });
     }
 
     #[test]
@@ -635,8 +672,8 @@ mod tests {
         ));
         // The first unassigned tag after the current protocol revision.
         assert!(matches!(
-            Message::decode(Bytes::from_static(&[18])),
-            Err(CodecError::UnknownTag(18))
+            Message::decode(Bytes::from_static(&[19])),
+            Err(CodecError::UnknownTag(19))
         ));
     }
 
@@ -723,6 +760,8 @@ mod tests {
                     .prop_map(|(node, port)| Message::ReviveNode { node, port }),
                 any::<u32>().prop_map(|node| Message::PartitionLink { node }),
                 any::<u32>().prop_map(|node| Message::HealLink { node }),
+                (any::<u32>(), any::<u16>())
+                    .prop_map(|(node, port)| Message::Register { node, port }),
                 (
                     any::<u64>(),
                     any::<u32>(),
@@ -738,7 +777,7 @@ mod tests {
                 Just(Message::StatsRequest),
                 (
                     any::<f64>().prop_filter("finite", |f| f.is_finite()),
-                    proptest::collection::vec(any::<u64>(), 11usize)
+                    proptest::collection::vec(any::<u64>(), 13usize)
                 )
                     .prop_map(|(disk_joules, c)| Message::Stats {
                         disk_joules,
@@ -753,6 +792,8 @@ mod tests {
                         breaker_trips: c[8],
                         breaker_recoveries: c[9],
                         deadline_misses: c[10],
+                        journal_replays: c[11],
+                        corruptions_detected: c[12],
                     }),
                 Just(Message::Shutdown),
             ]

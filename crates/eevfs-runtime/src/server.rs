@@ -18,12 +18,14 @@
 use crate::proto::{read_message, write_message, CodecError, Message};
 use crate::transport::{FaultyTransport, SendError};
 use eevfs::config::PlacementPolicy;
+use eevfs::journal::{encode, JournalRecord, MetaState};
 use eevfs::placement::place;
 use eevfs::replication::replicate;
 use fault_model::{CircuitBreaker, LinkFaultProfile, NetFaultInjector, NetFaultPlan, RpcPolicy};
 use sim_core::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -61,6 +63,11 @@ pub struct ClusterStats {
     pub breaker_recoveries: u64,
     /// Requests that exhausted their deadline or retry budget.
     pub deadline_misses: u64,
+    /// Journal replays nodes performed at boot (one per restart that
+    /// recovered from an intact journal).
+    pub journal_replays: u64,
+    /// Checksum mismatches nodes caught on data-disk reads.
+    pub corruptions_detected: u64,
 }
 
 impl std::ops::Sub for ClusterStats {
@@ -83,6 +90,10 @@ impl std::ops::Sub for ClusterStats {
                 .breaker_recoveries
                 .saturating_sub(earlier.breaker_recoveries),
             deadline_misses: self.deadline_misses.saturating_sub(earlier.deadline_misses),
+            journal_replays: self.journal_replays.saturating_sub(earlier.journal_replays),
+            corruptions_detected: self
+                .corruptions_detected
+                .saturating_sub(earlier.corruptions_detected),
         }
     }
 }
@@ -131,6 +142,12 @@ pub struct ResilienceOptions {
     /// Optional span sink; when set, every request-path send, retry,
     /// hedge, and completion is appended here with its request id.
     pub spans: Option<SpanSink>,
+    /// When set, the server journals every placement decision (file →
+    /// copy list) to this file during setup, using the same framed-CRC
+    /// record format as the node journals. [`recover_placements`] rebuilds
+    /// the file → node map from it after a server crash; identical
+    /// trace + config produce byte-identical journals.
+    pub placement_journal: Option<PathBuf>,
 }
 
 impl Default for ResilienceOptions {
@@ -141,8 +158,18 @@ impl Default for ResilienceOptions {
             policy: RpcPolicy::no_retry(SimDuration::from_secs(3600)),
             profile: LinkFaultProfile::none(),
             spans: None,
+            placement_journal: None,
         }
     }
+}
+
+/// Rebuilds the file → copy-list map from a placement journal written via
+/// [`ResilienceOptions::placement_journal`]. A torn or corrupt tail is
+/// truncated, never fatal; the result is exactly the placements the
+/// intact prefix recorded, copy order preserved (primary first).
+pub fn recover_placements(path: &Path) -> std::io::Result<BTreeMap<u32, Vec<(u32, u32)>>> {
+    let bytes = std::fs::read(path)?;
+    Ok(MetaState::from_bytes(&bytes).placements)
 }
 
 /// Converts a wall-interpreted policy duration.
@@ -232,6 +259,7 @@ impl ServerState {
         prefetch_k: u32,
         disks_per_node: &[usize],
         replication: usize,
+        placement_journal: Option<&Path>,
     ) -> Result<(), CodecError> {
         let popularity = PopularityTable::from_trace(trace);
         let plan = place(
@@ -261,6 +289,25 @@ impl ServerState {
             for &(node, disk) in &copies[1..] {
                 self.create_log[node as usize].push((f as u32, trace.file_sizes[f], disk));
             }
+        }
+
+        // Durably record the placement decisions before any node acts on
+        // them, so a crashed server can be rebuilt with the same file →
+        // node map (file order and copy order are deterministic, making
+        // the journal bytes reproducible run-to-run).
+        if let Some(path) = placement_journal {
+            let mut records = Vec::new();
+            for f in 0..replicas.file_count() {
+                for &(node, disk) in replicas.of(FileId(f as u32)) {
+                    records.push(JournalRecord::Placement {
+                        file: f as u32,
+                        node,
+                        disk,
+                    });
+                }
+            }
+            std::fs::write(path, encode(&records))
+                .map_err(|_| CodecError::Malformed("placement journal write failed"))?;
         }
         for node in 0..disks_per_node.len() {
             for &(file, size, disk) in &self.create_log[node].clone() {
@@ -562,6 +609,24 @@ impl ServerState {
         Ok(())
     }
 
+    /// Reconnects to a *restarted* daemon for `node` that kept its store
+    /// directory and already replayed its own journal. The server only
+    /// re-sends the soft-state hints (never journalled on the node — the
+    /// expected pattern is a prediction, not metadata) and resumes
+    /// routing; creates and prefetch are deliberately not replayed.
+    fn register(&mut self, node: usize, port: u16) -> Result<(), CodecError> {
+        let conn = TcpStream::connect(SocketAddr::from(([127, 0, 0, 1], port)))?;
+        self.links[node].reconnect(conn);
+        self.breakers[node] = CircuitBreaker::new(self.policy.breaker);
+        let pattern = self.hints_log[node].clone();
+        match self.rpc(node, &Message::Hints { pattern })? {
+            Message::Ok => {}
+            _ => return Err(CodecError::Malformed("restarted node rejected hints")),
+        }
+        self.node_up[node] = true;
+        Ok(())
+    }
+
     fn collect_stats(&mut self) -> Result<ClusterStats, CodecError> {
         let mut total = ClusterStats {
             failovers: self.failovers,
@@ -584,6 +649,8 @@ impl ServerState {
                     spin_downs,
                     hits,
                     misses,
+                    journal_replays,
+                    corruptions_detected,
                     ..
                 }) => {
                     total.disk_joules += disk_joules;
@@ -591,6 +658,8 @@ impl ServerState {
                     total.spin_downs += spin_downs;
                     total.hits += hits;
                     total.misses += misses;
+                    total.journal_replays += journal_replays;
+                    total.corruptions_detected += corruptions_detected;
                 }
                 Ok(_) => return Err(CodecError::Malformed("unexpected reply to StatsRequest")),
                 // A node that died since the last request just drops out
@@ -676,7 +745,13 @@ impl ServerDaemon {
             deadline_misses: 0,
         };
         state
-            .setup(trace, prefetch_k, &disks_per_node, replication)
+            .setup(
+                trace,
+                prefetch_k,
+                &disks_per_node,
+                replication,
+                opts.placement_journal.as_deref(),
+            )
             .map_err(|e| std::io::Error::other(format!("setup failed: {e}")))?;
 
         let listener = TcpListener::bind("127.0.0.1:0")?;
@@ -703,6 +778,8 @@ impl ServerDaemon {
                                     breaker_trips: s.breaker_trips,
                                     breaker_recoveries: s.breaker_recoveries,
                                     deadline_misses: s.deadline_misses,
+                                    journal_replays: s.journal_replays,
+                                    corruptions_detected: s.corruptions_detected,
                                 },
                                 Err(_) => Message::Err { code: 2 },
                             },
@@ -748,6 +825,17 @@ impl ServerDaemon {
                                 let n = node as usize;
                                 if n < state.links.len() {
                                     match state.revive(n, port) {
+                                        Ok(()) => Message::Ok,
+                                        Err(_) => Message::Err { code: 2 },
+                                    }
+                                } else {
+                                    Message::Err { code: 3 }
+                                }
+                            }
+                            Message::Register { node, port } => {
+                                let n = node as usize;
+                                if n < state.links.len() {
+                                    match state.register(n, port) {
                                         Ok(()) => Message::Ok,
                                         Err(_) => Message::Err { code: 2 },
                                     }

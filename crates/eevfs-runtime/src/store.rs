@@ -5,9 +5,18 @@
 //! File contents are deterministic (a cheap xorshift pattern keyed by the
 //! file id) so integrity can be verified end-to-end after travelling the
 //! whole request path.
+//!
+//! Every data-disk file carries a CRC32 sidecar (`f????????.crc`) written
+//! on creation and on every overwrite; [`FileStore::read_data`] verifies
+//! it and reports a mismatch as [`io::ErrorKind::InvalidData`], the
+//! signal the node daemon counts as a detected corruption and the server
+//! turns into replica failover. Buffer-area copies are not checksummed —
+//! the buffer disk is the always-on, trusted device in EEVFS, and its
+//! contents are re-derivable from the data disks.
 
+use disk_model::checksum::crc32;
 use std::fs;
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Deterministic file contents for file `id` of length `size`.
@@ -74,28 +83,76 @@ impl FileStore {
             .join(format!("f{file:08}"))
     }
 
+    fn crc_path(&self, disk: usize, file: u32) -> PathBuf {
+        self.root
+            .join(format!("disk{disk}"))
+            .join(format!("f{file:08}.crc"))
+    }
+
     fn buffer_path(&self, file: u32) -> PathBuf {
         self.root.join("buffer").join(format!("f{file:08}"))
+    }
+
+    fn write_crc(&self, disk: usize, file: u32, data: &[u8]) -> io::Result<()> {
+        fs::write(self.crc_path(disk, file), crc32(data).to_le_bytes())
     }
 
     /// Creates a file with deterministic contents on a data disk.
     pub fn create_file(&self, disk: usize, file: u32, size: u64) -> io::Result<()> {
         assert!(disk < self.data_disks, "disk {disk} out of range");
+        let data = file_pattern(file, size);
         let mut f = fs::File::create(self.data_path(disk, file))?;
-        f.write_all(&file_pattern(file, size))?;
-        Ok(())
+        f.write_all(&data)?;
+        self.write_crc(disk, file, &data)
     }
 
-    /// Reads a file from a data disk.
+    /// Reads a file from a data disk, verifying it against its CRC32
+    /// sidecar. A mismatch (or a missing/short sidecar) comes back as
+    /// [`io::ErrorKind::InvalidData`] so callers can distinguish silent
+    /// corruption from the file simply not being there.
     pub fn read_data(&self, disk: usize, file: u32) -> io::Result<Vec<u8>> {
         let mut buf = Vec::new();
         fs::File::open(self.data_path(disk, file))?.read_to_end(&mut buf)?;
+        let sidecar = fs::read(self.crc_path(disk, file))
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "checksum sidecar missing"))?;
+        let stored: [u8; 4] = sidecar
+            .as_slice()
+            .try_into()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "checksum sidecar damaged"))?;
+        if crc32(&buf) != u32::from_le_bytes(stored) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checksum mismatch on disk{disk}/f{file:08}"),
+            ));
+        }
         Ok(buf)
     }
 
+    /// Fault injection: flips one byte of a data-disk file **without**
+    /// touching its checksum sidecar — the on-platter bit rot the
+    /// integrity layer exists to catch.
+    pub fn corrupt_data(&self, disk: usize, file: u32, offset: u64) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(self.data_path(disk, file))?;
+        let mut byte = [0u8; 1];
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(&mut byte)?;
+        byte[0] ^= 0xFF;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(&byte)
+    }
+
     /// Copies a file from a data disk into the buffer area (prefetch).
+    /// Goes through [`FileStore::read_data`], so a corrupt source block
+    /// is detected rather than silently promoted into the buffer every
+    /// future read would then hit.
     pub fn prefetch(&self, disk: usize, file: u32) -> io::Result<u64> {
-        fs::copy(self.data_path(disk, file), self.buffer_path(file))
+        let data = self.read_data(disk, file)?;
+        let mut f = fs::File::create(self.buffer_path(file))?;
+        f.write_all(&data)?;
+        Ok(data.len() as u64)
     }
 
     /// Writes client-supplied data into the buffer area (write buffering).
@@ -110,7 +167,7 @@ impl FileStore {
         assert!(disk < self.data_disks, "disk {disk} out of range");
         let mut f = fs::File::create(self.data_path(disk, file))?;
         f.write_all(data)?;
-        Ok(())
+        self.write_crc(disk, file, data)
     }
 
     /// Reads a file from the buffer area.
@@ -198,6 +255,36 @@ mod tests {
         assert_eq!(store.read_buffer(3).expect("read"), payload);
         store.write_data(0, 3, &payload).expect("data write");
         assert_eq!(store.read_data(0, 3).expect("read"), payload);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corruption_is_detected_on_read() {
+        let store = FileStore::create(tmp(), 1).expect("create store");
+        store.create_file(0, 5, 2048).expect("create");
+        assert!(store.read_data(0, 5).is_ok());
+        store.corrupt_data(0, 5, 1024).expect("corrupt");
+        let err = store.read_data(0, 5).expect_err("must detect");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Prefetch of the corrupt file is refused too, so the damage is
+        // never promoted into the buffer area.
+        let err = store.prefetch(0, 5).expect_err("prefetch must detect");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(!store.in_buffer(5));
+        // An overwrite refreshes the sidecar and clears the condition.
+        let payload = file_pattern(5, 2048);
+        store.write_data(0, 5, &payload).expect("rewrite");
+        assert_eq!(store.read_data(0, 5).expect("read"), payload);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn missing_sidecar_is_invalid_data() {
+        let store = FileStore::create(tmp(), 1).expect("create store");
+        store.create_file(0, 6, 128).expect("create");
+        fs::remove_file(store.crc_path(0, 6)).expect("drop sidecar");
+        let err = store.read_data(0, 6).expect_err("must refuse");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         let _ = fs::remove_dir_all(store.root());
     }
 

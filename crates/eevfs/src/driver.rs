@@ -22,27 +22,33 @@
 
 use crate::buffer::BufferCatalog;
 use crate::config::{BufferPolicy, ClusterSpec, EevfsConfig, ReplicaSelection};
+use crate::journal::{Journal, JournalRecord};
 use crate::metadata::ServerMetadata;
-use crate::metrics::{NodeMetrics, PrefetchStats, ResilienceStats, ResponseStats, RunMetrics};
+use crate::metrics::{
+    DurabilityStats, NodeMetrics, PrefetchStats, ResilienceStats, ResponseStats, RunMetrics,
+};
 use crate::placement::{place, PlacementPlan};
 use crate::power::{DiskPredictor, PowerManager, SleepDecision};
 use crate::prefetch::{plan_topk, predict_benefit, PrefetchPlan};
-use crate::replication::{replicate, select_replica, ReplicaPlan, Selected};
+use crate::replication::{replicate, select_replica, Choice, ReplicaPlan, Selected};
+use crate::scrub::{ScrubPolicy, Scrubber};
 use crate::server::StorageServer;
+use disk_model::checksum::BLOCK_SIZE;
 use disk_model::perf::AccessKind;
 use disk_model::{breakeven_time, Disk, TransitionCounts};
 use eevfs_obs::{
     EventKind, MetricsRegistry, PredictionSample, PredictionTracker, Recorder, Sampler,
 };
 use fault_model::{
-    CircuitBreaker, FaultEvent, FaultPlan, HealthTracker, LinkDecision, LinkFaultProfile,
-    NetFaultEvent, NetFaultInjector, NetFaultPlan, RpcPolicy,
+    CircuitBreaker, CorruptionEvent, CorruptionPlan, CorruptionTracker, CrashPlan, FaultEvent,
+    FaultKind, FaultPlan, HealthTracker, LinkDecision, LinkFaultProfile, NetFaultEvent,
+    NetFaultInjector, NetFaultPlan, RpcPolicy,
 };
 use net_model::message::control_message_time;
 use net_model::Nic;
 use sim_core::{Engine, EventQueue, Model, SimDuration, SimTime};
 use workload::popularity::PopularityTable;
-use workload::record::{Op, Trace};
+use workload::record::{FileId, Op, Trace};
 
 /// One storage node's live state.
 struct NodeState {
@@ -96,6 +102,33 @@ struct ObsState {
     /// In-flight disk operations per node (incremented when a `DiskDone`
     /// is scheduled, decremented when it fires).
     disk_inflight: Vec<u64>,
+}
+
+/// Live durability state for one run. `None` on non-durable paths, which
+/// therefore pay nothing beyond an `Option` check per site.
+struct DurState {
+    /// Which blocks currently hold bad data (shifted corruption plan).
+    tracker: CorruptionTracker,
+    /// Per-disk scrub cursors.
+    scrubber: Scrubber,
+    /// Files with a copy on each `(node, disk)`, ascending by file id —
+    /// the victim map from a corrupt block to the file it damages
+    /// (`block % files_on_disk.len()`).
+    files_on_disk: Vec<Vec<Vec<FileId>>>,
+    /// One metadata journal per node, hosted on its buffer disk.
+    journals: Vec<Journal>,
+    stats: DurabilityStats,
+    /// Joules spent on scrub windows, repair transfers, and journal
+    /// replays (the separate integrity meter).
+    scrub_energy_j: f64,
+}
+
+/// Marginal joules of moving `bytes` on a disk that is Active anyway —
+/// the analytic cost model for scrub and repair transfers, which are
+/// charged to the scrub meter without perturbing the disk queues the
+/// serving path sees.
+fn marginal_transfer_j(spec: &disk_model::DiskSpec, bytes: u64) -> f64 {
+    spec.p_active_w * (bytes as f64 / spec.bandwidth_bps as f64)
 }
 
 /// Delay before a request that found no serviceable replica is re-routed.
@@ -187,6 +220,9 @@ struct ClusterSim {
     breakeven: Vec<Vec<SimDuration>>,
     /// Trace/metrics capture; `None` leaves the legacy paths untouched.
     obs: Option<ObsState>,
+    /// Corruption/scrub/journal state; `None` leaves the legacy paths
+    /// untouched.
+    dur: Option<DurState>,
 }
 
 impl ClusterSim {
@@ -348,6 +384,205 @@ impl ClusterSim {
             self.nodes[node].catalog.mark_clean(file);
             self.destages += 1;
         }
+    }
+
+    /// Applies corruption-plan events due by `now`. Lazy: corruption is
+    /// invisible until something reads or scrubs the block, so no
+    /// simulation events exist for it and unobserved corruption leaves
+    /// the event queue untouched.
+    fn durability_advance(&mut self, now: SimTime) {
+        if let Some(dur) = self.dur.as_mut() {
+            dur.tracker.apply_until(now);
+        }
+    }
+
+    /// The file a corrupt block damages, if any file lives on that disk.
+    fn victim_of(&self, node: usize, disk: usize, block: u32) -> Option<FileId> {
+        let dur = self.dur.as_ref()?;
+        let victims = &dur.files_on_disk[node][disk];
+        if victims.is_empty() {
+            None
+        } else {
+            Some(victims[block as usize % victims.len()])
+        }
+    }
+
+    /// Checksum verification on the physical read path: every corrupt
+    /// block of `(node, disk)` whose victim is `file` fails verification
+    /// now and goes through detection and repair.
+    fn verify_read(&mut self, node: usize, disk: usize, file: FileId, now: SimTime) {
+        if self.dur.is_none() {
+            return;
+        }
+        self.durability_advance(now);
+        let bad: Vec<u32> = {
+            let dur = self.dur.as_ref().expect("durability on");
+            let victims = &dur.files_on_disk[node][disk];
+            if victims.is_empty() {
+                return;
+            }
+            dur.tracker
+                .corrupt_blocks(node, disk)
+                .iter()
+                .copied()
+                .filter(|&b| victims[b as usize % victims.len()] == file)
+                .collect()
+        };
+        for b in bad {
+            self.handle_corrupt_block(node, disk, b, Some(file), false, now);
+        }
+    }
+
+    /// Opportunistic scrub: verifies the disk's next scrub window while
+    /// the spindle is Active from the access it piggybacks on. Never
+    /// wakes a disk; the window's marginal read energy goes to the scrub
+    /// meter.
+    fn piggyback_scrub(&mut self, node: usize, disk: usize, now: SimTime) {
+        if self.dur.is_none() {
+            return;
+        }
+        self.durability_advance(now);
+        let mut window = None;
+        {
+            let dur = self.dur.as_mut().expect("durability on");
+            if let Some((start, len)) = dur.scrubber.next_window(node, disk) {
+                let found: Vec<u32> = dur
+                    .tracker
+                    .corrupt_blocks(node, disk)
+                    .iter()
+                    .copied()
+                    .filter(|&b| dur.scrubber.window_contains(start, len, b))
+                    .collect();
+                dur.stats.scrub_passes += 1;
+                dur.stats.scrubbed_blocks += len as u64;
+                window = Some((len, found));
+            }
+        }
+        let Some((len, found)) = window else { return };
+        let read_j = marginal_transfer_j(
+            self.nodes[node].data_disks[disk].spec(),
+            len as u64 * BLOCK_SIZE,
+        );
+        if let Some(dur) = self.dur.as_mut() {
+            dur.scrub_energy_j += read_j;
+        }
+        self.obs_event(
+            now,
+            EventKind::ScrubPass {
+                node: node as u32,
+                disk: disk as u32,
+                blocks: len,
+                found: found.len() as u32,
+            },
+        );
+        for b in found {
+            let victim = self.victim_of(node, disk, b);
+            self.handle_corrupt_block(node, disk, b, victim, true, now);
+        }
+    }
+
+    /// One detected corrupt block: restore it from another healthy copy
+    /// through the energy-aware selector, or write it off as
+    /// unrecoverable. Repair transfers are analytic (scrub meter) so
+    /// detection never perturbs the serving queues.
+    fn handle_corrupt_block(
+        &mut self,
+        node: usize,
+        disk: usize,
+        block: u32,
+        file: Option<FileId>,
+        by_scrub: bool,
+        now: SimTime,
+    ) {
+        {
+            let Some(dur) = self.dur.as_mut() else { return };
+            if !dur.tracker.resolve(node, disk, block) {
+                return; // already detected through another path
+            }
+            if by_scrub {
+                dur.stats.detected_by_scrub += 1;
+            } else {
+                dur.stats.detected_on_read += 1;
+            }
+        }
+        // Pick the repair source among the file's *other* copies.
+        let source = file.and_then(|f| {
+            select_replica(
+                self.replicas.of(f),
+                self.cfg.replica_selection,
+                |n, d| {
+                    !(n == node && d == disk)
+                        && self.health.node_ok(n)
+                        && (self.health.disk_ok(n, d) || self.nodes[n].catalog.contains(f))
+                },
+                |n| self.nodes[n].catalog.contains(f),
+                |n, d| self.health.disk_ok(n, d) && !self.nodes[n].data_disks[d].is_sleeping(),
+                block as u64,
+            )
+        });
+        // A block no live file occupies loses nothing: rewriting it in
+        // place repairs it without a source copy.
+        let repaired = file.is_none() || source.is_some();
+        let mut joules = 0.0;
+        if let Some(sel) = source {
+            let src_spec = match sel.choice {
+                Choice::Buffered => self.nodes[sel.node].buffer_disk.spec(),
+                _ => self.nodes[sel.node].data_disks[sel.disk].spec(),
+            };
+            joules += marginal_transfer_j(src_spec, BLOCK_SIZE);
+        }
+        if repaired {
+            joules += marginal_transfer_j(self.nodes[node].data_disks[disk].spec(), BLOCK_SIZE);
+        }
+        if let Some(dur) = self.dur.as_mut() {
+            dur.scrub_energy_j += joules;
+            if repaired {
+                dur.stats.repaired_blocks += 1;
+            } else {
+                dur.stats.unrecoverable_blocks += 1;
+            }
+        }
+        self.obs_event(
+            now,
+            EventKind::CorruptionDetected {
+                node: node as u32,
+                disk: disk as u32,
+                block,
+                by_scrub,
+                repaired,
+            },
+        );
+    }
+
+    /// A crashed node came back: replay its buffer-disk journal (a real
+    /// sequential read on the always-on buffer disk) and account the
+    /// recovery.
+    fn durable_restart(&mut self, node: usize, now: SimTime) {
+        let (bytes, records) = {
+            let Some(dur) = self.dur.as_mut() else { return };
+            let journal = &dur.journals[node];
+            let bytes = journal.durable_bytes().len() as u64;
+            let records = crate::journal::replay(journal.durable_bytes())
+                .records
+                .len() as u64;
+            dur.stats.journal_replays += 1;
+            dur.stats.journal_bytes_replayed += bytes;
+            (bytes, records)
+        };
+        if bytes > 0 {
+            self.nodes[node]
+                .buffer_disk
+                .submit(now, bytes, AccessKind::Sequential);
+        }
+        self.obs_event(
+            now,
+            EventKind::JournalReplay {
+                node: node as u32,
+                records,
+                bytes,
+            },
+        );
+        self.obs_event(now, EventKind::NodeRestart { node: node as u32 });
     }
 
     /// Closed loop: a completion frees a stream to issue the next request
@@ -818,6 +1053,8 @@ impl Model for ClusterSim {
                                 queue.schedule(finish, Ev::MaidFill(req));
                             }
                             self.piggyback_destage(node, disk, now);
+                            self.verify_read(node, disk, file, now);
+                            self.piggyback_scrub(node, disk, now);
                             self.arm_after_physical(node, disk, queue);
                         }
                     }
@@ -829,6 +1066,15 @@ impl Model for ClusterSim {
                         {
                             self.reqs[req as usize].from_buffer = true;
                             self.writes_buffered += 1;
+                            // The absorbed write mutates node metadata:
+                            // journal it, fsynced with the buffer-log
+                            // append it rides on.
+                            if let Some(dur) = self.dur.as_mut() {
+                                dur.journals[node].append(&JournalRecord::BufferWrite {
+                                    file: file.index() as u32,
+                                });
+                                dur.journals[node].mark_fsync();
+                            }
                         }
                         let xfer = self.nodes[node].nic.send(now, size);
                         queue.schedule(xfer.finish, Ev::NicDone(req));
@@ -926,6 +1172,7 @@ impl Model for ClusterSim {
                             );
                             self.obs_inflight(node, now, 1);
                             queue.schedule(finish, Ev::DiskDone(req));
+                            self.piggyback_scrub(node, disk, now);
                             self.arm_after_physical(node, disk, queue);
                         }
                     }
@@ -952,6 +1199,11 @@ impl Model for ClusterSim {
                 // idempotent).
                 let fired = self.health.apply_until(now);
                 self.fault_events += fired.len() as u64;
+                for e in fired {
+                    if let FaultKind::NodeRestart { node } = e.kind {
+                        self.durable_restart(node as usize, now);
+                    }
+                }
             }
 
             Ev::NetFault => {
@@ -1020,7 +1272,17 @@ impl Model for ClusterSim {
 /// Panics on invalid cluster specs or traces — experiment configs are
 /// programmer input, not runtime data.
 pub fn run_cluster(cluster: &ClusterSpec, cfg: &EevfsConfig, trace: &Trace) -> RunMetrics {
-    run_cluster_inner(cluster, cfg, trace, false, &FaultPlan::none(), None, None).0
+    run_cluster_inner(
+        cluster,
+        cfg,
+        trace,
+        false,
+        &FaultPlan::none(),
+        None,
+        None,
+        None,
+    )
+    .0
 }
 
 /// Like [`run_cluster`], but injects the fault schedule into the replay.
@@ -1035,7 +1297,7 @@ pub fn run_cluster_faulted(
     trace: &Trace,
     faults: &FaultPlan,
 ) -> RunMetrics {
-    run_cluster_inner(cluster, cfg, trace, false, faults, None, None).0
+    run_cluster_inner(cluster, cfg, trace, false, faults, None, None, None).0
 }
 
 /// The network-resilience knobs for [`run_cluster_resilient`], borrowed
@@ -1066,7 +1328,81 @@ pub fn run_cluster_resilient(
     faults: &FaultPlan,
     setup: ResilienceSetup<'_>,
 ) -> RunMetrics {
-    run_cluster_inner(cluster, cfg, trace, false, faults, Some(setup), None).0
+    run_cluster_inner(cluster, cfg, trace, false, faults, Some(setup), None, None).0
+}
+
+/// The integrity and crash-recovery knobs for [`run_cluster_durable`],
+/// borrowed together so call sites stay readable.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilitySetup<'a> {
+    /// Seeded latent-sector-error / bit-flip schedule. Times are
+    /// replay-relative, like fault plans.
+    pub corruption: &'a CorruptionPlan,
+    /// Node crash/restart schedule; each restart replays that node's
+    /// buffer-disk journal.
+    pub crashes: &'a CrashPlan,
+    /// When to verify blocks beyond checksum-on-read.
+    pub scrub: ScrubPolicy,
+    /// Blocks per disk in the scrub address space; must cover every block
+    /// coordinate the corruption plan targets.
+    pub blocks_per_disk: u32,
+}
+
+/// Like [`run_cluster_faulted`], but additionally injects silent data
+/// corruption and crash/restart schedules and runs the durability layer:
+/// per-block CRC verification on every physical read, an opportunistic
+/// scrubber that rides Active spindles (never waking a sleeping disk),
+/// repair of detected blocks from replicas via the energy-aware selector,
+/// and a per-node buffer-disk metadata journal replayed at each restart.
+/// Integrity transfers are charged to the separate
+/// [`RunMetrics::scrub_energy_j`] meter. Corruption/crash plan times are
+/// replay-relative. A run stays a pure function of its inputs: the same
+/// (config, trace, plans, policy) replays bit-identically, every
+/// [`DurabilityStats`] counter included.
+pub fn run_cluster_durable(
+    cluster: &ClusterSpec,
+    cfg: &EevfsConfig,
+    trace: &Trace,
+    faults: &FaultPlan,
+    durability: DurabilitySetup<'_>,
+) -> RunMetrics {
+    run_cluster_inner(
+        cluster,
+        cfg,
+        trace,
+        false,
+        faults,
+        None,
+        Some(durability),
+        None,
+    )
+    .0
+}
+
+/// [`run_cluster_durable`] with a structured trace streamed into
+/// `recorder` (corruption detections, scrub passes, journal replays, and
+/// node restarts included). Observation stays passive: metrics are
+/// identical to the unobserved durable run and the JSONL export is
+/// byte-identical across same-input replays.
+pub fn run_cluster_durable_observed(
+    cluster: &ClusterSpec,
+    cfg: &EevfsConfig,
+    trace: &Trace,
+    faults: &FaultPlan,
+    durability: DurabilitySetup<'_>,
+    recorder: Recorder,
+) -> (RunMetrics, ObsReport) {
+    let (metrics, _, report) = run_cluster_inner(
+        cluster,
+        cfg,
+        trace,
+        false,
+        faults,
+        None,
+        Some(durability),
+        Some(recorder),
+    );
+    (metrics, report.expect("observation was requested"))
 }
 
 /// Like [`run_cluster`], but also records and returns the whole-cluster
@@ -1078,8 +1414,16 @@ pub fn run_cluster_traced(
     cfg: &EevfsConfig,
     trace: &Trace,
 ) -> (RunMetrics, sim_core::TimeSeries) {
-    let (metrics, curve, _) =
-        run_cluster_inner(cluster, cfg, trace, true, &FaultPlan::none(), None, None);
+    let (metrics, curve, _) = run_cluster_inner(
+        cluster,
+        cfg,
+        trace,
+        true,
+        &FaultPlan::none(),
+        None,
+        None,
+        None,
+    );
     (metrics, curve.expect("curve recording was requested"))
 }
 
@@ -1119,6 +1463,7 @@ pub fn run_cluster_observed(
         false,
         faults,
         resilience,
+        None,
         Some(recorder),
     );
     (metrics, report.expect("observation was requested"))
@@ -1132,6 +1477,7 @@ fn run_cluster_inner(
     record_curve: bool,
     faults: &FaultPlan,
     resilience: Option<ResilienceSetup<'_>>,
+    durability: Option<DurabilitySetup<'_>>,
     obs: Option<Recorder>,
 ) -> (RunMetrics, Option<sim_core::TimeSeries>, Option<ObsReport>) {
     cluster
@@ -1153,6 +1499,21 @@ fn run_cluster_inner(
         assert!(
             stray.is_empty(),
             "network fault plan targets outside the cluster: {stray:?}"
+        );
+    }
+    if let Some(d) = &durability {
+        let max_disks = cluster.data_disk_counts().into_iter().max().unwrap_or(0) as u32;
+        let stray = d
+            .corruption
+            .out_of_range(cluster.node_count() as u32, max_disks);
+        assert!(
+            stray.is_empty(),
+            "corruption plan targets outside the cluster: {stray:?}"
+        );
+        let stray = d.crashes.out_of_range(cluster.node_count() as u32);
+        assert!(
+            stray.is_empty(),
+            "crash plan targets outside the cluster: {stray:?}"
         );
     }
 
@@ -1350,12 +1711,69 @@ fn run_cluster_inner(
     );
 
     // Fault schedule, shifted from replay-relative time into sim time.
-    let shifted_faults = FaultPlan::from_trace(faults.events().iter().map(|e| FaultEvent {
-        at: e.at + warmup,
-        kind: e.kind,
-    }));
+    // Crash-plan events are ordinary node faults: merged in, the health
+    // tracker and the retry/failover paths treat a durable crash exactly
+    // like any other node outage; only the restart's journal replay is
+    // durability-specific.
+    let crash_events: &[FaultEvent] = durability.map(|d| d.crashes.events()).unwrap_or(&[]);
+    let shifted_faults = FaultPlan::from_trace(faults.events().iter().chain(crash_events).map(
+        |e| FaultEvent {
+            at: e.at + warmup,
+            kind: e.kind,
+        },
+    ));
     let max_disks = cluster.data_disk_counts().into_iter().max().unwrap_or(0);
     let health = HealthTracker::new(shifted_faults.clone(), cluster.node_count(), max_disks);
+
+    // Durability state: corruption tracker over the shifted plan, scrub
+    // cursors, the victim map from corrupt blocks to files, and one
+    // metadata journal per node. Create/Prefetch records are journalled —
+    // and fsynced — during setup and warm-up; BufferWrite records land
+    // during the replay.
+    let dur_state = durability.map(|d| {
+        let shifted =
+            CorruptionPlan::from_trace(d.corruption.events().iter().map(|e| CorruptionEvent {
+                at: e.at + warmup,
+                kind: e.kind,
+            }));
+        let mut files_on_disk: Vec<Vec<Vec<FileId>>> = cluster
+            .nodes
+            .iter()
+            .map(|n| vec![Vec::new(); n.data_disks.len()])
+            .collect();
+        for (f, copies) in replicas.replicas.iter().enumerate() {
+            for &(n, dd) in copies {
+                files_on_disk[n as usize][dd as usize].push(FileId(f as u32));
+            }
+        }
+        let mut journals: Vec<Journal> =
+            (0..cluster.node_count()).map(|_| Journal::new()).collect();
+        for f in 0..trace.file_count() {
+            journals[placement.node_of_file[f] as usize].append(&JournalRecord::Create {
+                file: f as u32,
+                size: trace.file_sizes[f],
+                disk: placement.disk_of_file[f],
+            });
+        }
+        for (node, files) in plan.per_node.iter().enumerate() {
+            for &f in files {
+                journals[node].append(&JournalRecord::Prefetch {
+                    file: f.index() as u32,
+                });
+            }
+        }
+        for j in &mut journals {
+            j.mark_fsync();
+        }
+        DurState {
+            tracker: CorruptionTracker::new(shifted, cluster.node_count(), max_disks),
+            scrubber: Scrubber::new(d.scrub, d.blocks_per_disk, cluster.node_count(), max_disks),
+            files_on_disk,
+            journals,
+            stats: DurabilityStats::default(),
+            scrub_energy_j: 0.0,
+        }
+    });
 
     // Network fault injection, shifted into sim time the same way.
     let shifted_net = resilience.as_ref().map(|setup| {
@@ -1460,6 +1878,7 @@ fn run_cluster_inner(
         pred: PredictionTracker::new(),
         breakeven,
         obs: obs_state,
+        dur: dur_state,
     };
 
     let mut engine = Engine::new(sim);
@@ -1621,6 +2040,20 @@ fn run_cluster_inner(
         ..sim.res
     };
 
+    let (durability_stats, scrub_energy_j) = match sim.dur.as_mut() {
+        Some(dur) => {
+            // Land every corruption due by the end of the run so the
+            // latent count reflects what a full offline audit would find.
+            dur.tracker.apply_until(end);
+            let mut s = dur.stats;
+            s.corruptions_landed = dur.tracker.landed();
+            s.latent_at_end = dur.tracker.outstanding() as u64;
+            s.journal_records = dur.journals.iter().map(|j| j.records()).sum();
+            (s, dur.scrub_energy_j)
+        }
+        None => (DurabilityStats::default(), 0.0),
+    };
+
     if let Some(o) = sim.obs.as_mut() {
         // Merge the disks' power-state edges into the trace. Their
         // timestamps lie in the past relative to the live events appended
@@ -1748,6 +2181,8 @@ fn run_cluster_inner(
         spin_up_failures: sim.spin_up_failures,
         failed_requests: sim.failed_requests,
         resilience,
+        durability: durability_stats,
+        scrub_energy_j,
         prediction,
         per_node,
     };
@@ -2355,6 +2790,222 @@ mod tests {
             with.disk_energy_j,
             without.disk_energy_j
         );
+    }
+
+    fn no_durability() -> (CorruptionPlan, CrashPlan) {
+        (CorruptionPlan::none(), CrashPlan::none())
+    }
+
+    /// Corrupts every block of the small scrub space at `at`, so any
+    /// physically-read file trips verification.
+    fn blanket_corruption(at: SimTime, blocks: u32) -> CorruptionPlan {
+        let mut b = CorruptionPlan::builder();
+        for node in 0..8 {
+            for disk in 0..2 {
+                for block in 0..blocks {
+                    b = b.lse(at, node, disk, block);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn durable_with_empty_plans_matches_faulted_run() {
+        // Pay-for-what-you-use: an empty corruption/crash plan with the
+        // scrubber off must replay the exact event flow of the plain
+        // faulted run; only the journal bookkeeping counters may differ.
+        let trace = small_trace(1000.0, 200);
+        let cluster = ClusterSpec::paper_testbed();
+        let cfg = EevfsConfig::paper_pf_replicated(70, 2);
+        let plain = run_cluster_faulted(&cluster, &cfg, &trace, &FaultPlan::none());
+        let (corruption, crashes) = no_durability();
+        let durable = run_cluster_durable(
+            &cluster,
+            &cfg,
+            &trace,
+            &FaultPlan::none(),
+            DurabilitySetup {
+                corruption: &corruption,
+                crashes: &crashes,
+                scrub: ScrubPolicy::Off,
+                blocks_per_disk: 64,
+            },
+        );
+        assert_eq!(durable.scrub_energy_j, 0.0);
+        assert!(
+            durable.durability.journal_records > 0,
+            "setup is journalled"
+        );
+        let mut stripped = durable.clone();
+        stripped.durability = plain.durability;
+        assert_eq!(stripped, plain);
+    }
+
+    #[test]
+    fn corruption_is_detected_and_repaired_at_r2() {
+        // Blanket-corrupt a tiny block space just after the replay
+        // starts: every physical read fails verification, and with R=2
+        // every detected block has a healthy copy to repair from.
+        let trace = small_trace(1000.0, 300);
+        let cluster = ClusterSpec::paper_testbed();
+        let cfg = EevfsConfig::paper_pf_replicated(70, 2);
+        let corruption = blanket_corruption(SimTime::from_secs(1), 64);
+        let crashes = CrashPlan::none();
+        let setup = DurabilitySetup {
+            corruption: &corruption,
+            crashes: &crashes,
+            scrub: ScrubPolicy::piggyback_default(),
+            blocks_per_disk: 64,
+        };
+        let a = run_cluster_durable(&cluster, &cfg, &trace, &FaultPlan::none(), setup);
+        let b = run_cluster_durable(&cluster, &cfg, &trace, &FaultPlan::none(), setup);
+        assert_eq!(a, b, "durable replays must be bit-identical");
+        assert_eq!(a.response.count, 300);
+        assert!(a.durability.corruptions_landed > 0);
+        assert!(
+            a.durability.detected_on_read > 0,
+            "misses must trip checksum verification: {:?}",
+            a.durability
+        );
+        assert!(a.durability.scrub_passes > 0);
+        assert!(a.durability.detected_by_scrub > 0, "{:?}", a.durability);
+        assert!(a.durability.repaired_blocks > 0);
+        assert_eq!(
+            a.durability.unrecoverable_blocks, 0,
+            "R=2 must cover every detection: {:?}",
+            a.durability
+        );
+        assert!(a.scrub_energy_j > 0.0, "integrity work is metered");
+        // The separate meter does not leak into serving energy: the
+        // serving-side metrics match a run that never detects anything
+        // except through the repair meter.
+        assert_eq!(
+            a.durability.detected_on_read + a.durability.detected_by_scrub,
+            a.durability.repaired_blocks
+        );
+    }
+
+    #[test]
+    fn unreplicated_corruption_is_unrecoverable() {
+        let trace = small_trace(1000.0, 300);
+        let cluster = ClusterSpec::paper_testbed();
+        let corruption = blanket_corruption(SimTime::from_secs(1), 64);
+        let crashes = CrashPlan::none();
+        let m = run_cluster_durable(
+            &cluster,
+            &EevfsConfig::paper_pf(70),
+            &trace,
+            &FaultPlan::none(),
+            DurabilitySetup {
+                corruption: &corruption,
+                crashes: &crashes,
+                scrub: ScrubPolicy::piggyback_default(),
+                blocks_per_disk: 64,
+            },
+        );
+        assert!(
+            m.durability.unrecoverable_blocks > 0,
+            "R=1 has no repair source: {:?}",
+            m.durability
+        );
+        assert_eq!(m.response.count, 300, "detection never fails requests");
+    }
+
+    #[test]
+    fn scrub_off_limits_detection_to_the_read_path() {
+        let trace = small_trace(1000.0, 300);
+        let cluster = ClusterSpec::paper_testbed();
+        let cfg = EevfsConfig::paper_pf_replicated(70, 2);
+        let corruption = blanket_corruption(SimTime::from_secs(1), 64);
+        let crashes = CrashPlan::none();
+        let m = run_cluster_durable(
+            &cluster,
+            &cfg,
+            &trace,
+            &FaultPlan::none(),
+            DurabilitySetup {
+                corruption: &corruption,
+                crashes: &crashes,
+                scrub: ScrubPolicy::Off,
+                blocks_per_disk: 64,
+            },
+        );
+        assert_eq!(m.durability.scrub_passes, 0);
+        assert_eq!(m.durability.detected_by_scrub, 0);
+        assert!(m.durability.detected_on_read > 0);
+        assert!(
+            m.durability.latent_at_end > 0,
+            "without scrubbing, unread corruption stays latent"
+        );
+    }
+
+    #[test]
+    fn crash_restart_replays_the_journal() {
+        let trace = small_trace(1000.0, 200);
+        let cluster = ClusterSpec::paper_testbed();
+        let mid = trace.records[trace.len() / 2].at;
+        let corruption = CorruptionPlan::none();
+        let crashes = CrashPlan::one(2, mid, mid + SimDuration::from_secs(10));
+        let m = run_cluster_durable(
+            &cluster,
+            &EevfsConfig::paper_pf(70),
+            &trace,
+            &FaultPlan::none(),
+            DurabilitySetup {
+                corruption: &corruption,
+                crashes: &crashes,
+                scrub: ScrubPolicy::Off,
+                blocks_per_disk: 64,
+            },
+        );
+        assert_eq!(m.response.count, 200);
+        assert_eq!(m.failed_requests, 0, "restart lands inside retry budget");
+        assert_eq!(m.fault_events, 2, "crash + restart both fire");
+        assert_eq!(m.durability.journal_replays, 1);
+        assert!(m.durability.journal_bytes_replayed > 0);
+    }
+
+    #[test]
+    fn durable_observed_emits_durability_events() {
+        let trace = small_trace(1000.0, 300);
+        let cluster = ClusterSpec::paper_testbed();
+        let cfg = EevfsConfig::paper_pf_replicated(70, 2);
+        let mid = trace.records[trace.len() / 2].at;
+        let corruption = blanket_corruption(SimTime::from_secs(1), 64);
+        let crashes = CrashPlan::one(3, mid, mid + SimDuration::from_secs(10));
+        let setup = DurabilitySetup {
+            corruption: &corruption,
+            crashes: &crashes,
+            scrub: ScrubPolicy::piggyback_default(),
+            blocks_per_disk: 64,
+        };
+        let observed = || {
+            run_cluster_durable_observed(
+                &cluster,
+                &cfg,
+                &trace,
+                &FaultPlan::none(),
+                setup,
+                Recorder::default(),
+            )
+        };
+        let (m1, r1) = observed();
+        let (m2, r2) = observed();
+        assert_eq!(m1, m2);
+        assert_eq!(
+            r1.recorder.to_jsonl(),
+            r2.recorder.to_jsonl(),
+            "durable trace export must be byte-identical across replays"
+        );
+        let has = |pred: &dyn Fn(&EventKind) -> bool| r1.recorder.events().any(|e| pred(&e.kind));
+        assert!(has(&|k| matches!(k, EventKind::CorruptionDetected { .. })));
+        assert!(has(&|k| matches!(k, EventKind::ScrubPass { .. })));
+        assert!(has(&|k| matches!(k, EventKind::JournalReplay { .. })));
+        assert!(has(&|k| matches!(k, EventKind::NodeRestart { .. })));
+        // Observation stays passive.
+        let plain = run_cluster_durable(&cluster, &cfg, &trace, &FaultPlan::none(), setup);
+        assert_eq!(m1, plain);
     }
 
     #[test]

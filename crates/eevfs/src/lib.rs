@@ -25,6 +25,10 @@
 //! | §VI experiments (the whole cluster in motion) | [`driver`] |
 //! | §II baselines (MAID, PDC, plain DPM) | [`baselines`] |
 //!
+//! Beyond the paper, the durability layer adds a buffer-disk write-ahead
+//! journal ([`journal`]) and an energy-aware scrubber ([`scrub`]) driven
+//! by seeded corruption/crash plans from `fault_model::durability`.
+//!
 //! # Quick start
 //!
 //! ```
@@ -46,12 +50,14 @@ pub mod baselines;
 pub mod buffer;
 pub mod config;
 pub mod driver;
+pub mod journal;
 pub mod metadata;
 pub mod metrics;
 pub mod placement;
 pub mod power;
 pub mod prefetch;
 pub mod replication;
+pub mod scrub;
 pub mod server;
 
 pub use config::{ClusterSpec, EevfsConfig, NodeSpec};

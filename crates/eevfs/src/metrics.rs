@@ -120,6 +120,35 @@ pub struct ResilienceStats {
     pub net_fault_events: u64,
 }
 
+/// Durability counters for one run (all zero without a corruption or
+/// crash plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct DurabilityStats {
+    /// Corruptions that landed on disk during the replay window.
+    pub corruptions_landed: u64,
+    /// Corrupt blocks caught by checksum verification on the read path.
+    pub detected_on_read: u64,
+    /// Corrupt blocks caught by an opportunistic scrub pass.
+    pub detected_by_scrub: u64,
+    /// Detected blocks restored from a healthy replica.
+    pub repaired_blocks: u64,
+    /// Detected blocks with no surviving replica to repair from.
+    pub unrecoverable_blocks: u64,
+    /// Scrub passes run (each piggybacks on an Active disk).
+    pub scrub_passes: u64,
+    /// Blocks verified by scrub passes.
+    pub scrubbed_blocks: u64,
+    /// Corrupt blocks still latent (neither read nor scrubbed) at the end
+    /// of the run.
+    pub latent_at_end: u64,
+    /// Node restarts that replayed the buffer-disk journal.
+    pub journal_replays: u64,
+    /// Journal bytes read back across all replays.
+    pub journal_bytes_replayed: u64,
+    /// Journal records appended across all nodes during the run.
+    pub journal_records: u64,
+}
+
 /// Everything one cluster run produces.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -176,6 +205,12 @@ pub struct RunMetrics {
     pub failed_requests: u64,
     /// RPC resilience counters (retries, hedges, breaker trips…).
     pub resilience: ResilienceStats,
+    /// Durability counters (corruption detection, repair, journal replay).
+    pub durability: DurabilityStats,
+    /// Joules spent on integrity work — scrub transfers, replica repair
+    /// reads, and journal replays — charged separately from serving
+    /// energy so experiments can price protection on its own.
+    pub scrub_energy_j: f64,
     /// Predicted-vs-realised idle-window accounting for every sleep the
     /// power manager took (all zero when nothing slept).
     pub prediction: PredictionSummary,
@@ -260,6 +295,8 @@ mod tests {
             spin_up_failures: 0,
             failed_requests: 0,
             resilience: ResilienceStats::default(),
+            durability: DurabilityStats::default(),
+            scrub_energy_j: 0.0,
             prediction: PredictionSummary::default(),
             per_node: vec![],
         }

@@ -18,9 +18,14 @@
 use serde::{Deserialize, Serialize};
 use sim_core::{SimDuration, SimRng, SimTime};
 
+pub mod durability;
 pub mod net;
 pub mod policy;
 
+pub use durability::{
+    CorruptionEvent, CorruptionKind, CorruptionPlan, CorruptionSpec, CorruptionTracker, CrashPlan,
+    CrashSpec,
+};
 pub use net::{
     LinkDecision, LinkFaultProfile, NetFaultEvent, NetFaultInjector, NetFaultKind, NetFaultPlan,
     NetFaultSpec,

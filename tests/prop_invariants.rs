@@ -321,3 +321,94 @@ proptest! {
         }
     }
 }
+
+/// An arbitrary journal record of any of the four kinds.
+fn arb_journal_record() -> impl Strategy<Value = eevfs::journal::JournalRecord> {
+    use eevfs::journal::JournalRecord as R;
+    prop_oneof![
+        (any::<u32>(), any::<u64>(), 0u32..8).prop_map(|(file, size, disk)| R::Create {
+            file,
+            size,
+            disk
+        }),
+        any::<u32>().prop_map(|file| R::Prefetch { file }),
+        any::<u32>().prop_map(|file| R::BufferWrite { file }),
+        (any::<u32>(), 0u32..8, 0u32..8).prop_map(|(file, node, disk)| R::Placement {
+            file,
+            node,
+            disk
+        }),
+    ]
+}
+
+proptest! {
+    /// Journal recovery is total and idempotent: cutting the encoded log
+    /// at any byte (a crash mid-append) leaves a prefix that replays to
+    /// some metadata state, and replaying that prefix twice over yields
+    /// exactly the state of replaying it once.
+    #[test]
+    fn journal_replay_is_idempotent_under_prefix_crash(
+        recs in proptest::collection::vec(arb_journal_record(), 0..40),
+        cut in any::<u16>(),
+    ) {
+        use eevfs::journal::{encode, replay, MetaState};
+        let bytes = encode(&recs);
+        let cut = cut as usize % (bytes.len() + 1);
+        let prefix = &bytes[..cut];
+        // Replay never panics, whatever byte the crash landed on, and
+        // recovers a record-aligned prefix of what was logged.
+        let replayed = replay(prefix);
+        prop_assert!(replayed.records.len() <= recs.len());
+        prop_assert_eq!(&replayed.records[..], &recs[..replayed.records.len()]);
+        // Idempotence: applying the surviving records twice (a recovery
+        // that itself crashed and re-ran) changes nothing.
+        let once = MetaState::from_records(&replayed.records);
+        let mut twice = MetaState::from_records(&replayed.records);
+        for rec in &replayed.records {
+            twice.apply(rec);
+        }
+        prop_assert_eq!(once, twice);
+    }
+
+    /// A corrupt tail never panics the replayer: flipping any byte of the
+    /// log truncates recovery at (or before) the damaged record — the
+    /// per-record CRC refuses to deliver altered bytes — and everything
+    /// before the flip survives intact.
+    #[test]
+    fn journal_corrupt_tail_truncates_instead_of_panicking(
+        recs in proptest::collection::vec(arb_journal_record(), 1..40),
+        pos in any::<u16>(),
+    ) {
+        use eevfs::journal::{encode, replay};
+        let mut bytes = encode(&recs);
+        let pos = pos as usize % bytes.len();
+        bytes[pos] ^= 0xFF;
+        let replayed = replay(&bytes);
+        prop_assert!(!replayed.clean, "a flipped byte must mark the log dirty");
+        prop_assert!(replayed.records.len() < recs.len() + 1);
+        prop_assert_eq!(&replayed.records[..], &recs[..replayed.records.len()]);
+    }
+
+    /// Checksum round-trip: CRC32 detects every single-bit flip in a
+    /// block (guaranteed for CRCs, asserted here end-to-end through the
+    /// disk-model implementation), and repairing the block from a healthy
+    /// replica restores the original bytes and verification exactly.
+    #[test]
+    fn single_bit_flip_is_detected_and_repair_restores_the_block(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        bit in any::<u32>(),
+    ) {
+        use disk_model::checksum::crc32;
+        let stored = crc32(&data);
+        let bit = bit as usize % (data.len() * 8);
+        let mut damaged = data.clone();
+        damaged[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(crc32(&damaged) != stored, "flip at bit {} undetected", bit);
+        // Repair-from-replica: copy the healthy replica's bytes over the
+        // damaged block; contents and checksum both round-trip.
+        let replica = data.clone();
+        damaged.copy_from_slice(&replica);
+        prop_assert_eq!(crc32(&damaged), stored);
+        prop_assert_eq!(damaged, data);
+    }
+}
