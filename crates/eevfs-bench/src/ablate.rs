@@ -6,6 +6,7 @@
 //! prediction ("we believe this number will increase as more disks are
 //! added to each EEVFS storage node").
 
+use crate::runner::{GridError, Runner};
 use crate::sweeps::SweepParams;
 use eevfs::baselines;
 use eevfs::config::{ClusterSpec, EevfsConfig};
@@ -362,6 +363,12 @@ pub fn ablate_arrival_mode(p: &SweepParams) -> Ablation {
 /// dying; the energy-aware selector claws some of the cost back by
 /// steering reads to already-spinning replicas.
 pub fn ablate_faults(p: &SweepParams) -> Ablation {
+    try_ablate_faults_on(&Runner::serial(), p).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`ablate_faults`] with the rate × R grid fanned out on `runner`.
+/// A cell that dies comes back as a [`GridError`] naming the grid point.
+pub fn try_ablate_faults_on(runner: &Runner, p: &SweepParams) -> Result<Ablation, GridError> {
     use eevfs::config::ReplicaSelection;
     use eevfs::driver::run_cluster_faulted;
     use fault_model::FaultSpec;
@@ -381,33 +388,42 @@ pub fn ablate_faults(p: &SweepParams) -> Ablation {
         penalty: 0.0,
         run: npf.clone(),
     }];
-    for &rate in &[0.0f64, 2.0, 8.0] {
-        let plan = if rate == 0.0 {
-            FaultPlan::none()
-        } else {
-            FaultPlan::generate(&FaultSpec {
-                seed: p.seed,
-                horizon,
-                nodes: cluster.node_count() as u32,
-                disks_per_node: 2,
-                disk_fail_per_hour: rate,
-                mean_repair: SimDuration::from_secs(60),
-                node_crash_per_hour: rate / 2.0,
-                mean_restart: SimDuration::from_secs(30),
-                spin_up_fail_per_hour: rate,
-            })
-        };
-        for r in [1u32, 2, 3] {
+    // Flattened rate × R grid. Each cell regenerates its rate's plan —
+    // plan generation is seeded and cheap next to the simulation, and
+    // owning the plan is what makes cells independent of each other.
+    let cells: Vec<(f64, u32)> = [0.0f64, 2.0, 8.0]
+        .iter()
+        .flat_map(|&rate| [1u32, 2, 3].map(|r| (rate, r)))
+        .collect();
+    rows.extend(runner.try_map(
+        &cells,
+        |_, &(rate, r)| format!("R={r}, fail rate={rate}/h"),
+        |_, &(rate, r)| {
+            let plan = if rate == 0.0 {
+                FaultPlan::none()
+            } else {
+                FaultPlan::generate(&FaultSpec {
+                    seed: p.seed,
+                    horizon,
+                    nodes: cluster.node_count() as u32,
+                    disks_per_node: 2,
+                    disk_fail_per_hour: rate,
+                    mean_repair: SimDuration::from_secs(60),
+                    node_crash_per_hour: rate / 2.0,
+                    mean_restart: SimDuration::from_secs(30),
+                    spin_up_fail_per_hour: rate,
+                })
+            };
             let cfg = EevfsConfig::paper_pf_replicated(70, r);
             let run = run_cluster_faulted(&cluster, &cfg, &trace, &plan);
-            rows.push(AblationRow {
+            AblationRow {
                 name: format!("R={r}, fail rate={rate}/h"),
                 savings: run.savings_vs(&npf),
                 penalty: run.response_penalty_vs(&npf),
                 run,
-            });
-        }
-    }
+            }
+        },
+    )?);
     // The selector ablation: random-healthy vs energy-aware at R=2.
     let mut random = EevfsConfig::paper_pf_replicated(70, 2);
     random.replica_selection = ReplicaSelection::RandomHealthy;
@@ -418,10 +434,10 @@ pub fn ablate_faults(p: &SweepParams) -> Ablation {
         penalty: run.response_penalty_vs(&npf),
         run,
     });
-    Ablation {
+    Ok(Ablation {
         title: "Fault injection × replication (degraded mode)".into(),
         rows,
-    }
+    })
 }
 
 /// Every ablation in DESIGN.md order.
@@ -433,6 +449,13 @@ pub fn ablate_faults(p: &SweepParams) -> Ablation {
 /// replica, so their duplicate disk activations show up as extra joules:
 /// availability bought with energy, the paper's currency.
 pub fn ablate_resilience(p: &SweepParams) -> Ablation {
+    try_ablate_resilience_on(&Runner::serial(), p).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`ablate_resilience`] with the policy × drop-rate grid fanned out on
+/// `runner`. A cell that dies comes back as a [`GridError`] naming the
+/// grid point.
+pub fn try_ablate_resilience_on(runner: &Runner, p: &SweepParams) -> Result<Ablation, GridError> {
     let cluster = ClusterSpec::paper_testbed();
     let trace = trace_default(p, 1000.0);
     let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
@@ -443,12 +466,18 @@ pub fn ablate_resilience(p: &SweepParams) -> Ablation {
         penalty: 0.0,
         run: npf.clone(),
     }];
-    for (policy_name, policy) in resilience_policies(p.seed) {
-        for &drop in &[0.0f64, 0.05, 0.2] {
-            let profile = if drop == 0.0 {
+    let cells: Vec<(&'static str, RpcPolicy, f64)> = resilience_policies(p.seed)
+        .into_iter()
+        .flat_map(|(name, policy)| [0.0f64, 0.05, 0.2].map(|drop| (name, policy.clone(), drop)))
+        .collect();
+    rows.extend(runner.try_map(
+        &cells,
+        |_, (name, _, drop)| format!("drop={:.0}%, policy={name}", drop * 100.0),
+        |_, (policy_name, policy, drop)| {
+            let profile = if *drop == 0.0 {
                 LinkFaultProfile::none()
             } else {
-                LinkFaultProfile::lossy(p.seed, drop)
+                LinkFaultProfile::lossy(p.seed, *drop)
             };
             let run = run_cluster_resilient(
                 &cluster,
@@ -458,21 +487,21 @@ pub fn ablate_resilience(p: &SweepParams) -> Ablation {
                 ResilienceSetup {
                     net_plan: &NetFaultPlan::none(),
                     profile: &profile,
-                    policy: &policy,
+                    policy,
                 },
             );
-            rows.push(AblationRow {
+            AblationRow {
                 name: format!("drop={:.0}%, policy={policy_name}", drop * 100.0),
                 savings: run.savings_vs(&npf),
                 penalty: run.response_penalty_vs(&npf),
                 run,
-            });
-        }
-    }
-    Ablation {
+            }
+        },
+    )?);
+    Ok(Ablation {
         title: "Network drop rate × RPC policy (resilience)".into(),
         rows,
-    }
+    })
 }
 
 /// Corruption rate × replication × scrub policy: the integrity grid
@@ -487,6 +516,13 @@ pub fn ablate_resilience(p: &SweepParams) -> Ablation {
 /// unrecoverable count is zero. The last row crashes a node mid-run so
 /// the journal-replay counters appear in the same report.
 pub fn ablate_scrub(p: &SweepParams) -> Ablation {
+    try_ablate_scrub_on(&Runner::serial(), p).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`ablate_scrub`] with the rate × R × scrub grid fanned out on
+/// `runner`. A cell that dies comes back as a [`GridError`] naming the
+/// grid point.
+pub fn try_ablate_scrub_on(runner: &Runner, p: &SweepParams) -> Result<Ablation, GridError> {
     use eevfs::driver::{run_cluster_durable, DurabilitySetup};
     use eevfs::scrub::ScrubPolicy;
     use fault_model::{CorruptionPlan, CorruptionSpec, CrashPlan};
@@ -510,43 +546,54 @@ pub fn ablate_scrub(p: &SweepParams) -> Ablation {
         penalty: 0.0,
         run: npf.clone(),
     }];
-    for &rate in &[2.0f64, 10.0] {
-        let corruption = CorruptionPlan::generate(&CorruptionSpec {
-            seed: p.seed,
-            horizon,
-            nodes: cluster.node_count() as u32,
-            disks_per_node: 2,
-            blocks_per_disk,
-            lse_per_disk_hour: rate,
-            flip_per_disk_hour: rate,
-        });
-        for r in [1u32, 2] {
-            for (scrub_name, scrub) in [
-                ("scrub=off", ScrubPolicy::Off),
-                ("scrub=piggyback", ScrubPolicy::piggyback_default()),
-            ] {
-                let cfg = EevfsConfig::paper_pf_replicated(70, r);
-                let run = run_cluster_durable(
-                    &cluster,
-                    &cfg,
-                    &trace,
-                    &FaultPlan::none(),
-                    DurabilitySetup {
-                        corruption: &corruption,
-                        crashes: &CrashPlan::none(),
-                        scrub,
-                        blocks_per_disk,
-                    },
-                );
-                rows.push(AblationRow {
-                    name: format!("R={r}, rot={rate}/disk-h, {scrub_name}"),
-                    savings: run.savings_vs(&npf),
-                    penalty: run.response_penalty_vs(&npf),
-                    run,
-                });
+    // Flattened rate × R × scrub grid; each cell regenerates its rate's
+    // seeded corruption plan so cells own their inputs outright.
+    let cells: Vec<(f64, u32, &'static str, ScrubPolicy)> = [2.0f64, 10.0]
+        .iter()
+        .flat_map(|&rate| {
+            [1u32, 2].into_iter().flat_map(move |r| {
+                [
+                    ("scrub=off", ScrubPolicy::Off),
+                    ("scrub=piggyback", ScrubPolicy::piggyback_default()),
+                ]
+                .map(|(scrub_name, scrub)| (rate, r, scrub_name, scrub))
+            })
+        })
+        .collect();
+    rows.extend(runner.try_map(
+        &cells,
+        |_, &(rate, r, scrub_name, _)| format!("R={r}, rot={rate}/disk-h, {scrub_name}"),
+        |_, &(rate, r, scrub_name, scrub)| {
+            let corruption = CorruptionPlan::generate(&CorruptionSpec {
+                seed: p.seed,
+                horizon,
+                nodes: cluster.node_count() as u32,
+                disks_per_node: 2,
+                blocks_per_disk,
+                lse_per_disk_hour: rate,
+                flip_per_disk_hour: rate,
+            });
+            let cfg = EevfsConfig::paper_pf_replicated(70, r);
+            let run = run_cluster_durable(
+                &cluster,
+                &cfg,
+                &trace,
+                &FaultPlan::none(),
+                DurabilitySetup {
+                    corruption: &corruption,
+                    crashes: &CrashPlan::none(),
+                    scrub,
+                    blocks_per_disk,
+                },
+            );
+            AblationRow {
+                name: format!("R={r}, rot={rate}/disk-h, {scrub_name}"),
+                savings: run.savings_vs(&npf),
+                penalty: run.response_penalty_vs(&npf),
+                run,
             }
-        }
-    }
+        },
+    )?);
     // Crash cell: kill a node mid-run under the heavy-rot scrubbed R=2
     // config; its restart replays the buffer-disk journal.
     let corruption = CorruptionPlan::generate(&CorruptionSpec {
@@ -578,10 +625,10 @@ pub fn ablate_scrub(p: &SweepParams) -> Ablation {
         penalty: run.response_penalty_vs(&npf),
         run,
     });
-    Ablation {
+    Ok(Ablation {
         title: "Corruption rate × replication × scrub (integrity)".into(),
         rows,
-    }
+    })
 }
 
 /// The three retry policies the resilience grid compares.
@@ -615,20 +662,27 @@ pub fn resilience_policies(seed: u64) -> Vec<(&'static str, RpcPolicy)> {
 
 /// Every ablation study, in report order.
 pub fn all_ablations(p: &SweepParams) -> Vec<Ablation> {
-    vec![
-        ablate_threshold(p),
-        ablate_hints(p),
-        ablate_write_buffer(p),
-        ablate_placement(p),
-        ablate_maid(p),
-        ablate_scale(p),
-        ablate_striping(p),
-        ablate_disk_technology(p),
-        ablate_arrival_mode(p),
-        ablate_faults(p),
-        ablate_resilience(p),
-        ablate_scrub(p),
-    ]
+    all_ablations_on(&Runner::serial(), p)
+}
+
+/// [`all_ablations`] with whole studies fanned out on `runner` (each
+/// study is one work item; the studies are mutually independent).
+pub fn all_ablations_on(runner: &Runner, p: &SweepParams) -> Vec<Ablation> {
+    let studies: [fn(&SweepParams) -> Ablation; 12] = [
+        ablate_threshold,
+        ablate_hints,
+        ablate_write_buffer,
+        ablate_placement,
+        ablate_maid,
+        ablate_scale,
+        ablate_striping,
+        ablate_disk_technology,
+        ablate_arrival_mode,
+        ablate_faults,
+        ablate_resilience,
+        ablate_scrub,
+    ];
+    runner.map(&studies, |_, study| study(p))
 }
 
 #[cfg(test)]

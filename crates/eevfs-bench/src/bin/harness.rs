@@ -1,7 +1,11 @@
 //! Experiment harness: regenerates every table/figure in the paper.
 //!
 //! ```text
-//! harness [--requests N] [--seed S] [--json PATH] [--trace-out PATH] <command>
+//! harness [--requests N] [--seed S] [--jobs N] [--json PATH] [--trace-out PATH] <command>
+//!
+//! --jobs N fans independent grid points across N worker threads (0 or
+//! omitted = one per core, 1 = the old serial path); results are
+//! byte-identical at any job count (DESIGN.md §11).
 //!
 //! commands:
 //!   all        every figure and ablation
@@ -19,16 +23,21 @@
 //!   hist         response-time distributions, PF vs NPF
 //!   trace        observed PF run: JSONL trace (--trace-out), power/state
 //!                timeline, prediction accuracy, one request walkthrough
+//!   bench        time the fixed 16-point reference grid at --jobs vs
+//!                serial, verify byte-identical results, write
+//!                BENCH_sim.json (wall-clock, runs/sec, speedup)
 //! ```
 
-use eevfs_bench::ablate::all_ablations;
+use eevfs_bench::ablate::all_ablations_on;
 use eevfs_bench::figures::{fig3_view, fig4_view, fig5_view, fig6, Panel};
 use eevfs_bench::report::{render_ablation, render_figure, render_sweep};
+use eevfs_bench::runner::Runner;
 use eevfs_bench::sweeps::SweepParams;
 use std::process::ExitCode;
 
 struct Args {
     params: SweepParams,
+    jobs: usize,
     json_path: Option<String>,
     trace_path: Option<String>,
     command: String,
@@ -36,6 +45,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut params = SweepParams::default();
+    let mut jobs = 0usize;
     let mut json_path = None;
     let mut trace_path = None;
     let mut command = None;
@@ -49,6 +59,10 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 params.seed = v.parse().map_err(|_| format!("bad --seed {v}"))?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v.parse().map_err(|_| format!("bad --jobs {v}"))?;
             }
             "--json" => {
                 json_path = Some(it.next().ok_or("--json needs a path")?);
@@ -64,10 +78,29 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         params,
+        jobs,
         json_path,
         trace_path,
         command: command.unwrap_or_else(|| "all".into()),
     })
+}
+
+/// What `harness bench` writes to BENCH_sim.json.
+#[derive(serde::Serialize)]
+struct BenchReport {
+    requests: u32,
+    seed: u64,
+    jobs: usize,
+    grid_points: usize,
+    /// Simulations per timed pass (PF + NPF per grid point).
+    runs: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    serial_runs_per_sec: f64,
+    parallel_runs_per_sec: f64,
+    speedup: f64,
+    /// Serialized serial and parallel results compared byte-for-byte.
+    byte_identical: bool,
 }
 
 /// Everything the harness can emit, JSON-serialisable for EXPERIMENTS.md.
@@ -98,6 +131,7 @@ fn main() -> ExitCode {
         }
     };
     let p = &args.params;
+    let runner = Runner::new(args.jobs);
     let mut output = HarnessOutput {
         requests: p.requests,
         seed: p.seed,
@@ -109,7 +143,7 @@ fn main() -> ExitCode {
     match cmd {
         "all" => {
             for panel in Panel::ALL {
-                let pts = panel.run(p);
+                let pts = panel.run_on(&runner, p);
                 println!(
                     "{}",
                     render_sweep(&format!("sweep: {}", panel.xlabel()), &pts)
@@ -120,14 +154,14 @@ fn main() -> ExitCode {
                 output.sweeps.push((panel.xlabel().to_string(), pts));
             }
             println!("{}", render_figure(&fig6(p)));
-            for a in all_ablations(p) {
+            for a in all_ablations_on(&runner, p) {
                 println!("{}", render_ablation(&a));
                 output.ablations.push(a);
             }
         }
         "sweeps" => {
             for panel in Panel::ALL {
-                let pts = panel.run(p);
+                let pts = panel.run_on(&runner, p);
                 println!(
                     "{}",
                     render_sweep(&format!("sweep: {}", panel.xlabel()), &pts)
@@ -137,20 +171,20 @@ fn main() -> ExitCode {
         }
         "fig3a" | "fig3b" | "fig3c" | "fig3d" => {
             let panel = panel_of(&cmd[4..]).expect("suffix checked");
-            let pts = panel.run(p);
+            let pts = panel.run_on(&runner, p);
             println!("{}", render_figure(&fig3_view(panel, &pts)));
             output.sweeps.push((panel.xlabel().to_string(), pts));
         }
         "fig4" => {
             for panel in Panel::ALL {
-                let pts = panel.run(p);
+                let pts = panel.run_on(&runner, p);
                 println!("{}", render_figure(&fig4_view(panel, &pts)));
                 output.sweeps.push((panel.xlabel().to_string(), pts));
             }
         }
         "fig5" => {
             for panel in Panel::ALL {
-                let pts = panel.run(p);
+                let pts = panel.run_on(&runner, p);
                 println!("{}", render_figure(&fig5_view(panel, &pts)));
                 output.sweeps.push((panel.xlabel().to_string(), pts));
             }
@@ -258,13 +292,19 @@ fn main() -> ExitCode {
             }
         }
         "ablate" => {
-            for a in all_ablations(p) {
+            for a in all_ablations_on(&runner, p) {
                 println!("{}", render_ablation(&a));
                 output.ablations.push(a);
             }
         }
         "faults" => {
-            let a = eevfs_bench::ablate::ablate_faults(p);
+            let a = match eevfs_bench::ablate::try_ablate_faults_on(&runner, p) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             println!("{}", render_ablation(&a));
             println!(
                 "{:>28} {:>10} {:>12} {:>8} {:>10} {:>10} {:>8}",
@@ -285,7 +325,13 @@ fn main() -> ExitCode {
             output.ablations.push(a);
         }
         "resilience" => {
-            let a = eevfs_bench::ablate::ablate_resilience(p);
+            let a = match eevfs_bench::ablate::try_ablate_resilience_on(&runner, p) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             println!("{}", render_ablation(&a));
             // Machine-readable grid: one line per drop-rate × policy cell.
             println!(
@@ -320,7 +366,13 @@ fn main() -> ExitCode {
             output.ablations.push(a);
         }
         "scrub" => {
-            let a = eevfs_bench::ablate::ablate_scrub(p);
+            let a = match eevfs_bench::ablate::try_ablate_scrub_on(&runner, p) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             println!("{}", render_ablation(&a));
             // Machine-readable grid: one line per rate × R × policy cell.
             println!(
@@ -356,10 +408,89 @@ fn main() -> ExitCode {
             }
             output.ablations.push(a);
         }
+        "bench" => {
+            use eevfs_bench::sweeps::run_reference_grid;
+            use std::time::Instant;
+
+            let grid_points = eevfs_bench::sweeps::reference_grid().len();
+            let runs = grid_points * 2; // PF + NPF per cell
+            eprintln!(
+                "bench: {grid_points}-point reference grid ({runs} simulations per pass), \
+                 {} requests/run, serial then --jobs {}",
+                p.requests,
+                runner.jobs()
+            );
+
+            let t = Instant::now();
+            let serial_pts = run_reference_grid(&Runner::serial(), p);
+            let serial_s = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let parallel_pts = run_reference_grid(&runner, p);
+            let parallel_s = t.elapsed().as_secs_f64();
+
+            let (serial_json, parallel_json) = match (
+                serde_json::to_string(&serial_pts),
+                serde_json::to_string(&parallel_pts),
+            ) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("serialisation error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let byte_identical = serial_json == parallel_json;
+
+            let report = BenchReport {
+                requests: p.requests,
+                seed: p.seed,
+                jobs: runner.jobs(),
+                grid_points,
+                runs,
+                serial_s,
+                parallel_s,
+                serial_runs_per_sec: runs as f64 / serial_s.max(1e-9),
+                parallel_runs_per_sec: runs as f64 / parallel_s.max(1e-9),
+                speedup: serial_s / parallel_s.max(1e-9),
+                byte_identical,
+            };
+            println!(
+                "serial:   {:>8.3} s  ({:.1} runs/s)\n\
+                 parallel: {:>8.3} s  ({:.1} runs/s, --jobs {})\n\
+                 speedup:  {:>8.2}x\n\
+                 results byte-identical: {}",
+                report.serial_s,
+                report.serial_runs_per_sec,
+                report.parallel_s,
+                report.parallel_runs_per_sec,
+                report.jobs,
+                report.speedup,
+                report.byte_identical,
+            );
+            let path = args.json_path.as_deref().unwrap_or("BENCH_sim.json");
+            match serde_json::to_string_pretty(&report) {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("error writing {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {path}");
+                }
+                Err(e) => {
+                    eprintln!("serialisation error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if !byte_identical {
+                eprintln!("error: parallel results diverged from the serial path");
+                return ExitCode::FAILURE;
+            }
+            return ExitCode::SUCCESS;
+        }
         other => {
             eprintln!(
                 "unknown command {other}; try: all, sweeps, fig3a-d, fig4, fig5, fig6, \
-                 ablate, faults, resilience, scrub, power-curve, hist, trace"
+                 ablate, faults, resilience, scrub, power-curve, hist, trace, bench"
             );
             return ExitCode::FAILURE;
         }

@@ -5,9 +5,10 @@
 //! harness's `all` mode runs each sweep once and renders all three views
 //! from it.
 
+use crate::runner::Runner;
 use crate::sweeps::{
-    berkeley_experiment, sweep_data_size, sweep_inter_arrival, sweep_mu, sweep_prefetch_k,
-    ExperimentPoint, SweepParams,
+    berkeley_experiment, sweep_data_size_on, sweep_inter_arrival_on, sweep_mu_on,
+    sweep_prefetch_k_on, ExperimentPoint, SweepParams,
 };
 use serde::{Deserialize, Serialize};
 
@@ -43,13 +44,18 @@ impl Panel {
         }
     }
 
-    /// Runs the underlying sweep.
+    /// Runs the underlying sweep serially.
     pub fn run(self, p: &SweepParams) -> Vec<ExperimentPoint> {
+        self.run_on(&Runner::serial(), p)
+    }
+
+    /// Runs the underlying sweep with its points fanned out on `runner`.
+    pub fn run_on(self, runner: &Runner, p: &SweepParams) -> Vec<ExperimentPoint> {
         match self {
-            Panel::DataSize => sweep_data_size(p),
-            Panel::Mu => sweep_mu(p),
-            Panel::InterArrival => sweep_inter_arrival(p),
-            Panel::PrefetchK => sweep_prefetch_k(p),
+            Panel::DataSize => sweep_data_size_on(runner, p),
+            Panel::Mu => sweep_mu_on(runner, p),
+            Panel::InterArrival => sweep_inter_arrival_on(runner, p),
+            Panel::PrefetchK => sweep_prefetch_k_on(runner, p),
         }
     }
 }

@@ -11,13 +11,18 @@
 //! * [`ablate`] — ablations over the design choices (idle threshold,
 //!   hints, write buffer, placement policy, MAID/PDC baselines, disks per
 //!   node, the paper's §VII scale-out prediction).
+//! * [`runner`] — the deterministic parallel engine: fans independent
+//!   (grid-point, seed) cells across cores with results byte-identical to
+//!   the serial path (DESIGN.md §11).
 //! * [`report`] — text tables and JSON dumps for EXPERIMENTS.md.
 //!
 //! The `harness` binary drives all of it:
 //!
 //! ```text
-//! harness all            # every figure + ablation, text tables
-//! harness fig3a          # one figure
+//! harness all                  # every figure + ablation, text tables
+//! harness fig3a                # one figure
+//! harness --jobs 8 sweeps      # fan grid points across 8 workers
+//! harness bench                # time the reference grid, serial vs parallel
 //! harness --json out.json all
 //! ```
 
@@ -26,7 +31,9 @@
 pub mod ablate;
 pub mod figures;
 pub mod report;
+pub mod runner;
 pub mod sweeps;
 
 pub use figures::{fig3, fig4, fig5, fig6};
+pub use runner::{GridError, Runner};
 pub use sweeps::{ExperimentPoint, SweepParams};

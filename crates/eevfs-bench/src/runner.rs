@@ -1,0 +1,218 @@
+//! Deterministic parallel execution of independent grid points.
+//!
+//! Every experiment in this crate is a pure function of its inputs: the
+//! simulator threads run-local RNG streams through each run, the driver
+//! shares only immutable `Arc` tables between runs, and nothing reads a
+//! wall clock. A grid of (grid-point, seed) cells is therefore
+//! embarrassingly parallel — and, more importantly, *deterministically*
+//! so. The [`Runner`] hands cells to workers through an atomic cursor and
+//! reassembles their results by cell index, so the output vector is
+//! byte-identical to the serial path no matter how the OS schedules the
+//! threads. `jobs = 1` does not spawn at all: it is literally the old
+//! serial loop.
+//!
+//! DESIGN.md §11 spells out the determinism argument.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A failed grid cell, named so the harness can report *which* point of a
+/// sweep or ablation grid died rather than a bare panic.
+#[derive(Debug, Clone)]
+pub struct GridError {
+    /// Human-readable cell name ("R=2, fail rate=8/h", "25 MB", ...).
+    pub point: String,
+    /// The panic payload or error text.
+    pub message: String,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grid point '{}' failed: {}", self.point, self.message)
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// Fans independent work items out across OS threads.
+///
+/// The runner is deliberately dumb: no queues that outlive a call, no
+/// thread pool to shut down. Each [`map`](Runner::map) call spawns scoped
+/// workers, drains one atomic cursor, and joins. Items are claimed in
+/// index order and results are sorted back into index order, so callers
+/// observe the same `Vec` regardless of `jobs`.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    jobs: usize,
+}
+
+impl Runner {
+    /// A runner with `jobs` worker threads; `0` means one per available
+    /// core ([`std::thread::available_parallelism`]).
+    pub fn new(jobs: usize) -> Runner {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        Runner { jobs }
+    }
+
+    /// The single-threaded runner: `map` degenerates to an in-order loop
+    /// on the calling thread, exactly the pre-parallel behaviour.
+    pub fn serial() -> Runner {
+        Runner { jobs: 1 }
+    }
+
+    /// Worker threads this runner uses.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item and returns the results in item order.
+    ///
+    /// `f` must be a pure function of `(index, item)` — that is what makes
+    /// the output independent of scheduling. A panicking item aborts the
+    /// whole map with a panic naming the item index.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        match self.try_map(items, |i, _| format!("item {i}"), f) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`map`](Runner::map), but a panicking item becomes a
+    /// [`GridError`] carrying `label(index, item)` instead of poisoning
+    /// the process. Every item still runs (grids are small), and the
+    /// error returned is always the *lowest-indexed* failure, so error
+    /// reporting is as deterministic as success.
+    pub fn try_map<T, R, L, F>(&self, items: &[T], label: L, f: F) -> Result<Vec<R>, GridError>
+    where
+        T: Sync,
+        R: Send,
+        L: Fn(usize, &T) -> String + Sync,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let run_one = |i: usize, item: &T| -> Result<R, GridError> {
+            catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| GridError {
+                point: label(i, item),
+                message: panic_text(payload),
+            })
+        };
+
+        if self.jobs == 1 || items.len() <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| run_one(i, item))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(items.len());
+        let mut collected: Vec<(usize, Result<R, GridError>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            local.push((i, run_one(i, &items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("runner worker panicked outside a cell"))
+                .collect()
+        });
+        collected.sort_by_key(|&(i, _)| i);
+
+        let mut out = Vec::with_capacity(items.len());
+        for (_, r) in collected {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+}
+
+impl Default for Runner {
+    /// One worker per available core.
+    fn default() -> Runner {
+        Runner::new(0)
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order_at_any_job_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = Runner::new(jobs).map(&items, |_, &x| x * x);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_means_available_parallelism() {
+        assert!(Runner::new(0).jobs() >= 1);
+        assert_eq!(Runner::serial().jobs(), 1);
+    }
+
+    #[test]
+    fn try_map_names_the_lowest_failing_point() {
+        let items: Vec<u32> = (0..20).collect();
+        for jobs in [1, 8] {
+            let err = Runner::new(jobs)
+                .try_map(
+                    &items,
+                    |_, &x| format!("cell {x}"),
+                    |_, &x| {
+                        if x == 7 || x == 13 {
+                            panic!("boom at {x}");
+                        }
+                        x
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err.point, "cell 7", "jobs={jobs}");
+            assert!(err.message.contains("boom at 7"), "{err}");
+            assert!(err.to_string().contains("cell 7"));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_grids_work() {
+        let r = Runner::new(4);
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(r.map(&empty, |_, &x| x), Vec::<u32>::new());
+        assert_eq!(r.map(&[41u32], |_, &x| x + 1), vec![42]);
+    }
+}

@@ -4,6 +4,7 @@
 //! data size 10 MB, MU 1000, inter-arrival 700 ms, 70 files to prefetch,
 //! idle threshold 5 s, 1000 files, 1000 requests.
 
+use crate::runner::Runner;
 use eevfs::config::{ClusterSpec, EevfsConfig};
 use eevfs::driver::run_cluster;
 use eevfs::metrics::RunMetrics;
@@ -78,80 +79,90 @@ fn pf_npf(
 
 /// Fig 3(a)/4(a)/5(a): data size ∈ {1, 10, 25, 50} MB.
 pub fn sweep_data_size(p: &SweepParams) -> Vec<ExperimentPoint> {
+    sweep_data_size_on(&Runner::serial(), p)
+}
+
+/// [`sweep_data_size`] with its grid points fanned out on `runner`.
+pub fn sweep_data_size_on(runner: &Runner, p: &SweepParams) -> Vec<ExperimentPoint> {
     let cluster = ClusterSpec::paper_testbed();
-    [1u64, 10, 25, 50]
-        .iter()
-        .map(|&mb| {
-            let trace = generate(&SyntheticSpec {
-                mean_size_bytes: mb * 1_000_000,
-                ..base_spec(p)
-            });
-            let (pf, npf) = pf_npf(&cluster, &trace, 70);
-            ExperimentPoint {
-                label: format!("{mb} MB"),
-                x: mb as f64,
-                pf,
-                npf,
-            }
-        })
-        .collect()
+    runner.map(&[1u64, 10, 25, 50], |_, &mb| {
+        let trace = generate(&SyntheticSpec {
+            mean_size_bytes: mb * 1_000_000,
+            ..base_spec(p)
+        });
+        let (pf, npf) = pf_npf(&cluster, &trace, 70);
+        ExperimentPoint {
+            label: format!("{mb} MB"),
+            x: mb as f64,
+            pf,
+            npf,
+        }
+    })
 }
 
 /// Fig 3(b)/4(b)/5(b): MU ∈ {1, 10, 100, 1000}.
 pub fn sweep_mu(p: &SweepParams) -> Vec<ExperimentPoint> {
+    sweep_mu_on(&Runner::serial(), p)
+}
+
+/// [`sweep_mu`] with its grid points fanned out on `runner`.
+pub fn sweep_mu_on(runner: &Runner, p: &SweepParams) -> Vec<ExperimentPoint> {
     let cluster = ClusterSpec::paper_testbed();
-    [1.0f64, 10.0, 100.0, 1000.0]
-        .iter()
-        .map(|&mu| {
-            let trace = generate(&SyntheticSpec { mu, ..base_spec(p) });
-            let (pf, npf) = pf_npf(&cluster, &trace, 70);
-            ExperimentPoint {
-                label: format!("MU={mu}"),
-                x: mu,
-                pf,
-                npf,
-            }
-        })
-        .collect()
+    runner.map(&[1.0f64, 10.0, 100.0, 1000.0], |_, &mu| {
+        let trace = generate(&SyntheticSpec { mu, ..base_spec(p) });
+        let (pf, npf) = pf_npf(&cluster, &trace, 70);
+        ExperimentPoint {
+            label: format!("MU={mu}"),
+            x: mu,
+            pf,
+            npf,
+        }
+    })
 }
 
 /// Fig 3(c)/4(c)/5(c): inter-arrival delay ∈ {0, 350, 700, 1000} ms.
 pub fn sweep_inter_arrival(p: &SweepParams) -> Vec<ExperimentPoint> {
+    sweep_inter_arrival_on(&Runner::serial(), p)
+}
+
+/// [`sweep_inter_arrival`] with its grid points fanned out on `runner`.
+pub fn sweep_inter_arrival_on(runner: &Runner, p: &SweepParams) -> Vec<ExperimentPoint> {
     let cluster = ClusterSpec::paper_testbed();
-    [0u64, 350, 700, 1000]
-        .iter()
-        .map(|&ms| {
-            let trace = generate(&SyntheticSpec {
-                inter_arrival: SimDuration::from_millis(ms),
-                ..base_spec(p)
-            });
-            let (pf, npf) = pf_npf(&cluster, &trace, 70);
-            ExperimentPoint {
-                label: format!("{ms} ms"),
-                x: ms as f64,
-                pf,
-                npf,
-            }
-        })
-        .collect()
+    runner.map(&[0u64, 350, 700, 1000], |_, &ms| {
+        let trace = generate(&SyntheticSpec {
+            inter_arrival: SimDuration::from_millis(ms),
+            ..base_spec(p)
+        });
+        let (pf, npf) = pf_npf(&cluster, &trace, 70);
+        ExperimentPoint {
+            label: format!("{ms} ms"),
+            x: ms as f64,
+            pf,
+            npf,
+        }
+    })
 }
 
 /// Fig 3(d)/4(d)/5(d): files to prefetch ∈ {10, 40, 70, 100}.
 pub fn sweep_prefetch_k(p: &SweepParams) -> Vec<ExperimentPoint> {
+    sweep_prefetch_k_on(&Runner::serial(), p)
+}
+
+/// [`sweep_prefetch_k`] with its grid points fanned out on `runner`.
+/// All four K values replay the same trace, so it is generated once and
+/// borrowed by every worker.
+pub fn sweep_prefetch_k_on(runner: &Runner, p: &SweepParams) -> Vec<ExperimentPoint> {
     let cluster = ClusterSpec::paper_testbed();
     let trace = generate(&base_spec(p));
-    [10u32, 40, 70, 100]
-        .iter()
-        .map(|&k| {
-            let (pf, npf) = pf_npf(&cluster, &trace, k);
-            ExperimentPoint {
-                label: format!("K={k}"),
-                x: k as f64,
-                pf,
-                npf,
-            }
-        })
-        .collect()
+    runner.map(&[10u32, 40, 70, 100], |_, &k| {
+        let (pf, npf) = pf_npf(&cluster, &trace, k);
+        ExperimentPoint {
+            label: format!("K={k}"),
+            x: k as f64,
+            pf,
+            npf,
+        }
+    })
 }
 
 /// Fig 6: the Berkeley web-trace substitute (10 MB data size, K=70).
@@ -169,6 +180,91 @@ pub fn berkeley_experiment(p: &SweepParams) -> ExperimentPoint {
         pf,
         npf,
     }
+}
+
+/// One cell of the fixed reference grid `harness bench` times.
+///
+/// The four Table II sweeps are flattened into a single list so the
+/// runner's work-stealing cursor can balance mixed-cost cells (a 50 MB
+/// data-size cell costs far more than a 1 MB one) across workers instead
+/// of serialising sweep-by-sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GridCell {
+    /// A data-size sweep cell (mean file size, MB).
+    DataSize(u64),
+    /// An MU sweep cell.
+    Mu(u32),
+    /// An inter-arrival sweep cell (delay, ms).
+    InterArrival(u64),
+    /// A prefetch-K sweep cell.
+    PrefetchK(u32),
+}
+
+impl GridCell {
+    /// The cell's human-readable grid-point name.
+    pub fn label(&self) -> String {
+        match *self {
+            GridCell::DataSize(mb) => format!("data size {mb} MB"),
+            GridCell::Mu(mu) => format!("MU={mu}"),
+            GridCell::InterArrival(ms) => format!("inter-arrival {ms} ms"),
+            GridCell::PrefetchK(k) => format!("K={k}"),
+        }
+    }
+}
+
+/// The 16 cells of the reference grid, in Table II order.
+pub fn reference_grid() -> Vec<GridCell> {
+    let mut cells = Vec::with_capacity(16);
+    cells.extend([1u64, 10, 25, 50].map(GridCell::DataSize));
+    cells.extend([1u32, 10, 100, 1000].map(GridCell::Mu));
+    cells.extend([0u64, 350, 700, 1000].map(GridCell::InterArrival));
+    cells.extend([10u32, 40, 70, 100].map(GridCell::PrefetchK));
+    cells
+}
+
+/// Runs one reference-grid cell: trace generation plus the PF and NPF
+/// simulations. Pure in `(cell, p)`, which is what lets the runner fan
+/// cells out in any order.
+pub fn run_grid_cell(cell: &GridCell, p: &SweepParams) -> ExperimentPoint {
+    let cluster = ClusterSpec::paper_testbed();
+    let (spec, k) = match *cell {
+        GridCell::DataSize(mb) => (
+            SyntheticSpec {
+                mean_size_bytes: mb * 1_000_000,
+                ..base_spec(p)
+            },
+            70,
+        ),
+        GridCell::Mu(mu) => (
+            SyntheticSpec {
+                mu: mu as f64,
+                ..base_spec(p)
+            },
+            70,
+        ),
+        GridCell::InterArrival(ms) => (
+            SyntheticSpec {
+                inter_arrival: SimDuration::from_millis(ms),
+                ..base_spec(p)
+            },
+            70,
+        ),
+        GridCell::PrefetchK(k) => (base_spec(p), k),
+    };
+    let trace = generate(&spec);
+    let (pf, npf) = pf_npf(&cluster, &trace, k);
+    ExperimentPoint {
+        label: cell.label(),
+        x: 0.0,
+        pf,
+        npf,
+    }
+}
+
+/// Runs the whole reference grid on `runner`, results in grid order.
+pub fn run_reference_grid(runner: &Runner, p: &SweepParams) -> Vec<ExperimentPoint> {
+    let cells = reference_grid();
+    runner.map(&cells, |_, cell| run_grid_cell(cell, p))
 }
 
 #[cfg(test)]
@@ -212,6 +308,22 @@ mod tests {
         let e0 = pts[0].npf.total_energy_j;
         for pt in &pts {
             assert!((pt.npf.total_energy_j - e0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reference_grid_is_schedule_independent() {
+        let p = SweepParams {
+            requests: 100,
+            ..SweepParams::default()
+        };
+        let serial = run_reference_grid(&Runner::serial(), &p);
+        let parallel = run_reference_grid(&Runner::new(8), &p);
+        assert_eq!(serial.len(), 16);
+        for (s, q) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, q.label);
+            assert_eq!(s.pf, q.pf, "{}", s.label);
+            assert_eq!(s.npf, q.npf, "{}", s.label);
         }
     }
 

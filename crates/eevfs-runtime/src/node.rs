@@ -563,32 +563,23 @@ mod tests {
         )
         .expect("send");
         let (mut push, _) = client.accept().expect("accept push");
-        let data = read_message(&mut push).expect("read push");
-        match data {
-            Message::FileData { req_id, file, data } => {
-                assert_eq!(req_id, 31, "node must echo the request id");
-                assert_eq!(file, 2);
-                assert_eq!(data.len(), 2048);
-                assert!(verify_pattern(2, &data));
-            }
-            other => panic!("expected FileData, got {other:?}"),
-        }
+        let fd = read_message(&mut push)
+            .expect("read push")
+            .into_file_data()
+            .expect("push frame");
+        assert_eq!(fd.req_id, 31, "node must echo the request id");
+        assert_eq!(fd.file, 2);
+        assert_eq!(fd.data.len(), 2048);
+        assert!(verify_pattern(2, &fd.data));
         assert_eq!(read_message(&mut ctl).expect("ack"), Message::Ok);
 
         // Stats reflect the buffer state: one prefetch, one miss.
-        match rpc(&mut ctl, &Message::StatsRequest) {
-            Message::Stats {
-                hits,
-                misses,
-                disk_joules,
-                ..
-            } => {
-                assert_eq!(hits, 0);
-                assert_eq!(misses, 1);
-                assert!(disk_joules > 0.0);
-            }
-            other => panic!("expected Stats, got {other:?}"),
-        }
+        let stats = rpc(&mut ctl, &Message::StatsRequest)
+            .into_stats()
+            .expect("stats reply");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 1);
+        assert!(stats.disk_joules > 0.0);
 
         assert_eq!(rpc(&mut ctl, &Message::Shutdown), Message::Shutdown);
         node.join();
@@ -629,12 +620,10 @@ mod tests {
         ));
         read_message(&mut ctl).expect("ack");
 
-        match rpc(&mut ctl, &Message::StatsRequest) {
-            Message::Stats { hits, misses, .. } => {
-                assert_eq!((hits, misses), (1, 0));
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        let stats = rpc(&mut ctl, &Message::StatsRequest)
+            .into_stats()
+            .expect("stats reply");
+        assert_eq!((stats.hits, stats.misses), (1, 0));
         rpc(&mut ctl, &Message::Shutdown);
         node.join();
         let _ = std::fs::remove_dir_all(root);
@@ -685,31 +674,24 @@ mod tests {
             )
             .expect("send");
             let (mut push, _) = client.accept().expect("accept");
-            match read_message(&mut push).expect("data") {
-                Message::FileData {
-                    file: got, data, ..
-                } => {
-                    assert_eq!(got, file);
-                    assert!(verify_pattern(file, &data));
-                }
-                other => panic!("expected FileData, got {other:?}"),
-            }
+            let fd = read_message(&mut push)
+                .expect("data")
+                .into_file_data()
+                .expect("push frame");
+            assert_eq!(fd.file, file);
+            assert!(verify_pattern(file, &fd.data));
             assert_eq!(read_message(&mut ctl).expect("ack"), Message::Ok);
         }
-        match rpc(&mut ctl, &Message::StatsRequest) {
-            Message::Stats {
-                hits,
-                misses,
-                journal_replays,
-                corruptions_detected,
-                ..
-            } => {
-                assert_eq!(journal_replays, 1, "boot over a journal replays once");
-                assert_eq!((hits, misses), (1, 1), "catalog recovered from journal");
-                assert_eq!(corruptions_detected, 0);
-            }
-            other => panic!("expected Stats, got {other:?}"),
-        }
+        let stats = rpc(&mut ctl, &Message::StatsRequest)
+            .into_stats()
+            .expect("stats reply");
+        assert_eq!(stats.journal_replays, 1, "boot over a journal replays once");
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (1, 1),
+            "catalog recovered from journal"
+        );
+        assert_eq!(stats.corruptions_detected, 0);
         rpc(&mut ctl, &Message::Shutdown);
         node.join();
         let _ = std::fs::remove_dir_all(root);

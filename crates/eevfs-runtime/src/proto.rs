@@ -178,6 +178,39 @@ pub enum Message {
     },
 }
 
+/// Payload of a [`Message::FileData`] frame, extracted by
+/// [`Message::into_file_data`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileDataPayload {
+    /// Request id echoed from the originating `Get`/`Put`.
+    pub req_id: u64,
+    /// File id.
+    pub file: u32,
+    /// Contents.
+    pub data: Bytes,
+}
+
+/// Counters of a [`Message::Stats`] frame, extracted by
+/// [`Message::into_stats`]. Field meanings match the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[allow(missing_docs)]
+pub struct StatsCounters {
+    pub disk_joules: f64,
+    pub spin_ups: u64,
+    pub spin_downs: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub failovers: u64,
+    pub retries: u64,
+    pub hedges: u64,
+    pub hedges_won: u64,
+    pub breaker_trips: u64,
+    pub breaker_recoveries: u64,
+    pub deadline_misses: u64,
+    pub journal_replays: u64,
+    pub corruptions_detected: u64,
+}
+
 /// Codec errors.
 #[derive(Debug)]
 pub enum CodecError {
@@ -189,6 +222,16 @@ pub enum CodecError {
     /// protocol revision or garbage) — distinct from [`CodecError::Malformed`]
     /// so callers can choose to skip rather than tear down the connection.
     UnknownTag(u8),
+    /// A well-formed frame arrived where a different message was required
+    /// (protocol *state* violation, e.g. a node answering `StatsRequest`
+    /// with `Ok`). Carrying both sides keeps the error self-describing
+    /// without killing the thread that noticed.
+    Unexpected {
+        /// The variant the caller needed.
+        expected: &'static str,
+        /// The variant that actually arrived.
+        got: &'static str,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -197,6 +240,9 @@ impl std::fmt::Display for CodecError {
             CodecError::Io(e) => write!(f, "io: {e}"),
             CodecError::Malformed(why) => write!(f, "malformed frame: {why}"),
             CodecError::UnknownTag(tag) => write!(f, "unknown message tag {tag}"),
+            CodecError::Unexpected { expected, got } => {
+                write!(f, "protocol mismatch: expected {expected}, got {got}")
+            }
         }
     }
 }
@@ -241,6 +287,86 @@ impl Message {
             | Message::Put { req_id, .. }
             | Message::FileData { req_id, .. } => Some(*req_id),
             _ => None,
+        }
+    }
+
+    /// Variant name, for [`CodecError::Unexpected`] diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::CreateFile { .. } => "CreateFile",
+            Message::Prefetch { .. } => "Prefetch",
+            Message::Hints { .. } => "Hints",
+            Message::Get { .. } => "Get",
+            Message::FileData { .. } => "FileData",
+            Message::Ok => "Ok",
+            Message::Err { .. } => "Err",
+            Message::StatsRequest => "StatsRequest",
+            Message::Stats { .. } => "Stats",
+            Message::Shutdown => "Shutdown",
+            Message::Put { .. } => "Put",
+            Message::KillNode { .. } => "KillNode",
+            Message::FailDisk { .. } => "FailDisk",
+            Message::RepairDisk { .. } => "RepairDisk",
+            Message::ReviveNode { .. } => "ReviveNode",
+            Message::PartitionLink { .. } => "PartitionLink",
+            Message::HealLink { .. } => "HealLink",
+            Message::Register { .. } => "Register",
+        }
+    }
+
+    /// Consumes the message, returning the `FileData` payload, or a typed
+    /// [`CodecError::Unexpected`] naming what arrived instead — the
+    /// conversion a peer performs after a `Get`/`Put` push, where the
+    /// wrong frame must surface as an error rather than kill the thread.
+    pub fn into_file_data(self) -> Result<FileDataPayload, CodecError> {
+        match self {
+            Message::FileData { req_id, file, data } => Ok(FileDataPayload { req_id, file, data }),
+            other => Err(CodecError::Unexpected {
+                expected: "FileData",
+                got: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Consumes the message, returning the stats counters, or a typed
+    /// [`CodecError::Unexpected`] naming what arrived instead.
+    pub fn into_stats(self) -> Result<StatsCounters, CodecError> {
+        match self {
+            Message::Stats {
+                disk_joules,
+                spin_ups,
+                spin_downs,
+                hits,
+                misses,
+                failovers,
+                retries,
+                hedges,
+                hedges_won,
+                breaker_trips,
+                breaker_recoveries,
+                deadline_misses,
+                journal_replays,
+                corruptions_detected,
+            } => Ok(StatsCounters {
+                disk_joules,
+                spin_ups,
+                spin_downs,
+                hits,
+                misses,
+                failovers,
+                retries,
+                hedges,
+                hedges_won,
+                breaker_trips,
+                breaker_recoveries,
+                deadline_misses,
+                journal_replays,
+                corruptions_detected,
+            }),
+            other => Err(CodecError::Unexpected {
+                expected: "Stats",
+                got: other.kind_name(),
+            }),
         }
     }
 

@@ -643,25 +643,18 @@ impl ServerState {
                 continue;
             }
             match self.rpc(node, &Message::StatsRequest) {
-                Ok(Message::Stats {
-                    disk_joules,
-                    spin_ups,
-                    spin_downs,
-                    hits,
-                    misses,
-                    journal_replays,
-                    corruptions_detected,
-                    ..
-                }) => {
-                    total.disk_joules += disk_joules;
-                    total.spin_ups += spin_ups;
-                    total.spin_downs += spin_downs;
-                    total.hits += hits;
-                    total.misses += misses;
-                    total.journal_replays += journal_replays;
-                    total.corruptions_detected += corruptions_detected;
+                // A wrong-but-well-formed reply propagates as a typed
+                // `CodecError::Unexpected` naming both sides.
+                Ok(reply) => {
+                    let s = reply.into_stats()?;
+                    total.disk_joules += s.disk_joules;
+                    total.spin_ups += s.spin_ups;
+                    total.spin_downs += s.spin_downs;
+                    total.hits += s.hits;
+                    total.misses += s.misses;
+                    total.journal_replays += s.journal_replays;
+                    total.corruptions_detected += s.corruptions_detected;
                 }
-                Ok(_) => return Err(CodecError::Malformed("unexpected reply to StatsRequest")),
                 // A node that died since the last request just drops out
                 // of the totals.
                 Err(_) => self.node_up[node] = false,

@@ -1545,14 +1545,15 @@ fn run_cluster_inner(
     };
     let prefetch_member = plan.membership(trace.file_count());
 
-    // Step 4 (hints): the energy prediction model.
-    let data_specs: Vec<Vec<disk_model::DiskSpec>> =
-        cluster.nodes.iter().map(|n| n.data_disks.clone()).collect();
-    let buffer_specs: Vec<disk_model::DiskSpec> = cluster
+    // Step 4 (hints): the energy prediction model. Specs are borrowed
+    // straight from the cluster description — no per-run copies.
+    let data_specs: Vec<&[disk_model::DiskSpec]> = cluster
         .nodes
         .iter()
-        .map(|n| n.buffer_disk.clone())
+        .map(|n| n.data_disks.as_slice())
         .collect();
+    let buffer_specs: Vec<&disk_model::DiskSpec> =
+        cluster.nodes.iter().map(|n| &n.buffer_disk).collect();
     let benefit = predict_benefit(trace, &placement, &plan, &data_specs, &buffer_specs, cfg);
 
     // Build node state.
@@ -1703,8 +1704,10 @@ fn run_cluster_inner(
         .collect();
     let server = StorageServer::new(
         ServerMetadata::with_replicas(
-            placement.node_of_file.clone(),
-            trace.file_sizes.clone(),
+            // Reference bumps: the server shares the placement and size
+            // tables rather than copying them per run.
+            std::sync::Arc::clone(&placement.node_of_file),
+            std::sync::Arc::clone(&trace.file_sizes),
             replica_nodes,
         ),
         cluster.server_proc_time,
@@ -1723,7 +1726,10 @@ fn run_cluster_inner(
         },
     ));
     let max_disks = cluster.data_disk_counts().into_iter().max().unwrap_or(0);
-    let health = HealthTracker::new(shifted_faults.clone(), cluster.node_count(), max_disks);
+    // Only the wake-up instants are needed once the plan moves into the
+    // tracker, so remember them instead of cloning the whole plan.
+    let fault_times: Vec<SimTime> = shifted_faults.events().iter().map(|e| e.at).collect();
+    let health = HealthTracker::new(shifted_faults, cluster.node_count(), max_disks);
 
     // Durability state: corruption tracker over the shifted plan, scrub
     // cursors, the victim map from corrupt blocks to files, and one
@@ -1775,20 +1781,23 @@ fn run_cluster_inner(
         }
     });
 
-    // Network fault injection, shifted into sim time the same way.
-    let shifted_net = resilience.as_ref().map(|setup| {
-        NetFaultPlan::from_trace(setup.net_plan.events().iter().map(|e| NetFaultEvent {
-            at: e.at + warmup,
-            kind: e.kind,
-        }))
-    });
+    // Network fault injection, shifted into sim time the same way. The
+    // shifted plan goes straight into the injector — the plan that decides
+    // message fates and the schedule that arms `Ev::NetFault` wake-ups are
+    // the same object, so they cannot diverge; the wake-up instants are
+    // read back off the injector below.
     let net = resilience.as_ref().map(|setup| {
-        NetFaultInjector::new(
-            setup.profile.clone(),
-            shifted_net.clone().expect("built together"),
-            cluster.node_count(),
-        )
+        let shifted =
+            NetFaultPlan::from_trace(setup.net_plan.events().iter().map(|e| NetFaultEvent {
+                at: e.at + warmup,
+                kind: e.kind,
+            }));
+        NetFaultInjector::new(setup.profile.clone(), shifted, cluster.node_count())
     });
+    let net_times: Vec<SimTime> = net
+        .as_ref()
+        .map(|inj| inj.event_times().collect())
+        .unwrap_or_default();
     let policy = resilience.as_ref().map(|setup| setup.policy.clone());
     let breakers = match &policy {
         Some(p) => vec![CircuitBreaker::new(p.breaker); cluster.node_count()],
@@ -1881,15 +1890,23 @@ fn run_cluster_inner(
         dur: dur_state,
     };
 
-    let mut engine = Engine::new(sim);
+    // Pre-size the queue for everything scheduled up front (issues or
+    // stream seeds, fault and net-fault wake-ups, one sleep check per
+    // disk) so the hot loop starts past the heap's growth phase.
+    let seeded = if closed_loop {
+        streams.min(n_requests)
+    } else {
+        n_requests
+    };
+    let initial_events =
+        seeded + fault_times.len() + net_times.len() + cluster.node_count() * max_disks;
+    let mut engine = Engine::with_capacity(sim, initial_events);
     // Fault events fire at their scheduled instants.
-    for e in shifted_faults.events() {
-        engine.queue_mut().schedule(e.at, Ev::Fault);
+    for &at in &fault_times {
+        engine.queue_mut().schedule(at, Ev::Fault);
     }
-    if let Some(net_plan) = &shifted_net {
-        for e in net_plan.events() {
-            engine.queue_mut().schedule(e.at, Ev::NetFault);
-        }
+    for &at in &net_times {
+        engine.queue_mut().schedule(at, Ev::NetFault);
     }
     // Initial power check: disks idle after their prefetch tail.
     for node in 0..cluster.node_count() {

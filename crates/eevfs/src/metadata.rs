@@ -9,13 +9,19 @@
 //! path and scale.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use workload::record::FileId;
 
 /// The server's global metadata: file → storage node(s), file size.
+///
+/// The placement and size tables are shared (`Arc`): they are produced
+/// once per run by placement / trace generation and are read-only from
+/// then on, so handing them to the server — or to many parallel sweep
+/// workers — is a reference bump, not a table copy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerMetadata {
-    node_of_file: Vec<u32>,
-    size_of_file: Vec<u64>,
+    node_of_file: Arc<Vec<u32>>,
+    size_of_file: Arc<Vec<u64>>,
     /// Replica node sets, primary first; empty inner vec = unreplicated
     /// (primary only). Kept sparse so R=1 metadata stays byte-compatible
     /// in size with the seed layout.
@@ -23,8 +29,14 @@ pub struct ServerMetadata {
 }
 
 impl ServerMetadata {
-    /// Builds the map; `node_of_file[f]` must index a real node.
-    pub fn new(node_of_file: Vec<u32>, size_of_file: Vec<u64>) -> Self {
+    /// Builds the map; `node_of_file[f]` must index a real node. Accepts
+    /// owned tables or pre-shared `Arc`s.
+    pub fn new(
+        node_of_file: impl Into<Arc<Vec<u32>>>,
+        size_of_file: impl Into<Arc<Vec<u64>>>,
+    ) -> Self {
+        let node_of_file = node_of_file.into();
+        let size_of_file = size_of_file.into();
         assert_eq!(
             node_of_file.len(),
             size_of_file.len(),
@@ -42,10 +54,11 @@ impl ServerMetadata {
     /// lists every node holding a copy, primary first — it must agree
     /// with `node_of_file[f]` in slot 0).
     pub fn with_replicas(
-        node_of_file: Vec<u32>,
-        size_of_file: Vec<u64>,
+        node_of_file: impl Into<Arc<Vec<u32>>>,
+        size_of_file: impl Into<Arc<Vec<u64>>>,
         replica_nodes: Vec<Vec<u32>>,
     ) -> Self {
+        let node_of_file = node_of_file.into();
         assert_eq!(
             node_of_file.len(),
             replica_nodes.len(),

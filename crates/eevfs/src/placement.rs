@@ -14,16 +14,22 @@
 
 use crate::config::PlacementPolicy;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use workload::popularity::PopularityTable;
 use workload::record::FileId;
 
 /// Result of placement: per-file node and local-disk assignments.
+///
+/// The per-file tables are shared (`Arc`): placement is computed once per
+/// run and then read by the server metadata, the prefetch planner, the
+/// replicator, and the simulation hot loop — sharing keeps those consumers
+/// from deep-copying a table per run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlacementPlan {
     /// `node_of_file[f]` = index of the owning storage node.
-    pub node_of_file: Vec<u32>,
+    pub node_of_file: Arc<Vec<u32>>,
     /// `disk_of_file[f]` = index of the data disk within that node.
-    pub disk_of_file: Vec<u32>,
+    pub disk_of_file: Arc<Vec<u32>>,
     /// The order in which each node saw create requests (popularity order
     /// under the paper's policy) — what node-local metadata records.
     pub creation_order: Vec<Vec<FileId>>,
@@ -101,8 +107,8 @@ pub fn place(
     }
 
     PlacementPlan {
-        node_of_file,
-        disk_of_file,
+        node_of_file: Arc::new(node_of_file),
+        disk_of_file: Arc::new(disk_of_file),
         creation_order,
     }
 }
@@ -121,7 +127,7 @@ mod tests {
         let pop = descending_popularity(8);
         let plan = place(PlacementPolicy::PopularityRoundRobin, &pop, &[2, 2]);
         // Ranked = file 0,1,2,...: node pattern 0,1,0,1,...
-        assert_eq!(plan.node_of_file, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        assert_eq!(*plan.node_of_file, vec![0, 1, 0, 1, 0, 1, 0, 1]);
         // Within node 0 files 0,2,4,6 alternate between its 2 disks.
         assert_eq!(plan.disk_of_file[0], 0);
         assert_eq!(plan.disk_of_file[2], 1);
@@ -155,7 +161,7 @@ mod tests {
         // Reverse popularity (file 0 coldest): plain RR still goes by id.
         let pop = PopularityTable::from_counts((0..6u64).collect());
         let plan = place(PlacementPolicy::PlainRoundRobin, &pop, &[1, 1, 1]);
-        assert_eq!(plan.node_of_file, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(*plan.node_of_file, vec![0, 1, 2, 0, 1, 2]);
     }
 
     #[test]
@@ -164,8 +170,8 @@ mod tests {
         let plan = place(PlacementPolicy::PdcConcentration, &pop, &[2, 2]);
         // 8 files over 4 disks = 2 per disk, hottest first.
         // Files 0,1 -> node0/disk0; 2,3 -> node0/disk1; 4,5 -> node1/disk0...
-        assert_eq!(plan.node_of_file, vec![0, 0, 0, 0, 1, 1, 1, 1]);
-        assert_eq!(plan.disk_of_file, vec![0, 0, 1, 1, 0, 0, 1, 1]);
+        assert_eq!(*plan.node_of_file, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(*plan.disk_of_file, vec![0, 0, 1, 1, 0, 0, 1, 1]);
     }
 
     #[test]
@@ -173,7 +179,7 @@ mod tests {
         let pop = descending_popularity(7);
         let plan = place(PlacementPolicy::PdcConcentration, &pop, &[1, 1]);
         // ceil(7/2)=4 per disk: files 0-3 on node0, 4-6 on node1.
-        assert_eq!(plan.node_of_file, vec![0, 0, 0, 0, 1, 1, 1]);
+        assert_eq!(*plan.node_of_file, vec![0, 0, 0, 0, 1, 1, 1]);
     }
 
     #[test]

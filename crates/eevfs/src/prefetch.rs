@@ -120,20 +120,29 @@ impl BenefitReport {
 /// with [`sleep_benefit_joules`]. Prefetch cost models the extra active
 /// time on data and buffer disks ((p_active − p_idle) × transfer time per
 /// copy).
-pub fn predict_benefit(
+/// `data_disk_specs` and `buffer_specs` are generic over ownership so
+/// callers can pass either owned tables (`Vec<Vec<DiskSpec>>`, tests) or
+/// views borrowed straight from a [`ClusterSpec`](crate::config::ClusterSpec)
+/// (`Vec<&[DiskSpec]>` / `Vec<&DiskSpec>`, the driver) without cloning a
+/// spec per run.
+pub fn predict_benefit<D, B>(
     trace: &Trace,
     placement: &PlacementPlan,
     plan: &PrefetchPlan,
-    data_disk_specs: &[Vec<DiskSpec>],
-    buffer_specs: &[DiskSpec],
+    data_disk_specs: &[D],
+    buffer_specs: &[B],
     cfg: &EevfsConfig,
-) -> BenefitReport {
+) -> BenefitReport
+where
+    D: AsRef<[DiskSpec]>,
+    B: std::borrow::Borrow<DiskSpec>,
+{
     let member = plan.membership(trace.file_count());
     // Collect per-disk predicted physical touch times.
     let n_nodes = data_disk_specs.len();
     let mut touches: Vec<Vec<Vec<SimTime>>> = data_disk_specs
         .iter()
-        .map(|disks| vec![Vec::new(); disks.len()])
+        .map(|disks| vec![Vec::new(); disks.as_ref().len()])
         .collect();
     for r in &trace.records {
         let absorbed = match r.op {
@@ -152,7 +161,7 @@ pub fn predict_benefit(
     let mut benefit = 0.0;
     let mut windows = 0usize;
     for node in 0..n_nodes {
-        for (disk, spec) in data_disk_specs[node].iter().enumerate() {
+        for (disk, spec) in data_disk_specs[node].as_ref().iter().enumerate() {
             let ws = idle_windows(
                 &touches[node][disk],
                 SimTime::ZERO,
@@ -172,8 +181,8 @@ pub fn predict_benefit(
         for &f in files {
             let size = trace.file_sizes[f.index()];
             let disk = placement.disk_of_file[f.index()] as usize;
-            let dspec = &data_disk_specs[node][disk];
-            let bspec = &buffer_specs[node];
+            let dspec = &data_disk_specs[node].as_ref()[disk];
+            let bspec = buffer_specs[node].borrow();
             let read_s = size as f64 / dspec.bandwidth_bps as f64;
             let write_s = size as f64 / bspec.bandwidth_bps as f64;
             cost += read_s * (dspec.p_active_w - dspec.p_idle_w)

@@ -277,6 +277,12 @@ impl NetFaultInjector {
         self.plan.events.get(self.cursor).map(|e| e.at)
     }
 
+    /// Every scheduled event instant, ascending — what a driver needs to
+    /// arm wake-ups without keeping a second copy of the plan.
+    pub fn event_times(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.plan.events.iter().map(|e| e.at)
+    }
+
     /// Manually partition or heal a link (admin path, e2e tests).
     pub fn set_link(&mut self, link: usize, up: bool) {
         if let Some(slot) = self.link_up.get_mut(link) {

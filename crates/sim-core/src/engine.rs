@@ -43,6 +43,17 @@ impl<M: Model> Engine<M> {
         }
     }
 
+    /// Wraps a model with an empty queue pre-sized for `capacity` pending
+    /// events (see [`EventQueue::with_capacity`]).
+    pub fn with_capacity(model: M, capacity: usize) -> Self {
+        Engine {
+            queue: EventQueue::with_capacity(capacity),
+            model,
+            processed: 0,
+            observer: None,
+        }
+    }
+
     /// Installs an [`Observer`] called with `(now, &event)` for every
     /// dispatch. Replaces any previous observer.
     pub fn set_observer(&mut self, f: impl FnMut(SimTime, &M::Event) + 'static) {

@@ -70,6 +70,28 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events.
+    /// Drivers that know their event population up front (one `Issue` per
+    /// trace record, one slot per fault-plan entry, ...) pre-size the heap
+    /// so the hot loop never reallocates mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Current simulated time: the timestamp of the last popped event.
     pub fn now(&self) -> SimTime {
         self.now
@@ -194,6 +216,18 @@ mod tests {
         q.schedule(SimTime::from_secs(2), ());
         q.pop();
         q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn presized_queue_behaves_identically() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        q.schedule(SimTime::from_millis(20), "b");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.reserve(128);
+        assert!(q.capacity() >= 130);
+        let order: Vec<_> = q.drain_ordered().into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b"]);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::record::{FileId, Op, Trace, TraceRecord};
 use serde::{Deserialize, Serialize};
 use sim_core::rng::Zipf;
 use sim_core::{SimDuration, SimRng, SimTime};
+use std::sync::Arc;
 
 /// Parameters of the Berkeley-web-trace substitute.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -111,7 +112,7 @@ pub fn berkeley_web_trace(spec: &BerkeleySpec) -> Trace {
         });
     }
     Trace {
-        file_sizes,
+        file_sizes: Arc::new(file_sizes),
         records,
     }
 }

@@ -108,7 +108,7 @@ mod tests {
             }
         }
         Trace {
-            file_sizes,
+            file_sizes: std::sync::Arc::new(file_sizes),
             records,
         }
     }
@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn empty_trace_coverage_is_zero() {
         let t = Trace {
-            file_sizes: vec![10; 3],
+            file_sizes: std::sync::Arc::new(vec![10; 3]),
             records: vec![],
         };
         let p = PopularityTable::from_trace(&t);

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use sim_core::{SimDuration, SimTime};
+use std::sync::Arc;
 
 /// Identifier of a file in the traced file set (dense, 0-based).
 #[derive(
@@ -49,8 +50,12 @@ pub struct TraceRecord {
 pub struct Trace {
     /// Size of each file, indexed by [`FileId`]. The population may be
     /// larger than the set of files actually requested (the paper's file
-    /// system holds 1000 files; a trace may touch only a few).
-    pub file_sizes: Vec<u64>,
+    /// system holds 1000 files; a trace may touch only a few). Shared
+    /// (`Arc`) because every simulation run over the trace — and every
+    /// parallel worker in a sweep — reads the same immutable table;
+    /// cloning a trace or handing the table to the server's metadata is a
+    /// reference bump, not a deep copy.
+    pub file_sizes: Arc<Vec<u64>>,
     /// Requests in non-decreasing arrival order.
     pub records: Vec<TraceRecord>,
 }
@@ -137,7 +142,7 @@ mod tests {
 
     fn tiny() -> Trace {
         Trace {
-            file_sizes: vec![100, 200, 300],
+            file_sizes: Arc::new(vec![100, 200, 300]),
             records: vec![
                 TraceRecord {
                     at: SimTime::from_millis(0),
@@ -177,7 +182,7 @@ mod tests {
     #[test]
     fn empty_trace() {
         let t = Trace {
-            file_sizes: vec![10; 5],
+            file_sizes: Arc::new(vec![10; 5]),
             records: vec![],
         };
         assert!(t.is_empty());

@@ -17,6 +17,7 @@
 use crate::record::{FileId, Op, Trace, TraceRecord};
 use serde::{Deserialize, Serialize};
 use sim_core::{SimDuration, SimRng, SimTime};
+use std::sync::Arc;
 
 /// Per-file size distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -181,7 +182,7 @@ pub fn generate(spec: &SyntheticSpec) -> Trace {
         });
     }
     Trace {
-        file_sizes,
+        file_sizes: Arc::new(file_sizes),
         records,
     }
 }

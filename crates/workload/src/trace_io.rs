@@ -130,7 +130,7 @@ pub fn from_text(text: &str) -> Result<Trace, ParseError> {
     }
 
     let trace = Trace {
-        file_sizes,
+        file_sizes: std::sync::Arc::new(file_sizes),
         records,
     };
     trace.validate().map_err(ParseError::Inconsistent)?;

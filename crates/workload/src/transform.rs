@@ -44,7 +44,7 @@ pub fn slice(trace: &Trace, from: usize, to: usize) -> Trace {
 pub fn override_sizes(trace: &Trace, size: u64) -> Trace {
     assert!(size > 0, "size must be positive");
     Trace {
-        file_sizes: vec![size; trace.file_count()],
+        file_sizes: std::sync::Arc::new(vec![size; trace.file_count()]),
         records: trace
             .records
             .iter()

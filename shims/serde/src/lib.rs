@@ -232,6 +232,33 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// Shared immutable tables (placement maps, file-size tables) serialise
+// transparently, like serde's `rc` feature: the Arc is invisible in the
+// encoded form.
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(std::rc::Rc::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn serialize(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::serialize).collect())

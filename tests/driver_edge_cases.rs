@@ -19,7 +19,7 @@ fn small_spec() -> SyntheticSpec {
 #[test]
 fn empty_trace_runs_cleanly() {
     let trace = Trace {
-        file_sizes: vec![1_000_000; 10],
+        file_sizes: vec![1_000_000; 10].into(),
         records: vec![],
     };
     let cluster = ClusterSpec::paper_testbed();
@@ -34,7 +34,7 @@ fn empty_trace_runs_cleanly() {
 #[test]
 fn single_request_trace() {
     let trace = Trace {
-        file_sizes: vec![5_000_000; 3],
+        file_sizes: vec![5_000_000; 3].into(),
         records: vec![TraceRecord {
             at: sim_core::SimTime::ZERO,
             file: FileId(1),
@@ -151,7 +151,7 @@ fn requests_for_every_file_in_population() {
         })
         .collect();
     let trace = Trace {
-        file_sizes,
+        file_sizes: file_sizes.into(),
         records,
     };
     let cluster = ClusterSpec::paper_testbed();
