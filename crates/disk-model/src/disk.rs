@@ -96,6 +96,13 @@ impl Disk {
         self.meter.transitions()
     }
 
+    /// Start/stop cycles taken so far (spin-downs). Datasheet MTTF
+    /// figures assume a bounded cycle count, so power policies cap this
+    /// per run (cf. `eevfs-power`'s spin budgets).
+    pub fn spin_cycles(&self) -> u64 {
+        self.meter.transitions().spin_downs
+    }
+
     /// Number of requests fully submitted.
     pub fn requests_served(&self) -> u64 {
         self.requests_served
@@ -372,6 +379,17 @@ mod tests {
         d.submit(secs(0), 58 * MB, AccessKind::Sequential);
         assert!(!d.is_idle(SimTime::from_millis(999)));
         assert!(d.is_idle(secs(1)));
+    }
+
+    #[test]
+    fn spin_cycles_count_spin_downs() {
+        let mut d = disk();
+        assert_eq!(d.spin_cycles(), 0);
+        d.sleep(secs(0));
+        d.submit(secs(100), MB, AccessKind::Random);
+        d.sleep(secs(200));
+        assert_eq!(d.spin_cycles(), 2);
+        assert_eq!(d.spin_cycles(), d.transitions().spin_downs);
     }
 
     #[test]

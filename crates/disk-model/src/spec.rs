@@ -163,6 +163,28 @@ impl DiskSpec {
         }
     }
 
+    /// An SSD buffer tier (eevfs-power): flash has no platters, so "seek"
+    /// is controller latency, rotation is zero, and the standby/active
+    /// power gap is small — the device costs almost nothing to keep ready
+    /// and transitions in ~0.1 s, making it an always-warm landing spot
+    /// for reads that would otherwise spin up a data disk.
+    pub fn ssd_buffer() -> DiskSpec {
+        DiskSpec {
+            name: "SATA SSD 240GB (buffer tier, 500 MB/s)".into(),
+            capacity_bytes: 240 * GB,
+            bandwidth_bps: 500 * MB,
+            avg_seek_s: 0.0001,
+            avg_rotation_s: 0.0,
+            p_active_w: 3.0,
+            p_idle_w: 1.2,
+            p_standby_w: 0.8,
+            p_spinup_w: 1.2,
+            p_spindown_w: 1.2,
+            t_spinup_s: 0.1,
+            t_spindown_s: 0.05,
+        }
+    }
+
     /// A modern nearline SATA drive, for the scale-out ablations beyond the
     /// paper's 2010 hardware.
     pub fn nearline_sata() -> DiskSpec {
@@ -195,6 +217,7 @@ mod tests {
             DiskSpec::sata_server(),
             DiskSpec::nearline_sata(),
             DiskSpec::multispeed_emulated(),
+            DiskSpec::ssd_buffer(),
         ] {
             spec.validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
@@ -268,6 +291,18 @@ mod tests {
             multi.as_secs_f64() < standard.as_secs_f64() / 3.0,
             "multi {multi} vs standard {standard}"
         );
+    }
+
+    #[test]
+    fn ssd_buffer_is_cheap_to_keep_warm() {
+        let ssd = DiskSpec::ssd_buffer();
+        let hdd = DiskSpec::ata133_type1();
+        // Idle draw a fraction of the HDD's, and a tiny breakeven: the
+        // tier never needs the spin-down machinery to be energy-sane.
+        assert!(ssd.p_idle_w < hdd.p_idle_w / 4.0);
+        let be = crate::breakeven::breakeven_time(&ssd);
+        assert!(be.as_secs_f64() < 1.0, "ssd breakeven {be}");
+        assert!(ssd.bandwidth_bps > 5 * hdd.bandwidth_bps);
     }
 
     #[test]

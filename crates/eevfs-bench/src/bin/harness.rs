@@ -26,6 +26,9 @@
 //!   bench        time the fixed 16-point reference grid at --jobs vs
 //!                serial, verify byte-identical results, write
 //!                BENCH_sim.json (wall-clock, runs/sec, speedup)
+//!   power        eevfs-power policy sweep: idle predictors × cache
+//!                tiers × workloads, verified byte-identical serial vs
+//!                --jobs, report + POWER_sim.json (--json overrides)
 //! ```
 
 use eevfs_bench::ablate::all_ablations_on;
@@ -408,6 +411,61 @@ fn main() -> ExitCode {
             }
             output.ablations.push(a);
         }
+        "power" => {
+            use eevfs_bench::power::{
+                adaptive_beats_fixed, render_power_report, run_power_grid_on,
+            };
+
+            eprintln!(
+                "power: predictor × tier × workload grid, {} requests/run, \
+                 serial then --jobs {}",
+                p.requests,
+                runner.jobs()
+            );
+            let serial_pts = run_power_grid_on(&Runner::serial(), p);
+            let parallel_pts = run_power_grid_on(&runner, p);
+            let (serial_json, parallel_json) = match (
+                serde_json::to_string(&serial_pts),
+                serde_json::to_string(&parallel_pts),
+            ) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("serialisation error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let byte_identical = serial_json == parallel_json;
+
+            print!("{}", render_power_report(&serial_pts));
+            println!(
+                "adaptive predictor beats fixed (energy, ≤ response): {}",
+                adaptive_beats_fixed(&serial_pts)
+            );
+            println!(
+                "serial vs --jobs {} byte-identical: {byte_identical}",
+                runner.jobs()
+            );
+
+            let path = args.json_path.as_deref().unwrap_or("POWER_sim.json");
+            match serde_json::to_string_pretty(&serial_pts) {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("error writing {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {path}");
+                }
+                Err(e) => {
+                    eprintln!("serialisation error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if !byte_identical {
+                eprintln!("error: parallel results diverged from the serial path");
+                return ExitCode::FAILURE;
+            }
+            return ExitCode::SUCCESS;
+        }
         "bench" => {
             use eevfs_bench::sweeps::run_reference_grid;
             use std::time::Instant;
@@ -490,7 +548,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown command {other}; try: all, sweeps, fig3a-d, fig4, fig5, fig6, \
-                 ablate, faults, resilience, scrub, power-curve, hist, trace, bench"
+                 ablate, faults, resilience, scrub, power-curve, hist, trace, bench, power"
             );
             return ExitCode::FAILURE;
         }

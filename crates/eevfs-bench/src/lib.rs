@@ -11,6 +11,9 @@
 //! * [`ablate`] — ablations over the design choices (idle threshold,
 //!   hints, write buffer, placement policy, MAID/PDC baselines, disks per
 //!   node, the paper's §VII scale-out prediction).
+//! * [`power`] — the `eevfs-power` policy-plane sweep: idle predictors ×
+//!   cache tiers × workloads, scored against the fixed-threshold
+//!   baseline (`harness power`).
 //! * [`runner`] — the deterministic parallel engine: fans independent
 //!   (grid-point, seed) cells across cores with results byte-identical to
 //!   the serial path (DESIGN.md §11).
@@ -30,10 +33,12 @@
 
 pub mod ablate;
 pub mod figures;
+pub mod power;
 pub mod report;
 pub mod runner;
 pub mod sweeps;
 
 pub use figures::{fig3, fig4, fig5, fig6};
+pub use power::{run_power_grid, PowerPoint};
 pub use runner::{GridError, Runner};
 pub use sweeps::{ExperimentPoint, SweepParams};

@@ -107,6 +107,16 @@ pub enum EventKind {
         /// True when the buffer disk absorbed the access.
         from_buffer: bool,
     },
+    /// A cache tier above the buffer disk absorbed the read: no data-disk
+    /// access, no spin-up exposure (`eevfs-power`).
+    TierServe {
+        /// Request ID.
+        req: u64,
+        /// Serving node.
+        node: u32,
+        /// True for the SSD buffer tier, false for the DRAM tier.
+        ssd: bool,
+    },
     /// The response reached the client.
     RequestComplete {
         /// Request ID.
@@ -250,6 +260,7 @@ impl EventKind {
             | EventKind::RequestQueued { .. }
             | EventKind::SpinupWait { .. }
             | EventKind::RequestServe { .. }
+            | EventKind::TierServe { .. }
             | EventKind::RequestComplete { .. } => Category::Request,
             EventKind::DiskTransition { .. } => Category::Disk,
             EventKind::SleepDecision { .. } | EventKind::IdleRealized { .. } => Category::Power,
@@ -271,6 +282,7 @@ impl EventKind {
         match self {
             EventKind::RequestQueued { .. }
             | EventKind::RequestServe { .. }
+            | EventKind::TierServe { .. }
             | EventKind::DiskTransition { .. }
             | EventKind::RpcSend { .. }
             | EventKind::ScrubPass { .. } => Severity::Debug,
@@ -302,6 +314,7 @@ impl EventKind {
             | EventKind::RequestQueued { req, .. }
             | EventKind::SpinupWait { req, .. }
             | EventKind::RequestServe { req, .. }
+            | EventKind::TierServe { req, .. }
             | EventKind::RequestComplete { req, .. }
             | EventKind::RpcSend { req, .. }
             | EventKind::RpcDropped { req, .. }

@@ -34,7 +34,7 @@ pub mod recorder;
 pub mod timeline;
 
 pub use event::{Category, EventKind, Severity, TraceEvent};
-pub use metrics::{MetricsRegistry, Sampler};
+pub use metrics::{MetricsError, MetricsRegistry, Sampler};
 pub use prediction::{PredictionSample, PredictionSummary, PredictionTracker};
 pub use recorder::Recorder;
 pub use timeline::render_power_timeline;

@@ -9,6 +9,31 @@
 use sim_core::{Histogram, SimDuration, SimTime, TimeSeries};
 use std::collections::BTreeMap;
 
+/// A metrics lookup failed in a way the caller should surface instead of
+/// unwrapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsError {
+    /// No histogram under this name — nothing was ever observed into it.
+    MissingHistogram(String),
+    /// No time series under this name — nothing was ever sampled into it.
+    MissingSeries(String),
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::MissingHistogram(n) => {
+                write!(f, "no histogram named {n:?} (nothing observed)")
+            }
+            MetricsError::MissingSeries(n) => {
+                write!(f, "no time series named {n:?} (nothing sampled)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
 /// A deterministic, name-keyed metrics store.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
@@ -57,6 +82,22 @@ impl MetricsRegistry {
     /// The named histogram, if any value has been observed.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// The named histogram, or a typed error naming what is missing —
+    /// prefer this over `histogram(..).unwrap()` at call sites that
+    /// report to users.
+    pub fn try_histogram(&self, name: &str) -> Result<&Histogram, MetricsError> {
+        self.histograms
+            .get(name)
+            .ok_or_else(|| MetricsError::MissingHistogram(name.to_string()))
+    }
+
+    /// The named time series, or a typed error naming what is missing.
+    pub fn try_series(&self, name: &str) -> Result<&TimeSeries, MetricsError> {
+        self.series
+            .get(name)
+            .ok_or_else(|| MetricsError::MissingSeries(name.to_string()))
     }
 
     /// Appends a sample to the named time series. Timestamps must be
@@ -159,6 +200,20 @@ mod tests {
         m.observe("rt", 0.0, 10.0, 10, 2.5);
         m.observe("rt", 0.0, 10.0, 10, 3.5);
         assert_eq!(m.histogram("rt").unwrap().total(), 2);
+    }
+
+    #[test]
+    fn try_lookups_name_the_missing_metric() {
+        let mut m = MetricsRegistry::new();
+        m.observe("rt", 0.0, 10.0, 10, 2.5);
+        assert!(m.try_histogram("rt").is_ok());
+        let err = m.try_histogram("nope").unwrap_err();
+        assert_eq!(err, MetricsError::MissingHistogram("nope".into()));
+        assert!(err.to_string().contains("nope"));
+        assert_eq!(
+            m.try_series("q").unwrap_err(),
+            MetricsError::MissingSeries("q".into())
+        );
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Property-based tests over the cache-tier invariants (proptest).
+//!
+//! The two load-bearing properties: a tier never holds more bytes than
+//! its capacity no matter the op stream, and `Lru` evicts in exact
+//! recency order (checked against a brute-force recency-list model).
+//! On top of those, the policy comparison the design leans on: on a
+//! Zipf-skewed reuse stream, sampled-LFU's hit rate is at least LRU's.
+
+use eevfs_power::{CacheTier, Lru, SampledLfu};
+use proptest::prelude::*;
+use sim_core::rng::Zipf;
+use sim_core::SimRng;
+
+/// One step of a tier workload: touch a file of some size, or drop it.
+#[derive(Debug, Clone)]
+enum Op {
+    Touch { file: u32, bytes: u64 },
+    Invalidate { file: u32 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..40, 1u64..2000).prop_map(|(file, bytes)| Op::Touch { file, bytes }),
+            (0u32..40).prop_map(|file| Op::Invalidate { file }),
+        ],
+        1..200,
+    )
+}
+
+/// Drives `tier` through the stream the way the driver does: lookup
+/// first, admit on miss.
+fn drive(tier: &mut dyn CacheTier, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Touch { file, bytes } => {
+                if !tier.lookup(file) {
+                    tier.admit(file, bytes);
+                }
+            }
+            Op::Invalidate { file } => tier.invalidate(file),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Capacity is a hard ceiling for every policy and every op stream.
+    #[test]
+    fn tiers_never_exceed_capacity(ops in arb_ops(), cap in 1u64..10_000) {
+        let mut lru = Lru::new(cap);
+        let mut lfu = SampledLfu::new(cap, 5, 7);
+        drive(&mut lru, &ops);
+        drive(&mut lfu, &ops);
+        prop_assert!(lru.used_bytes() <= cap, "lru {} > {cap}", lru.used_bytes());
+        prop_assert!(lfu.used_bytes() <= cap, "lfu {} > {cap}", lfu.used_bytes());
+    }
+
+    /// LRU retention matches a brute-force recency model: with unit-size
+    /// entries and capacity `k`, exactly the `k` most recently touched
+    /// distinct files survive, and everything older is gone.
+    #[test]
+    fn lru_evicts_in_exact_recency_order(
+        touches in proptest::collection::vec(0u32..30, 1..150),
+        cap in 1u64..12,
+    ) {
+        let mut lru = Lru::new(cap);
+        let mut recency: Vec<u32> = Vec::new(); // most recent last
+        for &file in &touches {
+            if !lru.lookup(file) {
+                lru.admit(file, 1);
+            }
+            recency.retain(|&f| f != file);
+            recency.push(file);
+        }
+        let survivors: Vec<u32> = recency
+            .iter()
+            .rev()
+            .take(cap as usize)
+            .copied()
+            .collect();
+        for &f in &recency {
+            prop_assert_eq!(
+                lru.contains(f),
+                survivors.contains(&f),
+                "file {} (cap {}, survivors {:?})",
+                f,
+                cap,
+                survivors
+            );
+        }
+        prop_assert_eq!(lru.used_bytes(), survivors.len() as u64);
+    }
+
+    /// On a Zipf-skewed reuse stream, frequency-aware eviction keeps the
+    /// hot set pinned: sampled-LFU's hit rate is at least LRU's.
+    #[test]
+    fn sampled_lfu_beats_lru_on_zipf(seed in 0u64..16) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let zipf = Zipf::new(256, 1.2);
+        let mut lru = Lru::new(32);
+        let mut lfu = SampledLfu::new(32, 5, seed ^ 0xA5A5);
+        for _ in 0..4000 {
+            let file = zipf.sample(&mut rng) as u32;
+            if !lru.lookup(file) {
+                lru.admit(file, 1);
+            }
+            if !lfu.lookup(file) {
+                lfu.admit(file, 1);
+            }
+        }
+        let lru_rate = lru.hits() as f64 / (lru.hits() + lru.misses()) as f64;
+        let lfu_rate = lfu.hits() as f64 / (lfu.hits() + lfu.misses()) as f64;
+        prop_assert!(
+            lfu_rate >= lru_rate,
+            "seed {}: sampled-lfu {:.3} < lru {:.3}",
+            seed,
+            lfu_rate,
+            lru_rate
+        );
+    }
+}

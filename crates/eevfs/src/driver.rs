@@ -39,6 +39,7 @@ use disk_model::{breakeven_time, Disk, TransitionCounts};
 use eevfs_obs::{
     EventKind, MetricsRegistry, PredictionSample, PredictionTracker, Recorder, Sampler,
 };
+use eevfs_power::{dram_service_time, IdleVerdict, PolicyPlane};
 use fault_model::{
     CircuitBreaker, CorruptionEvent, CorruptionPlan, CorruptionTracker, CrashPlan, FaultEvent,
     FaultKind, FaultPlan, HealthTracker, LinkDecision, LinkFaultProfile, NetFaultEvent,
@@ -58,6 +59,10 @@ struct NodeState {
     nic: Nic,
     /// Server → node control-message time.
     ctl_in: SimDuration,
+    /// SSD buffer tier (`eevfs-power`): present only when the run's
+    /// `PowerPolicy` sizes one. Tier hits land here instead of waking a
+    /// data disk.
+    ssd: Option<Disk>,
 }
 
 /// Per-request bookkeeping.
@@ -176,6 +181,14 @@ enum Ev {
     },
 }
 
+/// What the policy plane decided at a sleep check — computed while the
+/// plane is borrowed, acted on after the borrow ends.
+enum PlaneAct {
+    Sleep,
+    Recheck(SimDuration),
+    Nothing,
+}
+
 struct ClusterSim {
     cfg: EevfsConfig,
     server: StorageServer,
@@ -223,6 +236,11 @@ struct ClusterSim {
     /// Corruption/scrub/journal state; `None` leaves the legacy paths
     /// untouched.
     dur: Option<DurState>,
+    /// Adaptive power/caching policy plane (`eevfs-power`). When present
+    /// it supersedes `power` for every sleep decision and fronts the read
+    /// path with DRAM/SSD tier lookups; `None` leaves the legacy paths
+    /// bit-identical.
+    plane: Option<PolicyPlane>,
 }
 
 impl ClusterSim {
@@ -243,6 +261,7 @@ impl ClusterSim {
             let mut finish = now;
             let mut spun = false;
             for d in 0..n as usize {
+                self.feed_idle_gap(node, d, now);
                 let comp = self.nodes[node].data_disks[d].submit(now, chunk, kind);
                 finish = finish.max(comp.finish);
                 spun |= comp.spun_up;
@@ -252,12 +271,32 @@ impl ClusterSim {
             }
             (finish, spun)
         } else {
+            self.feed_idle_gap(node, home_disk, now);
             let comp = self.nodes[node].data_disks[home_disk].submit(now, size, kind);
             if comp.spun_up {
                 self.note_wake(node, home_disk, now);
             }
             (comp.finish, comp.spun_up)
         }
+    }
+
+    /// Reports the idle window this access ends to the plane's predictor.
+    /// Slept-through windows are skipped here — [`Self::note_wake`] scores
+    /// those through the prediction ledger, which the plane also sees.
+    fn feed_idle_gap(&mut self, node: usize, disk: usize, now: SimTime) {
+        if self.plane.is_none() {
+            return;
+        }
+        let d = &self.nodes[node].data_disks[disk];
+        let prev_busy = d.busy_until();
+        if d.is_sleeping() || now <= prev_busy {
+            return;
+        }
+        let gap = now.since(prev_busy);
+        self.plane
+            .as_mut()
+            .expect("checked above")
+            .on_access(node, disk, gap);
     }
 
     /// Records a trace event when observability is on.
@@ -292,7 +331,12 @@ impl ClusterSim {
     /// Books a sleep decision: opens a prediction-ledger window and emits
     /// the trace event carrying the predicted window and breakeven time.
     fn note_sleep(&mut self, node: usize, disk: usize, now: SimTime) {
-        let predicted = self.power.predicted_window(node, disk, now);
+        // With a policy plane, the plane's predictor owns the estimate
+        // the ledger scores; otherwise the touch-list predictor does.
+        let predicted = match self.plane.as_ref() {
+            Some(p) => p.predicted_idle(node, disk),
+            None => self.power.predicted_window(node, disk, now),
+        };
         let breakeven = self.breakeven[node][disk];
         self.pred
             .on_sleep(node as u32, disk as u32, now, predicted, breakeven);
@@ -311,16 +355,26 @@ impl ClusterSim {
     /// realised idle against breakeven.
     fn note_wake(&mut self, node: usize, disk: usize, now: SimTime) {
         if let Some(s) = self.pred.on_wake(node as u32, disk as u32, now) {
-            self.obs_event(
-                now,
-                EventKind::IdleRealized {
-                    node: node as u32,
-                    disk: disk as u32,
-                    realized_us: s.realized_us,
-                    paid_off: s.paid_off(),
-                },
-            );
+            if let Some(p) = self.plane.as_mut() {
+                p.observe(&s);
+            }
+            self.emit_idle_realized(now, &s);
         }
+    }
+
+    /// The single emission point for `IdleRealized`: every closed ledger
+    /// window — mid-run wakes and the end-of-run flush alike — reports
+    /// through here, so all driver variants score sleeps identically.
+    fn emit_idle_realized(&mut self, at: SimTime, s: &PredictionSample) {
+        self.obs_event(
+            at,
+            EventKind::IdleRealized {
+                node: s.node,
+                disk: s.disk,
+                realized_us: s.realized_us,
+                paid_off: s.paid_off(),
+            },
+        );
     }
 
     /// Advances the predictor for a predicted physical access (all disks
@@ -348,7 +402,7 @@ impl ClusterSim {
 
     /// Schedules the power check that follows any data-disk activity.
     fn arm_sleep_check(&mut self, node: usize, disk: usize, queue: &mut EventQueue<Ev>) {
-        if !self.power.engaged() {
+        if !self.power.engaged() && self.plane.is_none() {
             return;
         }
         let d = &self.nodes[node].data_disks[disk];
@@ -984,6 +1038,55 @@ impl Model for ClusterSim {
                 self.breaker_success(node);
                 match op {
                     Op::Read => {
+                        // Cache tiers (eevfs-power) front everything: a
+                        // DRAM or SSD hit never touches the buffer disk,
+                        // let alone the data-disk spin-up path.
+                        if self.plane.is_some() {
+                            let fid = file.index() as u32;
+                            if self
+                                .plane
+                                .as_mut()
+                                .expect("checked above")
+                                .dram_lookup(node, fid)
+                            {
+                                self.reqs[req as usize].from_buffer = true;
+                                self.obs_event(
+                                    now,
+                                    EventKind::TierServe {
+                                        req: req as u64,
+                                        node: node as u32,
+                                        ssd: false,
+                                    },
+                                );
+                                self.obs_inflight(node, now, 1);
+                                queue.schedule(now + dram_service_time(size), Ev::DiskDone(req));
+                                return;
+                            }
+                            if self
+                                .plane
+                                .as_mut()
+                                .expect("checked above")
+                                .ssd_lookup(node, fid)
+                            {
+                                let comp = self.nodes[node]
+                                    .ssd
+                                    .as_mut()
+                                    .expect("ssd tier hit implies an ssd disk")
+                                    .submit(now, size, AccessKind::Random);
+                                self.reqs[req as usize].from_buffer = true;
+                                self.obs_event(
+                                    now,
+                                    EventKind::TierServe {
+                                        req: req as u64,
+                                        node: node as u32,
+                                        ssd: true,
+                                    },
+                                );
+                                self.obs_inflight(node, now, 1);
+                                queue.schedule(comp.finish, Ev::DiskDone(req));
+                                return;
+                            }
+                        }
                         let resident = self.nodes[node].catalog.lookup(file);
                         if resident {
                             let comp =
@@ -991,6 +1094,9 @@ impl Model for ClusterSim {
                                     .buffer_disk
                                     .submit(now, size, AccessKind::Random);
                             self.reqs[req as usize].from_buffer = true;
+                            if let Some(p) = self.plane.as_mut() {
+                                p.admit(node, file.index() as u32, size, false);
+                            }
                             self.obs_event(
                                 now,
                                 EventKind::RequestServe {
@@ -1038,6 +1144,11 @@ impl Model for ClusterSim {
                                     },
                                 );
                             }
+                            // A read expensive enough to reach a data disk
+                            // earns a slot in every cache tier.
+                            if let Some(p) = self.plane.as_mut() {
+                                p.admit(node, file.index() as u32, size, true);
+                            }
                             self.obs_event(
                                 now,
                                 EventKind::RequestServe {
@@ -1059,6 +1170,11 @@ impl Model for ClusterSim {
                         }
                     }
                     Op::Write => {
+                        // A write makes any tiered copy stale; drop it
+                        // before the new data lands.
+                        if let Some(p) = self.plane.as_mut() {
+                            p.invalidate(node, file.index() as u32);
+                        }
                         // Data flows client → node first; the disk write is
                         // issued when the payload has arrived (NicDone).
                         if self.cfg.write_buffer
@@ -1236,6 +1352,55 @@ impl Model for ClusterSim {
                 if d.generation() != generation || !d.is_idle(now) || d.is_sleeping() {
                     return;
                 }
+                // Policy plane (eevfs-power) supersedes the static power
+                // manager when present. Sleeps are charged against the
+                // disk's spin-cycle budget at decision time; an exhausted
+                // budget refuses the sleep (counted in `sleeps_denied`).
+                if self.plane.is_some() {
+                    let act = {
+                        let plane = self.plane.as_mut().expect("checked above");
+                        if armed {
+                            if plane.timer_allows_sleep(node, disk)
+                                && plane.try_charge_spin(node, disk)
+                            {
+                                PlaneAct::Sleep
+                            } else {
+                                PlaneAct::Nothing
+                            }
+                        } else {
+                            match plane.on_idle(node, disk, now) {
+                                IdleVerdict::SleepNow => {
+                                    if plane.try_charge_spin(node, disk) {
+                                        PlaneAct::Sleep
+                                    } else {
+                                        PlaneAct::Nothing
+                                    }
+                                }
+                                IdleVerdict::After(wait) => PlaneAct::Recheck(wait),
+                                IdleVerdict::Stay => PlaneAct::Nothing,
+                            }
+                        }
+                    };
+                    match act {
+                        PlaneAct::Sleep => {
+                            self.nodes[node].data_disks[disk].sleep(now);
+                            self.note_sleep(node, disk, now);
+                        }
+                        PlaneAct::Recheck(wait) => {
+                            queue.schedule(
+                                now + wait,
+                                Ev::SleepCheck {
+                                    node: node as u16,
+                                    disk: disk as u16,
+                                    generation,
+                                    armed: true,
+                                },
+                            );
+                        }
+                        PlaneAct::Nothing => {}
+                    }
+                    return;
+                }
                 if armed {
                     if self.power.timer_allows_sleep() {
                         self.nodes[node].data_disks[disk].sleep(now);
@@ -1281,6 +1446,7 @@ pub fn run_cluster(cluster: &ClusterSpec, cfg: &EevfsConfig, trace: &Trace) -> R
         None,
         None,
         None,
+        None,
     )
     .0
 }
@@ -1297,7 +1463,7 @@ pub fn run_cluster_faulted(
     trace: &Trace,
     faults: &FaultPlan,
 ) -> RunMetrics {
-    run_cluster_inner(cluster, cfg, trace, false, faults, None, None, None).0
+    run_cluster_inner(cluster, cfg, trace, false, faults, None, None, None, None).0
 }
 
 /// The network-resilience knobs for [`run_cluster_resilient`], borrowed
@@ -1328,7 +1494,18 @@ pub fn run_cluster_resilient(
     faults: &FaultPlan,
     setup: ResilienceSetup<'_>,
 ) -> RunMetrics {
-    run_cluster_inner(cluster, cfg, trace, false, faults, Some(setup), None, None).0
+    run_cluster_inner(
+        cluster,
+        cfg,
+        trace,
+        false,
+        faults,
+        Some(setup),
+        None,
+        None,
+        None,
+    )
+    .0
 }
 
 /// The integrity and crash-recovery knobs for [`run_cluster_durable`],
@@ -1375,6 +1552,7 @@ pub fn run_cluster_durable(
         None,
         Some(durability),
         None,
+        None,
     )
     .0
 }
@@ -1401,6 +1579,7 @@ pub fn run_cluster_durable_observed(
         None,
         Some(durability),
         Some(recorder),
+        None,
     );
     (metrics, report.expect("observation was requested"))
 }
@@ -1420,6 +1599,7 @@ pub fn run_cluster_traced(
         trace,
         true,
         &FaultPlan::none(),
+        None,
         None,
         None,
         None,
@@ -1465,6 +1645,62 @@ pub fn run_cluster_observed(
         resilience,
         None,
         Some(recorder),
+        None,
+    );
+    (metrics, report.expect("observation was requested"))
+}
+
+/// Like [`run_cluster`], but drives every power and caching decision
+/// through the `eevfs-power` policy plane built from `policy`: the
+/// configured [`eevfs_power::IdlePredictor`] decides when idle data disks
+/// spin down (superseding the static idle-threshold logic), sleeps are
+/// charged against per-disk spin-cycle budgets, and reads are fronted by
+/// the configured DRAM/SSD cache tiers — tier hits never touch the
+/// data-disk spin-up path and are metered in [`RunMetrics::tier`]. The
+/// run stays a pure function of `(cluster, cfg, trace, policy)`: every
+/// random policy choice draws from streams seeded by `policy.seed`, so
+/// same-input replays are bit-identical.
+pub fn run_cluster_powered(
+    cluster: &ClusterSpec,
+    cfg: &EevfsConfig,
+    trace: &Trace,
+    policy: &eevfs_power::PowerPolicy,
+) -> RunMetrics {
+    run_cluster_inner(
+        cluster,
+        cfg,
+        trace,
+        false,
+        &FaultPlan::none(),
+        None,
+        None,
+        None,
+        Some(policy),
+    )
+    .0
+}
+
+/// [`run_cluster_powered`] with a structured trace streamed into
+/// `recorder` (tier serves included) and a metrics registry carrying the
+/// tier-hit and sleep-denial counters. Observation stays passive: metrics
+/// are identical to the unobserved powered run.
+pub fn run_cluster_powered_observed(
+    cluster: &ClusterSpec,
+    cfg: &EevfsConfig,
+    trace: &Trace,
+    policy: &eevfs_power::PowerPolicy,
+    recorder: Recorder,
+) -> (RunMetrics, ObsReport) {
+    let (metrics, _, report) = run_cluster_inner(
+        cluster,
+        cfg,
+        trace,
+        false,
+        &FaultPlan::none(),
+        None,
+        None,
+        Some(recorder),
+        Some(policy),
     );
     (metrics, report.expect("observation was requested"))
 }
@@ -1479,6 +1715,7 @@ fn run_cluster_inner(
     resilience: Option<ResilienceSetup<'_>>,
     durability: Option<DurabilitySetup<'_>>,
     obs: Option<Recorder>,
+    power_plane: Option<&eevfs_power::PowerPolicy>,
 ) -> (RunMetrics, Option<sim_core::TimeSeries>, Option<ObsReport>) {
     cluster
         .validate()
@@ -1556,7 +1793,9 @@ fn run_cluster_inner(
         cluster.nodes.iter().map(|n| &n.buffer_disk).collect();
     let benefit = predict_benefit(trace, &placement, &plan, &data_specs, &buffer_specs, cfg);
 
-    // Build node state.
+    // Build node state. The SSD buffer tier gets a real device model so
+    // its latency and (small) energy draw are metered, not assumed.
+    let ssd_enabled = power_plane.map(|p| p.tier.ssd_bytes > 0).unwrap_or(false);
     let mut nodes: Vec<NodeState> = cluster
         .nodes
         .iter()
@@ -1570,6 +1809,7 @@ fn run_cluster_inner(
                 &cluster.server_nic.compose(&n.nic, cluster.switch_latency),
                 cluster.software_overhead,
             ),
+            ssd: ssd_enabled.then(|| Disk::new(disk_model::DiskSpec::ssd_buffer())),
         })
         .collect();
     // Observation needs the cumulative-energy traces (for the power-draw
@@ -1579,6 +1819,9 @@ fn run_cluster_inner(
             n.buffer_disk.enable_trace();
             for d in &mut n.data_disks {
                 d.enable_trace();
+            }
+            if let Some(s) = n.ssd.as_mut() {
+                s.enable_trace();
             }
         }
     }
@@ -1653,6 +1896,7 @@ fn run_cluster_inner(
     // The paper's energy figures start at the trace replay; snapshot each
     // drive's warm-up energy so it can be reported separately.
     let mut warmup_snapshot: Vec<(f64, Vec<f64>)> = Vec::with_capacity(nodes.len());
+    let mut ssd_snapshot: Vec<f64> = Vec::with_capacity(nodes.len());
     for n in &mut nodes {
         n.buffer_disk.finalize(warmup_end);
         let buf = n.buffer_disk.total_joules();
@@ -1662,6 +1906,13 @@ fn run_cluster_inner(
             data.push(d.total_joules());
         }
         warmup_snapshot.push((buf, data));
+        ssd_snapshot.push(match n.ssd.as_mut() {
+            Some(s) => {
+                s.finalize(warmup_end);
+                s.total_joules()
+            }
+            None => 0.0,
+        });
     }
 
     // Predictors over the *shifted* expected pattern.
@@ -1857,6 +2108,12 @@ fn run_cluster_inner(
         .map(|n| n.data_disks.iter().map(breakeven_time).collect())
         .collect();
 
+    // The adaptive policy plane, when a PowerPolicy was supplied. A
+    // present plane counts as engaged power management regardless of the
+    // static config's verdict.
+    let plane = power_plane.map(|p| PolicyPlane::new(p.clone(), &breakeven));
+    let power_engaged = power_engaged || plane.is_some();
+
     let sim = ClusterSim {
         cfg: cfg.clone(),
         server,
@@ -1888,6 +2145,7 @@ fn run_cluster_inner(
         breakeven,
         obs: obs_state,
         dur: dur_state,
+        plane,
     };
 
     // Pre-size the queue for everything scheduled up front (issues or
@@ -1917,7 +2175,7 @@ fn run_cluster_inner(
                 // snapshot; nothing may touch a disk before that.
                 (d.busy_until().max(warmup_end), d.generation())
             };
-            if engine.model().power.engaged() {
+            if engine.model().power.engaged() || engine.model().plane.is_some() {
                 engine.queue_mut().schedule(
                     at,
                     Ev::SleepCheck {
@@ -1964,6 +2222,9 @@ fn run_cluster_inner(
         for d in &n.data_disks {
             end = end.max(d.busy_until());
         }
+        if let Some(s) = n.ssd.as_ref() {
+            end = end.max(s.busy_until());
+        }
     }
     for r in &sim.reqs {
         end = end.max(r.submitted + SimDuration::from_secs_f64(r.response_s.unwrap_or(0.0)));
@@ -1973,23 +2234,28 @@ fn run_cluster_inner(
         for d in &mut n.data_disks {
             d.finalize(end);
         }
-    }
-    // Close the prediction ledger: disks still asleep at the end realised
-    // their whole remaining window.
-    for s in sim.pred.finish(end) {
-        if let Some(o) = sim.obs.as_mut() {
-            o.rec.record(
-                end,
-                EventKind::IdleRealized {
-                    node: s.node,
-                    disk: s.disk,
-                    realized_us: s.realized_us,
-                    paid_off: s.paid_off(),
-                },
-            );
+        if let Some(s) = n.ssd.as_mut() {
+            s.finalize(end);
         }
     }
+    // Close the prediction ledger: disks still asleep at the end realised
+    // their whole remaining window. Flushed windows report through the
+    // same emission path mid-run wakes use.
+    for s in sim.pred.finish(end) {
+        sim.emit_idle_realized(end, &s);
+    }
     let prediction = sim.pred.summary();
+    // Tier/budget outcomes; spin cycles and SSD energy come from the
+    // device models below.
+    let plane_present = sim.plane.is_some();
+    let mut tier = sim.plane.as_ref().map(|p| p.stats()).unwrap_or_default();
+    if plane_present {
+        for n in &sim.nodes {
+            for d in &n.data_disks {
+                tier.spin_cycles += d.spin_cycles();
+            }
+        }
+    }
     // Metrics assembly. Energy is measured over the replay window
     // [warmup_end, end], the same window the paper's meters covered.
     let duration_s = (end - warmup_end).as_secs_f64();
@@ -2003,11 +2269,25 @@ fn run_cluster_inner(
     let mut buffer_hits = 0;
     let mut buffer_misses = 0;
     let mut dirty_at_end = 0u64;
-    for ((spec, n), snap) in cluster.nodes.iter().zip(&sim.nodes).zip(&warmup_snapshot) {
+    for (i, ((spec, n), snap)) in cluster
+        .nodes
+        .iter()
+        .zip(&sim.nodes)
+        .zip(&warmup_snapshot)
+        .enumerate()
+    {
         let node_base = spec.base_power_w * duration_s;
         warmup_energy += spec.base_power_w * warmup_s;
         let buf_e = n.buffer_disk.total_joules() - snap.0;
         warmup_energy += snap.0;
+        if let Some(s) = n.ssd.as_ref() {
+            // The SSD tier's draw joins the cluster disk-energy total and
+            // is also reported on its own meter in `TierStats`.
+            let ssd_e = s.total_joules() - ssd_snapshot[i];
+            warmup_energy += ssd_snapshot[i];
+            tier.ssd_energy_j += ssd_e;
+            disk_energy += ssd_e;
+        }
         let mut data_e = 0.0;
         let mut node_trans = TransitionCounts::default();
         let mut standby = 0.0;
@@ -2112,6 +2392,15 @@ fn run_cluster_inner(
         o.registry.inc("hedges", resilience.hedges);
         o.registry.inc("sleeps", prediction.sleeps);
         o.registry.inc("sleeps_paid_off", prediction.paid_off);
+        if plane_present {
+            o.registry.inc("tier_dram_hits", tier.dram_hits);
+            o.registry.inc("tier_dram_misses", tier.dram_misses);
+            o.registry.inc("tier_ssd_hits", tier.ssd_hits);
+            o.registry.inc("tier_ssd_misses", tier.ssd_misses);
+            o.registry
+                .inc("tier_evictions", tier.dram_evictions + tier.ssd_evictions);
+            o.registry.inc("sleeps_denied", tier.sleeps_denied);
+        }
         for s in &samples {
             o.registry.observe("response_s", 0.0, 10.0, 50, *s);
         }
@@ -2125,6 +2414,9 @@ fn run_cluster_inner(
                 let mut j = n.buffer_disk.meter().trace().interpolate(t).unwrap_or(0.0);
                 for d in &n.data_disks {
                     j += d.meter().trace().interpolate(t).unwrap_or(0.0);
+                }
+                if let Some(s) = n.ssd.as_ref() {
+                    j += s.meter().trace().interpolate(t).unwrap_or(0.0);
                 }
                 j
             };
@@ -2159,6 +2451,9 @@ fn run_cluster_inner(
                 joules += n.buffer_disk.meter().trace().interpolate(t).unwrap_or(0.0);
                 for d in &n.data_disks {
                     joules += d.meter().trace().interpolate(t).unwrap_or(0.0);
+                }
+                if let Some(s) = n.ssd.as_ref() {
+                    joules += s.meter().trace().interpolate(t).unwrap_or(0.0);
                 }
             }
             ts.push(t, joules);
@@ -2201,6 +2496,7 @@ fn run_cluster_inner(
         durability: durability_stats,
         scrub_energy_j,
         prediction,
+        tier,
         per_node,
     };
     (metrics, curve, report)

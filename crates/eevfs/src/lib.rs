@@ -61,5 +61,5 @@ pub mod scrub;
 pub mod server;
 
 pub use config::{ClusterSpec, EevfsConfig, NodeSpec};
-pub use driver::run_cluster;
+pub use driver::{run_cluster, run_cluster_powered, run_cluster_powered_observed};
 pub use metrics::RunMetrics;

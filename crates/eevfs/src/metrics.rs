@@ -3,6 +3,7 @@
 
 use disk_model::TransitionCounts;
 use eevfs_obs::PredictionSummary;
+use eevfs_power::TierStats;
 use serde::{Deserialize, Serialize};
 use sim_core::stats::{percentile_sorted, sorted_samples};
 use sim_core::OnlineStats;
@@ -214,6 +215,9 @@ pub struct RunMetrics {
     /// Predicted-vs-realised idle-window accounting for every sleep the
     /// power manager took (all zero when nothing slept).
     pub prediction: PredictionSummary,
+    /// Cache-tier and spin-budget outcomes from the `eevfs-power` policy
+    /// plane (all zero when no `PowerPolicy` was supplied).
+    pub tier: TierStats,
     /// Per-node breakdown.
     pub per_node: Vec<NodeMetrics>,
 }
@@ -298,6 +302,7 @@ mod tests {
             durability: DurabilityStats::default(),
             scrub_energy_j: 0.0,
             prediction: PredictionSummary::default(),
+            tier: TierStats::default(),
             per_node: vec![],
         }
     }
