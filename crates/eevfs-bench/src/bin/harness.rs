@@ -29,7 +29,16 @@
 //!   power        eevfs-power policy sweep: idle predictors × cache
 //!                tiers × workloads, verified byte-identical serial vs
 //!                --jobs, report + POWER_sim.json (--json overrides)
+//!   chaos        deterministic chaos search: --scenarios N seeded
+//!                composite fault schedules through the invariant plane
+//!                (--envelope r2 for the replicated+scrubbed envelope);
+//!                a violation shrinks to a reproducer JSON (in
+//!                --artifact-dir) and exits non-zero. --canary arms the
+//!                deliberately broken invariant; --replay FILE re-executes
+//!                a reproducer and verifies it bit-for-bit.
 //! ```
+
+#![warn(clippy::unwrap_used)]
 
 use eevfs_bench::ablate::all_ablations_on;
 use eevfs_bench::figures::{fig3_view, fig4_view, fig5_view, fig6, Panel};
@@ -44,6 +53,16 @@ struct Args {
     json_path: Option<String>,
     trace_path: Option<String>,
     command: String,
+    /// `chaos`: scenarios to search.
+    scenarios: u32,
+    /// `chaos`: arm the deliberately broken canary invariant.
+    canary: bool,
+    /// `chaos`: severity envelope name ("default" or "r2").
+    envelope: String,
+    /// `chaos`: replay a reproducer artifact instead of searching.
+    replay_path: Option<String>,
+    /// `chaos`: where reproducer artifacts are written.
+    artifact_dir: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,9 +71,32 @@ fn parse_args() -> Result<Args, String> {
     let mut json_path = None;
     let mut trace_path = None;
     let mut command = None;
+    let mut scenarios = 64u32;
+    let mut canary = false;
+    let mut envelope = "default".to_string();
+    let mut replay_path = None;
+    let mut artifact_dir = ".".to_string();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--scenarios" => {
+                let v = it.next().ok_or("--scenarios needs a value")?;
+                scenarios = v.parse().map_err(|_| format!("bad --scenarios {v}"))?;
+            }
+            "--canary" => canary = true,
+            "--envelope" => {
+                let v = it.next().ok_or("--envelope needs a value")?;
+                match v.as_str() {
+                    "default" | "r2" => envelope = v,
+                    other => return Err(format!("bad --envelope {other}; try: default, r2")),
+                }
+            }
+            "--replay" => {
+                replay_path = Some(it.next().ok_or("--replay needs a path")?);
+            }
+            "--artifact-dir" => {
+                artifact_dir = it.next().ok_or("--artifact-dir needs a path")?;
+            }
             "--requests" => {
                 let v = it.next().ok_or("--requests needs a value")?;
                 params.requests = v.parse().map_err(|_| format!("bad --requests {v}"))?;
@@ -85,7 +127,120 @@ fn parse_args() -> Result<Args, String> {
         json_path,
         trace_path,
         command: command.unwrap_or_else(|| "all".into()),
+        scenarios,
+        canary,
+        envelope,
+        replay_path,
+        artifact_dir,
     })
+}
+
+/// The `chaos` subcommand: search mode writes a reproducer and exits
+/// non-zero on any violation; replay mode re-executes an artifact and
+/// exits non-zero unless it reproduces bit-for-bit.
+fn run_chaos(args: &Args, runner: &Runner) -> ExitCode {
+    use eevfs_chaos::{replay, run_campaign, CampaignConfig, InvariantSet, Reproducer};
+
+    if let Some(path) = &args.replay_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let rep: Reproducer = match serde_json::from_str(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error parsing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let invariants = if rep.invariant == "canary-quiet-cluster" {
+            InvariantSet::with_canary()
+        } else {
+            InvariantSet::standard()
+        };
+        let outcome = replay(&rep, &invariants);
+        println!(
+            "replay {path}: invariant '{}' ({} events, scenario {} of seed {})",
+            rep.invariant, rep.shrunk_events, rep.scenario_index, rep.base_seed
+        );
+        println!(
+            "  violation reproduced: {}\n  metrics digest {} == {}: {}",
+            outcome.violation_reproduced,
+            outcome.digest,
+            rep.metrics_digest,
+            outcome.digest_matches
+        );
+        if outcome.exact() {
+            println!("  reproduced bit-for-bit");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("error: replay did not reproduce the artifact exactly");
+        return ExitCode::FAILURE;
+    }
+
+    let invariants = if args.canary {
+        InvariantSet::with_canary()
+    } else {
+        InvariantSet::standard()
+    };
+    let mut cfg = CampaignConfig::new(args.scenarios, args.params.seed);
+    if args.envelope == "r2" {
+        cfg.envelope = eevfs_chaos::SeverityEnvelope::r2_scrubbed();
+    }
+    eprintln!(
+        "chaos: {} scenarios from seed {} ({} envelope), {} invariants{}, --jobs {}",
+        cfg.scenarios,
+        cfg.base_seed,
+        args.envelope,
+        invariants.names().len(),
+        if args.canary { " (canary armed)" } else { "" },
+        runner.jobs()
+    );
+    let report = run_campaign(runner, &invariants, &cfg);
+    if report.clean() {
+        println!(
+            "chaos: {} scenarios clean under {} invariants",
+            report.scenarios,
+            invariants.names().len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "chaos: {} of {} scenarios violated invariants:",
+        report.violating.len(),
+        report.scenarios
+    );
+    for r in &report.violating {
+        for v in &r.violations {
+            println!(
+                "  scenario {:>4}: {:<24} {}",
+                r.index, v.invariant, v.detail
+            );
+        }
+    }
+    let Some(rep) = &report.reproducer else {
+        eprintln!("error: violations found but no reproducer built");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "shrunk scenario {} from {} to {} events in {} attempts",
+        rep.scenario_index, rep.original_events, rep.shrunk_events, report.shrink_attempts
+    );
+    let path = format!("{}/chaos_reproducer.json", args.artifact_dir);
+    match serde_json::to_string_pretty(rep) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("error writing {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("serialisation error: {e}"),
+    }
+    ExitCode::FAILURE
 }
 
 /// What `harness bench` writes to BENCH_sim.json.
@@ -545,10 +700,12 @@ fn main() -> ExitCode {
             }
             return ExitCode::SUCCESS;
         }
+        "chaos" => return run_chaos(&args, &runner),
         other => {
             eprintln!(
                 "unknown command {other}; try: all, sweeps, fig3a-d, fig4, fig5, fig6, \
-                 ablate, faults, resilience, scrub, power-curve, hist, trace, bench, power"
+                 ablate, faults, resilience, scrub, power-curve, hist, trace, bench, power, \
+                 chaos"
             );
             return ExitCode::FAILURE;
         }

@@ -30,6 +30,8 @@
 //! ```
 
 #![warn(missing_docs)]
+// The fault-path audit (DESIGN.md §13): no bare unwraps outside tests.
+#![warn(clippy::unwrap_used)]
 
 pub mod ablate;
 pub mod figures;

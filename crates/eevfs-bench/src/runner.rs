@@ -156,6 +156,20 @@ impl Default for Runner {
     }
 }
 
+/// The chaos search fans scenarios across the same deterministic runner
+/// the experiment grids use; index-order reassembly is exactly the
+/// contract `eevfs-chaos` needs for `--jobs`-independent campaigns.
+impl eevfs_chaos::ParallelMap for Runner {
+    fn map_indexed(
+        &self,
+        n: usize,
+        f: &(dyn Fn(usize) -> eevfs_chaos::ScenarioReport + Sync),
+    ) -> Vec<eevfs_chaos::ScenarioReport> {
+        let indices: Vec<usize> = (0..n).collect();
+        self.map(&indices, |_, &i| f(i))
+    }
+}
+
 fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -167,6 +181,7 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,230 @@
+//! Delta-debugging shrinker: reduce a violating schedule to a minimal
+//! reproducer while preserving the violation.
+//!
+//! The shrinker only ever *removes* badness — drops fault events
+//! (ddmin-style chunk deletion over each of the four event lists),
+//! halves the trace (which also shortens the horizon, since horizons
+//! derive from request counts), and zeroes the per-message link-fault
+//! probabilities. A candidate is accepted iff re-executing it still
+//! violates the *same-named* invariant, so the shrinker can never walk
+//! from one bug to a different one. Every pass is deterministic and the
+//! candidate budget is bounded, so shrinking the same violation always
+//! lands on the same schedule.
+
+use crate::invariant::InvariantSet;
+use crate::schedule::ChaosSchedule;
+use crate::search::check_schedule;
+
+/// What the shrinker produced.
+#[derive(Debug)]
+pub struct ShrinkOutcome {
+    /// The minimised schedule (still violating the target invariant).
+    pub schedule: ChaosSchedule,
+    /// Candidate executions spent.
+    pub attempts: u32,
+    /// True when the result is strictly smaller than the input.
+    pub improved: bool,
+}
+
+struct Shrinker<'a> {
+    target: &'a str,
+    invariants: &'a InvariantSet,
+    budget: u32,
+    attempts: u32,
+}
+
+impl Shrinker<'_> {
+    /// One candidate execution: does `s` still violate the target?
+    /// Deducts from the budget; a spent budget rejects everything, which
+    /// simply freezes the current best.
+    fn still_violates(&mut self, s: &ChaosSchedule) -> bool {
+        if self.attempts >= self.budget {
+            return false;
+        }
+        self.attempts += 1;
+        let double = self.target == "determinism";
+        check_schedule(s, self.invariants, double)
+            .iter()
+            .any(|v| v.invariant == self.target)
+    }
+
+    /// ddmin-style deletion over one event list, selected by `get`/`set`.
+    /// Tries coarse chunks first, refining toward single events.
+    fn shrink_list<T: Clone>(
+        &mut self,
+        best: &mut ChaosSchedule,
+        get: impl Fn(&ChaosSchedule) -> &Vec<T>,
+        set: impl Fn(&mut ChaosSchedule, Vec<T>),
+    ) -> bool {
+        let mut improved = false;
+        let mut granularity = 2usize;
+        loop {
+            let len = get(best).len();
+            if len == 0 {
+                return improved;
+            }
+            // First, the cheapest candidate: the whole list gone.
+            if granularity == 2 {
+                let mut candidate = best.clone();
+                set(&mut candidate, Vec::new());
+                if self.still_violates(&candidate) {
+                    *best = candidate;
+                    improved = true;
+                    return improved;
+                }
+            }
+            let n = granularity.min(len);
+            let chunk = len.div_ceil(n);
+            let mut any_removed = false;
+            let mut start = 0;
+            while start < get(best).len() {
+                let end = (start + chunk).min(get(best).len());
+                let mut kept: Vec<T> = Vec::with_capacity(get(best).len() - (end - start));
+                kept.extend_from_slice(&get(best)[..start]);
+                kept.extend_from_slice(&get(best)[end..]);
+                let mut candidate = best.clone();
+                set(&mut candidate, kept);
+                if self.still_violates(&candidate) {
+                    *best = candidate;
+                    improved = true;
+                    any_removed = true;
+                    // Do not advance: the next chunk now starts here.
+                } else {
+                    start = end;
+                }
+                if self.attempts >= self.budget {
+                    return improved;
+                }
+            }
+            if any_removed {
+                granularity = 2;
+            } else if chunk <= 1 {
+                return improved;
+            } else {
+                granularity *= 2;
+            }
+        }
+    }
+}
+
+/// Shrinks `original` while preserving a violation of the invariant
+/// named `target`. `budget` bounds total candidate executions.
+pub fn shrink(
+    original: &ChaosSchedule,
+    target: &str,
+    invariants: &InvariantSet,
+    budget: u32,
+) -> ShrinkOutcome {
+    let mut sh = Shrinker {
+        target,
+        invariants,
+        budget,
+        attempts: 0,
+    };
+    let mut best = original.clone();
+    loop {
+        let before = best.size();
+        // Pass 1: drop fault events, dimension by dimension.
+        sh.shrink_list(&mut best, |s| &s.faults, |s, v| s.faults = v);
+        sh.shrink_list(&mut best, |s| &s.net, |s, v| s.net = v);
+        sh.shrink_list(&mut best, |s| &s.corruption, |s, v| s.corruption = v);
+        sh.shrink_list(&mut best, |s| &s.crashes, |s, v| s.crashes = v);
+        // Pass 2: halve the trace (shrinks the horizon with it).
+        while best.requests > 8 {
+            let mut candidate = best.clone();
+            candidate.requests = (candidate.requests / 2).max(8);
+            if sh.still_violates(&candidate) {
+                best = candidate;
+            } else {
+                break;
+            }
+        }
+        // Pass 3: quiet the link profile.
+        if best.profile.drop_prob > 0.0
+            || best.profile.reset_prob > 0.0
+            || best.profile.delay_prob > 0.0
+        {
+            let mut candidate = best.clone();
+            candidate.profile.drop_prob = 0.0;
+            candidate.profile.reset_prob = 0.0;
+            candidate.profile.delay_prob = 0.0;
+            if sh.still_violates(&candidate) {
+                best = candidate;
+            }
+        }
+        if best.size() >= before || sh.attempts >= sh.budget {
+            break;
+        }
+    }
+    ShrinkOutcome {
+        improved: best.size() < original.size(),
+        schedule: best,
+        attempts: sh.attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant::InvariantSet;
+    use crate::schedule::{generate_schedule, SeverityEnvelope};
+    use crate::search::check_schedule;
+
+    /// The canary trips on any fault event, so shrinking a canary
+    /// violation must land on a single-event schedule.
+    #[test]
+    fn canary_violation_shrinks_to_one_event() {
+        let env = SeverityEnvelope::default_search();
+        let invariants = InvariantSet::with_canary();
+        // Find a scenario with a decent number of events and a canary
+        // violation to shrink.
+        let (schedule, _) = (0..32)
+            .map(|i| generate_schedule(&env, 2024, i))
+            .filter(|s| s.event_count() >= 4)
+            .find_map(|s| {
+                let vs = check_schedule(&s, &invariants, false);
+                vs.iter()
+                    .any(|v| v.invariant == "canary-quiet-cluster")
+                    .then_some((s.clone(), vs))
+            })
+            .expect("the default envelope produces canary violations");
+        let out = shrink(&schedule, "canary-quiet-cluster", &invariants, 600);
+        assert!(out.improved, "shrinker must make progress");
+        assert!(
+            out.schedule.event_count() < schedule.event_count(),
+            "strictly fewer events: {} -> {}",
+            schedule.event_count(),
+            out.schedule.event_count()
+        );
+        // The canary trips on the first fired fault event; a minimal
+        // witness carries very few scheduled events.
+        assert!(
+            out.schedule.event_count() <= 2,
+            "expected a near-minimal schedule, got {} events",
+            out.schedule.event_count()
+        );
+        // And the shrunk schedule still violates the same invariant.
+        assert!(check_schedule(&out.schedule, &invariants, false)
+            .iter()
+            .any(|v| v.invariant == "canary-quiet-cluster"));
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let env = SeverityEnvelope::default_search();
+        let invariants = InvariantSet::with_canary();
+        let schedule = (0..32)
+            .map(|i| generate_schedule(&env, 7, i))
+            .find(|s| {
+                s.event_count() >= 3
+                    && check_schedule(s, &invariants, false)
+                        .iter()
+                        .any(|v| v.invariant == "canary-quiet-cluster")
+            })
+            .expect("violating scenario");
+        let a = shrink(&schedule, "canary-quiet-cluster", &invariants, 400);
+        let b = shrink(&schedule, "canary-quiet-cluster", &invariants, 400);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.attempts, b.attempts);
+    }
+}

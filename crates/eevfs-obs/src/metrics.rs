@@ -80,6 +80,10 @@ impl MetricsRegistry {
     }
 
     /// The named histogram, if any value has been observed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_histogram`, whose error names the missing metric"
+    )]
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
     }
@@ -110,6 +114,10 @@ impl MetricsRegistry {
     }
 
     /// The named time series.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_series`, whose error names the missing metric"
+    )]
     pub fn series(&self, name: &str) -> Option<&TimeSeries> {
         self.series.get(name)
     }
@@ -199,7 +207,7 @@ mod tests {
         let mut m = MetricsRegistry::new();
         m.observe("rt", 0.0, 10.0, 10, 2.5);
         m.observe("rt", 0.0, 10.0, 10, 3.5);
-        assert_eq!(m.histogram("rt").unwrap().total(), 2);
+        assert_eq!(m.try_histogram("rt").unwrap().total(), 2);
     }
 
     #[test]
@@ -221,7 +229,7 @@ mod tests {
         let mut m = MetricsRegistry::new();
         m.sample("q", SimTime::from_secs(1), 1.0);
         m.sample("q", SimTime::from_secs(2), 4.0);
-        let s = m.series("q").unwrap();
+        let s = m.try_series("q").unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s.last(), Some((SimTime::from_secs(2), 4.0)));
     }

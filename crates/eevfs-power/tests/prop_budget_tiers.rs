@@ -1,0 +1,201 @@
+//! Property tests over the SpinBudget × cache-tier interaction
+//! (proptest), the coupling DESIGN.md §13's invariant plane polices at
+//! run scope.
+//!
+//! The load-bearing property: the spin-cycle ledger and the tier hit
+//! counters are *independent* ledgers. A tier hit that lands while a
+//! disk's budget is denying spin-ups must not double-count the denial,
+//! and a denied spin-up must not leak into the tier counters (or the
+//! SSD energy meter, which the plane never fills itself). Checked
+//! against brute-force reference models and by interleaving-invariance.
+
+use eevfs_power::{EvictionPolicy, PolicyPlane, PowerPolicy, TierConfig};
+use proptest::prelude::*;
+use sim_core::SimDuration;
+
+const NODES: usize = 2;
+const DISKS: usize = 2;
+
+/// One step of a coupled workload: attempt a spin-down on a disk, touch
+/// a file through the tiers, or invalidate one. `SleepThenTouch` is the
+/// adversarial composite — a tier hit in the same step as a (possibly
+/// denied) spin-up attempt.
+#[derive(Debug, Clone)]
+enum Op {
+    Sleep { node: u8, disk: u8 },
+    Touch { node: u8, file: u32, bytes: u64 },
+    Invalidate { node: u8, file: u32 },
+    SleepThenTouch { node: u8, disk: u8, file: u32 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..NODES as u8, 0u8..DISKS as u8).prop_map(|(node, disk)| Op::Sleep { node, disk }),
+            (0u8..NODES as u8, 0u32..24, 1u64..4000).prop_map(|(node, file, bytes)| Op::Touch {
+                node,
+                file,
+                bytes
+            }),
+            (0u8..NODES as u8, 0u32..24).prop_map(|(node, file)| Op::Invalidate { node, file }),
+            (0u8..NODES as u8, 0u8..DISKS as u8, 0u32..24)
+                .prop_map(|(node, disk, file)| Op::SleepThenTouch { node, disk, file }),
+        ],
+        1..160,
+    )
+}
+
+fn plane(cap: u32, seed: u64) -> PolicyPlane {
+    let policy = PowerPolicy::ewma()
+        .with_tier(TierConfig {
+            dram_bytes: 16 * 1024,
+            ssd_bytes: 64 * 1024,
+            policy: EvictionPolicy::Lru,
+        })
+        .with_spin_cap(cap)
+        .with_seed(seed);
+    let breakeven = vec![vec![SimDuration::from_secs(10); DISKS]; NODES];
+    PolicyPlane::new(policy, &breakeven)
+}
+
+/// Brute-force reference ledgers kept alongside the plane.
+#[derive(Default)]
+struct Model {
+    attempts: [[u64; DISKS]; NODES],
+    dram_hits: u64,
+    dram_misses: u64,
+    ssd_hits: u64,
+    ssd_misses: u64,
+}
+
+impl Model {
+    /// Expected denials for a per-disk cap: everything past the cap.
+    fn denied(&self, cap: u32) -> u64 {
+        self.attempts
+            .iter()
+            .flatten()
+            .map(|&a| a.saturating_sub(u64::from(cap)))
+            .sum()
+    }
+}
+
+/// Drives the plane the way the simulation driver does (tier lookup
+/// first, admit on a full miss) while the model counts what the plane's
+/// own return values said happened.
+fn drive(plane: &mut PolicyPlane, model: &mut Model, cap: u32, ops: &[Op]) {
+    let touch = |plane: &mut PolicyPlane, model: &mut Model, node: usize, file, bytes| {
+        if plane.dram_lookup(node, file) {
+            model.dram_hits += 1;
+        } else {
+            model.dram_misses += 1;
+            if plane.ssd_lookup(node, file) {
+                model.ssd_hits += 1;
+            } else {
+                model.ssd_misses += 1;
+                plane.admit(node, file, bytes, true);
+            }
+        }
+    };
+    for op in ops {
+        match *op {
+            Op::Sleep { node, disk } => {
+                let (n, d) = (node as usize, disk as usize);
+                let granted = plane.try_charge_spin(n, d);
+                model.attempts[n][d] += 1;
+                // The plane's verdict must match the cap arithmetic.
+                assert_eq!(granted, model.attempts[n][d] <= u64::from(cap));
+            }
+            Op::Touch { node, file, bytes } => touch(plane, model, node as usize, file, bytes),
+            Op::Invalidate { node, file } => plane.invalidate(node as usize, file),
+            Op::SleepThenTouch { node, disk, file } => {
+                let (n, d) = (node as usize, disk as usize);
+                plane.try_charge_spin(n, d);
+                model.attempts[n][d] += 1;
+                touch(plane, model, n, file, 512);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The denial ledger and the tier counters agree with independent
+    /// reference models no matter how sleeps and touches interleave —
+    /// one denial per over-cap attempt, one hit per hitting lookup,
+    /// never more. The SSD energy meter stays untouched at plane scope.
+    #[test]
+    fn ledgers_never_cross_count(ops in arb_ops(), cap in 0u32..6, seed in 0u64..1024) {
+        let mut plane = plane(cap, seed);
+        let mut model = Model::default();
+        drive(&mut plane, &mut model, cap, &ops);
+        let stats = plane.stats();
+        prop_assert_eq!(stats.sleeps_denied, model.denied(cap));
+        prop_assert_eq!(stats.dram_hits, model.dram_hits);
+        prop_assert_eq!(stats.dram_misses, model.dram_misses);
+        prop_assert_eq!(stats.ssd_hits, model.ssd_hits);
+        prop_assert_eq!(stats.ssd_misses, model.ssd_misses);
+        prop_assert_eq!(stats.ssd_energy_j, 0.0);
+    }
+
+    /// Interleaving invariance, the no-double-count property stated
+    /// directly: stripping every tier op from a stream leaves the spin
+    /// ledger identical, and stripping every sleep op leaves the tier
+    /// counters identical.
+    #[test]
+    fn stripped_streams_leave_the_other_ledger_fixed(
+        ops in arb_ops(),
+        cap in 0u32..6,
+        seed in 0u64..1024,
+    ) {
+        let full = {
+            let mut p = plane(cap, seed);
+            let mut m = Model::default();
+            drive(&mut p, &mut m, cap, &ops);
+            p.stats()
+        };
+
+        // Sleeps only: composite ops keep their sleep half.
+        let sleeps: Vec<Op> = ops
+            .iter()
+            .filter_map(|op| match *op {
+                Op::Sleep { node, disk } | Op::SleepThenTouch { node, disk, .. } => {
+                    Some(Op::Sleep { node, disk })
+                }
+                _ => None,
+            })
+            .collect();
+        let sleeps_only = {
+            let mut p = plane(cap, seed);
+            let mut m = Model::default();
+            drive(&mut p, &mut m, cap, &sleeps);
+            p.stats()
+        };
+        prop_assert_eq!(full.sleeps_denied, sleeps_only.sleeps_denied);
+
+        // Touches only: composite ops keep their touch half.
+        let touches: Vec<Op> = ops
+            .iter()
+            .filter_map(|op| match *op {
+                Op::Touch { node, file, bytes } => Some(Op::Touch { node, file, bytes }),
+                Op::Invalidate { node, file } => Some(Op::Invalidate { node, file }),
+                Op::SleepThenTouch { node, file, .. } => Some(Op::Touch {
+                    node,
+                    file,
+                    bytes: 512,
+                }),
+                Op::Sleep { .. } => None,
+            })
+            .collect();
+        let touches_only = {
+            let mut p = plane(cap, seed);
+            let mut m = Model::default();
+            drive(&mut p, &mut m, cap, &touches);
+            p.stats()
+        };
+        prop_assert_eq!(full.dram_hits, touches_only.dram_hits);
+        prop_assert_eq!(full.dram_misses, touches_only.dram_misses);
+        prop_assert_eq!(full.ssd_hits, touches_only.ssd_hits);
+        prop_assert_eq!(full.ssd_misses, touches_only.ssd_misses);
+    }
+}

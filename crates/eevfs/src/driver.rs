@@ -20,6 +20,14 @@
 //! Everything is event-driven over the deterministic queue from
 //! `sim-core`; a run is a pure function of `(cluster, cfg, trace)`.
 
+// Fault-path audit (ISSUE 7): input rejection goes through `DriverError`;
+// `.unwrap()` is banned here so new code can't reintroduce silent panics.
+// The remaining `.expect()` sites assert internal simulator invariants
+// ("checked above" plane accesses, every-request-answered) whose failure
+// means a simulator bug, not bad input — the chaos executor converts those
+// unwinds into engine-panic violations.
+#![warn(clippy::unwrap_used)]
+
 use crate::buffer::BufferCatalog;
 use crate::config::{BufferPolicy, ClusterSpec, EevfsConfig, ReplicaSelection};
 use crate::journal::{Journal, JournalRecord};
@@ -1705,6 +1713,142 @@ pub fn run_cluster_powered_observed(
     (metrics, report.expect("observation was requested"))
 }
 
+/// A typed rejection from the fallible driver entry points.
+///
+/// The panicking entry points ([`run_cluster`] and friends) treat these as
+/// programmer errors; the fallible ones ([`try_run_cluster_chaos`]) return
+/// them so machine-generated configurations — chaos-search schedules in
+/// particular — surface bad inputs as data instead of unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The cluster spec failed [`ClusterSpec::validate`].
+    BadCluster(String),
+    /// The trace failed `Trace::validate`.
+    BadTrace(String),
+    /// A fault/net/corruption/crash plan targets nodes, disks, or links
+    /// outside the cluster. `plan` names the offending plan.
+    PlanOutOfRange {
+        /// Which plan was rejected ("fault", "net", "corruption", "crash").
+        plan: &'static str,
+        /// The stray targets, pre-rendered for the error message.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::BadCluster(e) => write!(f, "bad cluster: {e}"),
+            DriverError::BadTrace(e) => write!(f, "bad trace: {e}"),
+            DriverError::PlanOutOfRange { plan, detail } => {
+                write!(f, "{plan} plan targets outside the cluster: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Checks every input the driver would otherwise assert on.
+fn validate_inputs(
+    cluster: &ClusterSpec,
+    trace: &Trace,
+    faults: &FaultPlan,
+    resilience: Option<&ResilienceSetup<'_>>,
+    durability: Option<&DurabilitySetup<'_>>,
+) -> Result<(), DriverError> {
+    cluster
+        .validate()
+        .map_err(|e| DriverError::BadCluster(e.to_string()))?;
+    trace
+        .validate()
+        .map_err(|e| DriverError::BadTrace(e.to_string()))?;
+    let max_disks = cluster.data_disk_counts().into_iter().max().unwrap_or(0) as u32;
+    let stray = faults.out_of_range(cluster.node_count() as u32, max_disks);
+    if !stray.is_empty() {
+        return Err(DriverError::PlanOutOfRange {
+            plan: "fault",
+            detail: format!("{stray:?}"),
+        });
+    }
+    if let Some(setup) = resilience {
+        let stray = setup.net_plan.out_of_range(cluster.node_count() as u32);
+        if !stray.is_empty() {
+            return Err(DriverError::PlanOutOfRange {
+                plan: "net",
+                detail: format!("{stray:?}"),
+            });
+        }
+    }
+    if let Some(d) = durability {
+        let stray = d
+            .corruption
+            .out_of_range(cluster.node_count() as u32, max_disks);
+        if !stray.is_empty() {
+            return Err(DriverError::PlanOutOfRange {
+                plan: "corruption",
+                detail: format!("{stray:?}"),
+            });
+        }
+        let stray = d.crashes.out_of_range(cluster.node_count() as u32);
+        if !stray.is_empty() {
+            return Err(DriverError::PlanOutOfRange {
+                plan: "crash",
+                detail: format!("{stray:?}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The full adversarial composition for [`try_run_cluster_chaos`]: disk
+/// faults plus any subset of network resilience, durability, and the
+/// `eevfs-power` policy plane, all active in one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosSetup<'a> {
+    /// Network faults + RPC policy; `None` for a perfect network.
+    pub resilience: Option<ResilienceSetup<'a>>,
+    /// Corruption/crash schedules + scrubbing; `None` disables the
+    /// durability layer.
+    pub durability: Option<DurabilitySetup<'a>>,
+    /// Power policy plane; `None` keeps the paper's static idle threshold.
+    pub power: Option<&'a eevfs_power::PowerPolicy>,
+}
+
+/// Runs the full composite: every fault dimension the driver knows about,
+/// enabled at once. This is the chaos-search entry point — unlike the
+/// single-dimension wrappers above it accepts machine-generated plans, so
+/// it validates them and returns a [`DriverError`] instead of panicking.
+/// Determinism is unchanged: the run is a pure function of
+/// `(cluster, cfg, trace, faults, setup)` and replays bit-identically.
+pub fn try_run_cluster_chaos(
+    cluster: &ClusterSpec,
+    cfg: &EevfsConfig,
+    trace: &Trace,
+    faults: &FaultPlan,
+    setup: ChaosSetup<'_>,
+) -> Result<RunMetrics, DriverError> {
+    validate_inputs(
+        cluster,
+        trace,
+        faults,
+        setup.resilience.as_ref(),
+        setup.durability.as_ref(),
+    )?;
+    Ok(run_validated(
+        cluster,
+        cfg,
+        trace,
+        false,
+        faults,
+        setup.resilience,
+        setup.durability,
+        None,
+        setup.power,
+    )
+    .0)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_cluster_inner(
     cluster: &ClusterSpec,
@@ -1717,43 +1861,40 @@ fn run_cluster_inner(
     obs: Option<Recorder>,
     power_plane: Option<&eevfs_power::PowerPolicy>,
 ) -> (RunMetrics, Option<sim_core::TimeSeries>, Option<ObsReport>) {
-    cluster
-        .validate()
-        .unwrap_or_else(|e| panic!("bad cluster: {e}"));
-    trace
-        .validate()
-        .unwrap_or_else(|e| panic!("bad trace: {e}"));
-    {
-        let max_disks = cluster.data_disk_counts().into_iter().max().unwrap_or(0) as u32;
-        let stray = faults.out_of_range(cluster.node_count() as u32, max_disks);
-        assert!(
-            stray.is_empty(),
-            "fault plan targets outside the cluster: {stray:?}"
-        );
-    }
-    if let Some(setup) = &resilience {
-        let stray = setup.net_plan.out_of_range(cluster.node_count() as u32);
-        assert!(
-            stray.is_empty(),
-            "network fault plan targets outside the cluster: {stray:?}"
-        );
-    }
-    if let Some(d) = &durability {
-        let max_disks = cluster.data_disk_counts().into_iter().max().unwrap_or(0) as u32;
-        let stray = d
-            .corruption
-            .out_of_range(cluster.node_count() as u32, max_disks);
-        assert!(
-            stray.is_empty(),
-            "corruption plan targets outside the cluster: {stray:?}"
-        );
-        let stray = d.crashes.out_of_range(cluster.node_count() as u32);
-        assert!(
-            stray.is_empty(),
-            "crash plan targets outside the cluster: {stray:?}"
-        );
-    }
+    validate_inputs(
+        cluster,
+        trace,
+        faults,
+        resilience.as_ref(),
+        durability.as_ref(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    run_validated(
+        cluster,
+        cfg,
+        trace,
+        record_curve,
+        faults,
+        resilience,
+        durability,
+        obs,
+        power_plane,
+    )
+}
 
+/// The simulation proper; inputs are assumed validated.
+#[allow(clippy::too_many_arguments)]
+fn run_validated(
+    cluster: &ClusterSpec,
+    cfg: &EevfsConfig,
+    trace: &Trace,
+    record_curve: bool,
+    faults: &FaultPlan,
+    resilience: Option<ResilienceSetup<'_>>,
+    durability: Option<DurabilitySetup<'_>>,
+    obs: Option<Recorder>,
+    power_plane: Option<&eevfs_power::PowerPolicy>,
+) -> (RunMetrics, Option<sim_core::TimeSeries>, Option<ObsReport>) {
     // Steps 1-2: popularity and placement.
     let popularity = PopularityTable::from_trace(trace);
     let placement = place(cfg.placement, &popularity, &cluster.data_disk_counts());
@@ -2503,6 +2644,7 @@ fn run_cluster_inner(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use workload::berkeley::{berkeley_web_trace, BerkeleySpec};
@@ -3362,8 +3504,8 @@ mod tests {
         assert_eq!(m1, m2);
         assert!(!r1.recorder.is_empty());
         assert_eq!(r1.registry.counter("requests"), 200);
-        assert!(r1.registry.series("queue_depth").is_some());
-        assert!(r1.registry.series("power_w.n0").is_some());
+        assert!(r1.registry.try_series("queue_depth").is_ok());
+        assert!(r1.registry.try_series("power_w.n0").is_ok());
         assert!(r2.registry.counter("sleeps") > 0, "PF runs sleep disks");
     }
 

@@ -61,5 +61,8 @@ pub mod scrub;
 pub mod server;
 
 pub use config::{ClusterSpec, EevfsConfig, NodeSpec};
-pub use driver::{run_cluster, run_cluster_powered, run_cluster_powered_observed};
+pub use driver::{
+    run_cluster, run_cluster_powered, run_cluster_powered_observed, try_run_cluster_chaos,
+    ChaosSetup, DriverError,
+};
 pub use metrics::RunMetrics;

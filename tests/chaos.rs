@@ -1,0 +1,111 @@
+//! Cross-crate chaos-engine tests: the search finds violations the
+//! canary plants, the shrinker minimises them, replays are bit-exact at
+//! any pool shape, and the real invariant plane is clean under the
+//! default severity envelope.
+
+use eevfs_chaos::{
+    check_schedule, generate_schedule, replay, run_campaign, CampaignConfig, InvariantSet,
+    ParallelMap, ScenarioReport, SerialPool, SeverityEnvelope,
+};
+
+/// A pool that evaluates indices in reverse order on the calling thread —
+/// the cheapest way to prove campaign output does not depend on
+/// scheduling order.
+struct ReversePool;
+
+impl ParallelMap for ReversePool {
+    fn map_indexed(
+        &self,
+        n: usize,
+        f: &(dyn Fn(usize) -> ScenarioReport + Sync),
+    ) -> Vec<ScenarioReport> {
+        let mut out: Vec<ScenarioReport> = (0..n).rev().map(f).collect();
+        out.reverse();
+        out
+    }
+}
+
+/// The real invariant plane stays clean across a hostile campaign drawn
+/// from the default envelope: composite disk/node/net/corruption/crash
+/// schedules, all optional planes engaged probabilistically.
+#[test]
+fn severe_campaign_is_clean_under_standard_invariants() {
+    let cfg = CampaignConfig::new(48, 0xC4A0_5EED);
+    let report = run_campaign(&SerialPool, &InvariantSet::standard(), &cfg);
+    assert!(
+        report.clean(),
+        "standard invariants violated: {:?}",
+        report.violating
+    );
+}
+
+/// The acceptance configuration: replication >= 2 with scrubbing always
+/// on. No scenario may lose data or break any ledger.
+#[test]
+fn r2_scrubbed_campaign_is_clean() {
+    let cfg = CampaignConfig {
+        envelope: SeverityEnvelope::r2_scrubbed(),
+        ..CampaignConfig::new(32, 0xD15C_0DE5)
+    };
+    let report = run_campaign(&SerialPool, &InvariantSet::standard(), &cfg);
+    assert!(
+        report.clean(),
+        "r2+scrub invariants violated: {:?}",
+        report.violating
+    );
+}
+
+/// Canary mode end-to-end: the search finds the planted violation,
+/// shrinks it strictly, and the reproducer replays bit-for-bit.
+#[test]
+fn canary_campaign_finds_shrinks_and_replays() {
+    let invariants = InvariantSet::with_canary();
+    let cfg = CampaignConfig::new(16, 0x0BAD_5EED);
+    let report = run_campaign(&SerialPool, &invariants, &cfg);
+    assert!(!report.clean(), "the canary must trip");
+    let rep = report.reproducer.expect("reproducer for the canary");
+    assert_eq!(rep.invariant, "canary-quiet-cluster");
+    assert!(
+        rep.shrunk_events < rep.original_events,
+        "strictly smaller: {} -> {}",
+        rep.original_events,
+        rep.shrunk_events
+    );
+    // JSON round-trip, then bit-exact replay.
+    let text = serde_json::to_string_pretty(&rep).expect("serialize artifact");
+    let parsed: eevfs_chaos::Reproducer = serde_json::from_str(&text).expect("parse artifact");
+    assert_eq!(parsed, rep);
+    let outcome = replay(&parsed, &invariants);
+    assert!(
+        outcome.exact(),
+        "replay must reproduce exactly: {outcome:?}"
+    );
+}
+
+/// Campaign reports — including the shrunk reproducer — are identical
+/// regardless of evaluation order, the property that makes `--jobs N`
+/// output byte-identical to serial.
+#[test]
+fn campaign_output_is_pool_independent() {
+    let invariants = InvariantSet::with_canary();
+    let cfg = CampaignConfig::new(12, 0x0B5E_47ED);
+    let serial = run_campaign(&SerialPool, &invariants, &cfg);
+    let reversed = run_campaign(&ReversePool, &invariants, &cfg);
+    assert_eq!(serial.violating, reversed.violating);
+    assert_eq!(serial.reproducer, reversed.reproducer);
+    assert_eq!(serial.shrink_attempts, reversed.shrink_attempts);
+}
+
+/// Every scenario in a campaign is individually reproducible: the same
+/// (envelope, seed, index) re-checks to the same violations.
+#[test]
+fn scenario_checks_are_reproducible() {
+    let env = SeverityEnvelope::default_search();
+    let invariants = InvariantSet::with_canary();
+    for i in 0..6 {
+        let s = generate_schedule(&env, 31337, i);
+        let a = check_schedule(&s, &invariants, i % 2 == 0);
+        let b = check_schedule(&s, &invariants, i % 2 == 0);
+        assert_eq!(a, b, "scenario {i}");
+    }
+}
