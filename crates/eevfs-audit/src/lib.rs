@@ -1,0 +1,37 @@
+//! # eevfs-audit — the energy attribution plane
+//!
+//! `eevfs-obs` (DESIGN.md §9) records *what happened*; this crate answers
+//! *where the joules and milliseconds went* (DESIGN.md §14). Three layers:
+//!
+//! * [`span`] — a **causal span reconstructor** that folds the
+//!   deterministic trace into one [`RequestSpan`] per request, with a
+//!   critical-path latency decomposition (queue wait, dispatch/RPC,
+//!   spin-up wait, transfer) plus retry/hedge annotations, and a
+//!   [`ResidencyTable`] integrating per-disk power-state residency from
+//!   the `DiskTransition` stream.
+//! * [`ledger`] — an **energy attribution ledger** apportioning every
+//!   joule of [`eevfs::RunMetrics::total_energy_j`] along four views
+//!   (component tree, per-request, per-power-state, per-node), each view
+//!   closed by an explicit residual row so that re-summing the rows in
+//!   ledger order reproduces the `RunMetrics` totals **bit-exactly** —
+//!   the property the `eevfs-chaos` plane attests on every campaign.
+//! * [`report`] — the versioned `REPORT_sim.json` schema, its ASCII
+//!   top-K tables, and the baseline regression gate `harness report`
+//!   enforces in CI.
+//!
+//! Everything here is a pure function of a trace and its metrics: no
+//! randomness, no wall clock, deterministic iteration orders throughout.
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+pub mod ledger;
+pub mod report;
+pub mod span;
+
+pub use ledger::{build_ledger, AttributionModel, EnergyLedger, LedgerRow, RequestShare};
+pub use report::{
+    compare_bench, compare_reports, render_cell_tables, AttributionCell, AuditReport,
+    BenchSnapshot, Regression, REPORT_VERSION,
+};
+pub use span::{reconstruct_spans, DiskResidency, RequestSpan, ResidencyTable, ServeSource};

@@ -1,0 +1,771 @@
+//! The versioned attribution report (`REPORT_sim.json`), its ASCII
+//! top-K tables, and the CI regression gates.
+//!
+//! A report is a pure function of the simulation inputs, so it is
+//! byte-identical across `--jobs` counts and across runs — which is what
+//! lets CI `cmp` two reports and diff against a committed baseline. The
+//! gates are deliberately asymmetric: only *worsening* beyond tolerance
+//! fails ([`compare_reports`], [`compare_bench`]); improvements pass and
+//! should prompt a baseline refresh.
+
+use crate::ledger::{EnergyLedger, LedgerRow};
+use crate::span::{RequestSpan, ResidencyTable, ServeSource};
+use eevfs::RunMetrics;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Schema version of [`AuditReport`]. Bump on any field change; the gate
+/// refuses to compare across versions.
+pub const REPORT_VERSION: u32 = 1;
+
+/// Relative worsening of `energy_per_request_j` tolerated before the
+/// gate fails. The simulator is deterministic, so any drift at all is a
+/// code change; 2% separates "rounding-level refactor noise" from a real
+/// energy regression.
+pub const ENERGY_REGRESSION_TOL: f64 = 0.02;
+
+/// Relative worsening of `mean_response_s` tolerated before the gate
+/// fails.
+pub const RESPONSE_REGRESSION_TOL: f64 = 0.10;
+
+/// Throughput floor for the bench gate: `runs/sec` may drop to this
+/// fraction of baseline before failing. Generous because wall-clock
+/// varies across CI machines; it exists to catch order-of-magnitude
+/// collapses, not jitter.
+pub const BENCH_FLOOR: f64 = 0.10;
+
+/// The ledger's closed views, without the per-request share list (which
+/// scales with the workload; the report keeps top-K instead).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerSummary {
+    /// Exact copy of `RunMetrics::total_energy_j`.
+    pub total_j: f64,
+    /// Exact copy of `RunMetrics::disk_energy_j`.
+    pub disk_j: f64,
+    /// Exact copy of `RunMetrics::base_energy_j`.
+    pub base_j: f64,
+    /// Exact copy of `RunMetrics::scrub_energy_j`.
+    pub scrub_j: f64,
+    /// Warm-up energy (excluded from `total_j`, reported for context).
+    pub warmup_j: f64,
+    /// Joules attributed to requests.
+    pub attributed_j: f64,
+    /// Joules no request caused; `(attributed + unattributed) + carry ==
+    /// total` bit-exactly.
+    pub unattributed_j: f64,
+    /// Sub-ULP rounding carry of the request view.
+    pub carry_j: f64,
+    /// Disk view rows (fold to `disk_j`).
+    pub disk_rows: Vec<LedgerRow>,
+    /// Base view rows (fold to `base_j`).
+    pub base_rows: Vec<LedgerRow>,
+    /// Power-state view rows (fold to `total_j`).
+    pub state_rows: Vec<LedgerRow>,
+}
+
+impl From<&EnergyLedger> for LedgerSummary {
+    fn from(l: &EnergyLedger) -> LedgerSummary {
+        LedgerSummary {
+            total_j: l.total_j,
+            disk_j: l.disk_j,
+            base_j: l.base_j,
+            scrub_j: l.scrub_j,
+            warmup_j: l.warmup_j,
+            attributed_j: l.attributed_j,
+            unattributed_j: l.unattributed_j,
+            carry_j: l.carry_j,
+            disk_rows: l.disk_rows.clone(),
+            base_rows: l.base_rows.clone(),
+            state_rows: l.state_rows.clone(),
+        }
+    }
+}
+
+/// One top-K row of the joules-per-request table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopRequest {
+    /// Request ID.
+    pub req: u64,
+    /// File touched.
+    pub file: u64,
+    /// Serving node, when observed.
+    pub node: Option<u32>,
+    /// Request bytes.
+    pub bytes: u64,
+    /// Attributed joules.
+    pub joules: f64,
+    /// End-to-end latency, µs.
+    pub total_us: u64,
+    /// Spin-up wait on the critical path, µs.
+    pub spinup_us: u64,
+    /// Where the bytes came from.
+    pub source: ServeSource,
+}
+
+/// One row of the per-file energy-vs-hotness table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileEnergy {
+    /// File ID.
+    pub file: u64,
+    /// Requests that touched the file (hotness).
+    pub requests: u32,
+    /// Total bytes moved for the file.
+    pub bytes: u64,
+    /// Total joules attributed to the file's requests.
+    pub joules: f64,
+}
+
+/// One row of the per-disk residency table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskResidencyRow {
+    /// `n<node>.buf` or `n<node>.d<disk>`.
+    pub label: String,
+    /// µs in Active.
+    pub active_us: u64,
+    /// µs in Idle.
+    pub idle_us: u64,
+    /// µs in Standby.
+    pub standby_us: u64,
+    /// µs spinning up.
+    pub spinup_us: u64,
+    /// µs spinning down.
+    pub spindown_us: u64,
+    /// Standby→up transitions inside the window.
+    pub spin_ups: u64,
+}
+
+/// One workload/config point of the attribution report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributionCell {
+    /// Stable cell name (the gate joins on it).
+    pub name: String,
+    /// Workload description.
+    pub workload: String,
+    /// Config description.
+    pub config: String,
+    /// Requests served.
+    pub requests: u32,
+    /// Exact copy of `RunMetrics::total_energy_j`.
+    pub total_energy_j: f64,
+    /// `total_energy_j / requests` — the gated headline number.
+    pub energy_per_request_j: f64,
+    /// Mean response time, seconds — also gated.
+    pub mean_response_s: f64,
+    /// Σ queue wait across all spans, µs.
+    pub queue_us: u64,
+    /// Σ dispatch/RPC segments across all spans, µs.
+    pub dispatch_us: u64,
+    /// Σ spin-up wait across all spans, µs.
+    pub spinup_us: u64,
+    /// Σ transfer time across all spans, µs.
+    pub transfer_us: u64,
+    /// Σ unaccounted remainder across all spans, µs.
+    pub unaccounted_us: u64,
+    /// Requests that waited on a spin-up.
+    pub spun_up_requests: u64,
+    /// Total RPC retries across requests.
+    pub retries: u64,
+    /// Total hedged RPCs across requests.
+    pub hedges: u64,
+    /// The closed ledger views.
+    pub ledger: LedgerSummary,
+    /// Top-K requests by attributed joules.
+    pub top_requests: Vec<TopRequest>,
+    /// Top-K files by attributed joules.
+    pub top_files: Vec<FileEnergy>,
+    /// Per-disk power-state residency.
+    pub residency: Vec<DiskResidencyRow>,
+}
+
+impl AttributionCell {
+    /// Folds one observed run (metrics + spans + ledger + residency)
+    /// into a report cell, keeping the `k` most energetic requests and
+    /// files.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        name: &str,
+        workload: &str,
+        config: &str,
+        metrics: &RunMetrics,
+        spans: &[RequestSpan],
+        ledger: &EnergyLedger,
+        residency: &ResidencyTable,
+        k: usize,
+    ) -> AttributionCell {
+        let mean_response_s = if metrics.response_samples_s.is_empty() {
+            0.0
+        } else {
+            metrics.response_samples_s.iter().sum::<f64>() / metrics.response_samples_s.len() as f64
+        };
+        let mut top: Vec<(&RequestSpan, f64)> = spans
+            .iter()
+            .zip(ledger.requests.iter().map(|r| r.joules))
+            .collect();
+        top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.req.cmp(&b.0.req)));
+        let top_requests = top
+            .iter()
+            .take(k)
+            .map(|(s, j)| TopRequest {
+                req: s.req,
+                file: s.file,
+                node: s.node,
+                bytes: s.bytes,
+                joules: *j,
+                total_us: s.total_us,
+                spinup_us: s.spinup_us,
+                source: s.source,
+            })
+            .collect();
+        let mut files: BTreeMap<u64, FileEnergy> = BTreeMap::new();
+        for share in &ledger.requests {
+            let e = files.entry(share.file).or_insert(FileEnergy {
+                file: share.file,
+                requests: 0,
+                bytes: 0,
+                joules: 0.0,
+            });
+            e.requests += 1;
+            e.bytes += share.bytes;
+            e.joules += share.joules;
+        }
+        let mut top_files: Vec<FileEnergy> = files.into_values().collect();
+        top_files.sort_by(|a, b| b.joules.total_cmp(&a.joules).then(a.file.cmp(&b.file)));
+        top_files.truncate(k);
+        let residency = residency
+            .disks
+            .iter()
+            .map(|(&(node, disk), r)| DiskResidencyRow {
+                label: if disk == u32::MAX {
+                    format!("n{node}.buf")
+                } else {
+                    format!("n{node}.d{disk}")
+                },
+                active_us: r.active_us,
+                idle_us: r.idle_us,
+                standby_us: r.standby_us,
+                spinup_us: r.spinup_us,
+                spindown_us: r.spindown_us,
+                spin_ups: r.spin_ups,
+            })
+            .collect();
+        AttributionCell {
+            name: name.to_string(),
+            workload: workload.to_string(),
+            config: config.to_string(),
+            requests: spans.len() as u32,
+            total_energy_j: metrics.total_energy_j,
+            energy_per_request_j: if spans.is_empty() {
+                0.0
+            } else {
+                metrics.total_energy_j / spans.len() as f64
+            },
+            mean_response_s,
+            queue_us: spans.iter().map(|s| s.queue_us).sum(),
+            dispatch_us: spans.iter().map(|s| s.dispatch_us).sum(),
+            spinup_us: spans.iter().map(|s| s.spinup_us).sum(),
+            transfer_us: spans.iter().map(|s| s.transfer_us).sum(),
+            unaccounted_us: spans.iter().map(|s| s.unaccounted_us).sum(),
+            spun_up_requests: spans.iter().filter(|s| s.spinup_us > 0).count() as u64,
+            retries: spans.iter().map(|s| s.retries as u64).sum(),
+            hedges: spans.iter().map(|s| s.hedges as u64).sum(),
+            ledger: LedgerSummary::from(ledger),
+            top_requests,
+            top_files,
+            residency,
+        }
+    }
+}
+
+/// The versioned `REPORT_sim.json` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Schema version ([`REPORT_VERSION`]).
+    pub version: u32,
+    /// Requests per cell (the sweep parameter).
+    pub requests: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// One cell per workload/config point.
+    pub cells: Vec<AttributionCell>,
+}
+
+/// The bench harness snapshot persisted as `BENCH_sim.json` — shared by
+/// the harness (writer) and the regression gate (reader).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSnapshot {
+    /// Requests per run.
+    pub requests: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// Worker count used for the parallel leg.
+    pub jobs: usize,
+    /// Grid points in the sweep.
+    pub grid_points: usize,
+    /// Total runs executed.
+    pub runs: usize,
+    /// Serial wall-clock, seconds.
+    pub serial_s: f64,
+    /// Parallel wall-clock, seconds.
+    pub parallel_s: f64,
+    /// Serial throughput.
+    pub serial_runs_per_sec: f64,
+    /// Parallel throughput.
+    pub parallel_runs_per_sec: f64,
+    /// `serial_s / parallel_s`.
+    pub speedup: f64,
+    /// Whether serial and parallel results were byte-identical.
+    pub byte_identical: bool,
+}
+
+/// One gate failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// Cell name (or `"bench"` / `"report"` for global checks).
+    pub cell: String,
+    /// Metric that regressed.
+    pub metric: String,
+    /// Current value.
+    pub current: f64,
+    /// Baseline value.
+    pub baseline: f64,
+    /// The limit the current value crossed.
+    pub limit: f64,
+}
+
+impl Regression {
+    /// One human line for the CI log.
+    pub fn describe(&self) -> String {
+        format!(
+            "REGRESSION [{}] {}: current {:.6} vs baseline {:.6} (limit {:.6})",
+            self.cell, self.metric, self.current, self.baseline, self.limit
+        )
+    }
+}
+
+fn worse(cell: &str, metric: &str, current: f64, baseline: f64, tol: f64) -> Option<Regression> {
+    let limit = baseline * (1.0 + tol);
+    (current > limit).then(|| Regression {
+        cell: cell.to_string(),
+        metric: metric.to_string(),
+        current,
+        baseline,
+        limit,
+    })
+}
+
+/// The report regression gate: compares `current` against a committed
+/// `baseline` and returns every failure. Empty ⇒ gate passes.
+///
+/// Fails on: schema version mismatch, a baseline cell missing from the
+/// current report, `energy_per_request_j` worsening beyond
+/// [`ENERGY_REGRESSION_TOL`], or `mean_response_s` worsening beyond
+/// [`RESPONSE_REGRESSION_TOL`]. Improvements never fail.
+pub fn compare_reports(current: &AuditReport, baseline: &AuditReport) -> Vec<Regression> {
+    let mut out = Vec::new();
+    if current.version != baseline.version {
+        out.push(Regression {
+            cell: "report".into(),
+            metric: "version".into(),
+            current: current.version as f64,
+            baseline: baseline.version as f64,
+            limit: baseline.version as f64,
+        });
+        return out;
+    }
+    for base in &baseline.cells {
+        let Some(cur) = current.cells.iter().find(|c| c.name == base.name) else {
+            out.push(Regression {
+                cell: base.name.clone(),
+                metric: "cell-present".into(),
+                current: 0.0,
+                baseline: 1.0,
+                limit: 1.0,
+            });
+            continue;
+        };
+        out.extend(worse(
+            &base.name,
+            "energy_per_request_j",
+            cur.energy_per_request_j,
+            base.energy_per_request_j,
+            ENERGY_REGRESSION_TOL,
+        ));
+        out.extend(worse(
+            &base.name,
+            "mean_response_s",
+            cur.mean_response_s,
+            base.mean_response_s,
+            RESPONSE_REGRESSION_TOL,
+        ));
+    }
+    out
+}
+
+/// The bench regression gate: fails when serial/parallel results stopped
+/// being byte-identical, or when throughput fell below [`BENCH_FLOOR`] ×
+/// baseline.
+pub fn compare_bench(current: &BenchSnapshot, baseline: &BenchSnapshot) -> Vec<Regression> {
+    let mut out = Vec::new();
+    if !current.byte_identical {
+        out.push(Regression {
+            cell: "bench".into(),
+            metric: "byte_identical".into(),
+            current: 0.0,
+            baseline: 1.0,
+            limit: 1.0,
+        });
+    }
+    for (metric, cur, base) in [
+        (
+            "serial_runs_per_sec",
+            current.serial_runs_per_sec,
+            baseline.serial_runs_per_sec,
+        ),
+        (
+            "parallel_runs_per_sec",
+            current.parallel_runs_per_sec,
+            baseline.parallel_runs_per_sec,
+        ),
+    ] {
+        let floor = base * BENCH_FLOOR;
+        if cur < floor {
+            out.push(Regression {
+                cell: "bench".into(),
+                metric: metric.into(),
+                current: cur,
+                baseline: base,
+                limit: floor,
+            });
+        }
+    }
+    out
+}
+
+fn pct(part: f64, whole: f64) -> f64 {
+    if whole > 0.0 {
+        100.0 * part / whole
+    } else {
+        0.0
+    }
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Renders the ASCII tables for one cell: the energy component tree
+/// (flamegraph-style), the joules-per-request distribution with top-K
+/// rows, per-file energy vs hotness, and per-disk residency. Pass the
+/// full [`EnergyLedger`] so the distribution covers every request, not
+/// just the stored top-K. Deterministic for a deterministic cell.
+pub fn render_cell_tables(cell: &AttributionCell, ledger: &EnergyLedger) -> String {
+    let mut out = String::new();
+    let l = &cell.ledger;
+    out.push_str(&format!(
+        "=== {} | {} | {} ===\n",
+        cell.name, cell.workload, cell.config
+    ));
+    out.push_str(&format!(
+        "energy {:.3} J over {} requests = {:.4} J/request | mean response {:.4} s\n",
+        cell.total_energy_j, cell.requests, cell.energy_per_request_j, cell.mean_response_s
+    ));
+    out.push_str(&format!(
+        "latency sums (us): queue {} | dispatch {} | spinup {} | transfer {} | unaccounted {} | spun-up reqs {} | retries {} | hedges {}\n",
+        cell.queue_us,
+        cell.dispatch_us,
+        cell.spinup_us,
+        cell.transfer_us,
+        cell.unaccounted_us,
+        cell.spun_up_requests,
+        cell.retries,
+        cell.hedges
+    ));
+
+    out.push_str("\n-- energy component tree --\n");
+    out.push_str(&format!("total {:>14.3} J\n", l.total_j));
+    out.push_str(&format!(
+        "+- disk {:>12.3} J ({:.1}%)\n",
+        l.disk_j,
+        pct(l.disk_j, l.total_j)
+    ));
+    for row in &l.disk_rows {
+        out.push_str(&format!(
+            "|  +- {:<12} {:>12.3} J ({:.1}%)\n",
+            row.name,
+            row.joules,
+            pct(row.joules, l.total_j)
+        ));
+    }
+    out.push_str(&format!(
+        "+- base {:>12.3} J ({:.1}%)\n",
+        l.base_j,
+        pct(l.base_j, l.total_j)
+    ));
+    for row in &l.base_rows {
+        out.push_str(&format!(
+            "|  +- {:<12} {:>12.3} J ({:.1}%)\n",
+            row.name,
+            row.joules,
+            pct(row.joules, l.total_j)
+        ));
+    }
+    out.push_str(&format!(
+        "overlays: scrub {:.3} J | warm-up (excluded) {:.3} J\n",
+        l.scrub_j, l.warmup_j
+    ));
+    out.push_str("power-state view:\n");
+    for row in &l.state_rows {
+        out.push_str(&format!(
+            "  {:<14} {:>12.3} J ({:.1}%)\n",
+            row.name,
+            row.joules,
+            pct(row.joules, l.total_j)
+        ));
+    }
+
+    out.push_str("\n-- joules per request --\n");
+    let mut shares: Vec<f64> = ledger.requests.iter().map(|r| r.joules).collect();
+    shares.sort_by(f64::total_cmp);
+    let mean = if shares.is_empty() {
+        0.0
+    } else {
+        ledger.attributed_j / shares.len() as f64
+    };
+    out.push_str(&format!(
+        "attributed {:.3} J ({:.1}%) | unattributed {:.3} J ({:.1}%)\n",
+        ledger.attributed_j,
+        pct(ledger.attributed_j, l.total_j),
+        ledger.unattributed_j,
+        pct(ledger.unattributed_j, l.total_j)
+    ));
+    out.push_str(&format!(
+        "share dist: min {:.4} | p50 {:.4} | p90 {:.4} | p99 {:.4} | max {:.4} | mean {:.4}\n",
+        quantile(&shares, 0.0),
+        quantile(&shares, 0.5),
+        quantile(&shares, 0.9),
+        quantile(&shares, 0.99),
+        quantile(&shares, 1.0),
+        mean
+    ));
+    out.push_str(&format!(
+        "{:>8} {:>6} {:>5} {:>10} {:>10} {:>10} {:>9} source\n",
+        "req", "file", "node", "bytes", "joules", "total_us", "spinup_us"
+    ));
+    for t in &cell.top_requests {
+        out.push_str(&format!(
+            "{:>8} {:>6} {:>5} {:>10} {:>10.4} {:>10} {:>9} {:?}\n",
+            t.req,
+            t.file,
+            t.node.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+            t.bytes,
+            t.joules,
+            t.total_us,
+            t.spinup_us,
+            t.source
+        ));
+    }
+
+    out.push_str("\n-- per-file energy vs hotness --\n");
+    out.push_str(&format!(
+        "{:>6} {:>8} {:>12} {:>10} {:>10}\n",
+        "file", "requests", "bytes", "joules", "J/request"
+    ));
+    for f in &cell.top_files {
+        out.push_str(&format!(
+            "{:>6} {:>8} {:>12} {:>10.4} {:>10.4}\n",
+            f.file,
+            f.requests,
+            f.bytes,
+            f.joules,
+            if f.requests > 0 {
+                f.joules / f.requests as f64
+            } else {
+                0.0
+            }
+        ));
+    }
+
+    out.push_str("\n-- per-disk residency --\n");
+    out.push_str(&format!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8}\n",
+        "disk", "active%", "idle%", "standby%", "spinup%", "spindown%", "spin-ups"
+    ));
+    for r in &cell.residency {
+        let total = (r.active_us + r.idle_us + r.standby_us + r.spinup_us + r.spindown_us) as f64;
+        let p = |us: u64| {
+            if total > 0.0 {
+                100.0 * us as f64 / total
+            } else {
+                0.0
+            }
+        };
+        out.push_str(&format!(
+            "{:>8} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9.2} {:>8}\n",
+            r.label,
+            p(r.active_us),
+            p(r.idle_us),
+            p(r.standby_us),
+            p(r.spinup_us),
+            p(r.spindown_us),
+            r.spin_ups
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> AuditReport {
+        AuditReport {
+            version: REPORT_VERSION,
+            requests: 2,
+            seed: 7,
+            cells: vec![AttributionCell {
+                name: "cell-a".into(),
+                workload: "synthetic".into(),
+                config: "PF(70)".into(),
+                requests: 2,
+                total_energy_j: 100.0,
+                energy_per_request_j: 50.0,
+                mean_response_s: 0.5,
+                queue_us: 10,
+                dispatch_us: 20,
+                spinup_us: 0,
+                transfer_us: 30,
+                unaccounted_us: 0,
+                spun_up_requests: 0,
+                retries: 0,
+                hedges: 0,
+                ledger: LedgerSummary {
+                    total_j: 100.0,
+                    disk_j: 40.0,
+                    base_j: 60.0,
+                    scrub_j: 0.0,
+                    warmup_j: 5.0,
+                    attributed_j: 10.0,
+                    unattributed_j: 90.0,
+                    carry_j: 0.0,
+                    disk_rows: vec![LedgerRow {
+                        name: "n0.disks".into(),
+                        joules: 40.0,
+                    }],
+                    base_rows: vec![LedgerRow {
+                        name: "n0.base".into(),
+                        joules: 60.0,
+                    }],
+                    state_rows: vec![LedgerRow {
+                        name: "disks-active".into(),
+                        joules: 100.0,
+                    }],
+                },
+                top_requests: vec![],
+                top_files: vec![],
+                residency: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = tiny_report();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let r = tiny_report();
+        assert!(compare_reports(&r, &r).is_empty());
+    }
+
+    #[test]
+    fn energy_regression_fails_the_gate_and_improvement_passes() {
+        let base = tiny_report();
+        let mut worse = base.clone();
+        worse.cells[0].energy_per_request_j *= 1.0 + ENERGY_REGRESSION_TOL + 0.01;
+        let regs = compare_reports(&worse, &base);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "energy_per_request_j");
+        assert!(regs[0].describe().contains("REGRESSION"));
+        let mut better = base.clone();
+        better.cells[0].energy_per_request_j *= 0.5;
+        assert!(compare_reports(&better, &base).is_empty());
+    }
+
+    #[test]
+    fn version_mismatch_and_missing_cell_fail_the_gate() {
+        let base = tiny_report();
+        let mut newer = base.clone();
+        newer.version += 1;
+        assert_eq!(compare_reports(&newer, &base)[0].metric, "version");
+        let mut empty = base.clone();
+        empty.cells.clear();
+        assert_eq!(compare_reports(&empty, &base)[0].metric, "cell-present");
+    }
+
+    #[test]
+    fn bench_gate_checks_identity_and_throughput_floor() {
+        let base = BenchSnapshot {
+            requests: 100,
+            seed: 7,
+            jobs: 4,
+            grid_points: 8,
+            runs: 16,
+            serial_s: 1.0,
+            parallel_s: 0.4,
+            serial_runs_per_sec: 16.0,
+            parallel_runs_per_sec: 40.0,
+            speedup: 2.5,
+            byte_identical: true,
+        };
+        assert!(compare_bench(&base, &base).is_empty());
+        let mut slow = base.clone();
+        slow.parallel_runs_per_sec = base.parallel_runs_per_sec * BENCH_FLOOR * 0.5;
+        assert_eq!(
+            compare_bench(&slow, &base)[0].metric,
+            "parallel_runs_per_sec"
+        );
+        let mut diverged = base.clone();
+        diverged.byte_identical = false;
+        assert_eq!(compare_bench(&diverged, &base)[0].metric, "byte_identical");
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_names_every_table() {
+        let r = tiny_report();
+        let ledger = EnergyLedger {
+            total_j: 100.0,
+            disk_j: 40.0,
+            base_j: 60.0,
+            scrub_j: 0.0,
+            warmup_j: 5.0,
+            disk_rows: r.cells[0].ledger.disk_rows.clone(),
+            base_rows: r.cells[0].ledger.base_rows.clone(),
+            state_rows: r.cells[0].ledger.state_rows.clone(),
+            requests: vec![],
+            attributed_j: 10.0,
+            unattributed_j: 90.0,
+            carry_j: 0.0,
+        };
+        let a = render_cell_tables(&r.cells[0], &ledger);
+        let b = render_cell_tables(&r.cells[0], &ledger);
+        assert_eq!(a, b);
+        for needle in [
+            "energy component tree",
+            "joules per request",
+            "per-file energy vs hotness",
+            "per-disk residency",
+            "power-state view",
+        ] {
+            assert!(a.contains(needle), "missing {needle}: {a}");
+        }
+    }
+}

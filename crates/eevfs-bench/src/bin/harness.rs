@@ -36,6 +36,16 @@
 //!                --artifact-dir) and exits non-zero. --canary arms the
 //!                deliberately broken invariant; --replay FILE re-executes
 //!                a reproducer and verifies it bit-for-bit.
+//!   report       energy attribution report: per-request spans + closed
+//!                joule ledger over the paper/Berkeley cells, verified
+//!                byte-identical serial vs --jobs, ASCII top-K tables,
+//!                writes REPORT_sim.json (--json overrides). --baseline
+//!                FILE gates energy-per-request and response time against
+//!                a committed report and exits non-zero on regression;
+//!                --inject-regression PCT perturbs the compared copy so
+//!                CI can prove the gate fails; --bench-baseline FILE
+//!                --bench-current FILE gate a BENCH_sim.json pair on
+//!                runs/sec instead.
 //! ```
 
 #![warn(clippy::unwrap_used)]
@@ -63,6 +73,15 @@ struct Args {
     replay_path: Option<String>,
     /// `chaos`: where reproducer artifacts are written.
     artifact_dir: String,
+    /// `report`: committed baseline REPORT_sim.json to gate against.
+    baseline: Option<String>,
+    /// `report`: perturb energy-per-request by this percentage before
+    /// the baseline comparison (CI's proof the gate can fail).
+    inject_regression: Option<f64>,
+    /// `report`: baseline BENCH_sim.json for the throughput gate.
+    bench_baseline: Option<String>,
+    /// `report`: current BENCH_sim.json for the throughput gate.
+    bench_current: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -76,6 +95,10 @@ fn parse_args() -> Result<Args, String> {
     let mut envelope = "default".to_string();
     let mut replay_path = None;
     let mut artifact_dir = ".".to_string();
+    let mut baseline = None;
+    let mut inject_regression = None;
+    let mut bench_baseline = None;
+    let mut bench_current = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -115,6 +138,22 @@ fn parse_args() -> Result<Args, String> {
             "--trace-out" => {
                 trace_path = Some(it.next().ok_or("--trace-out needs a path")?);
             }
+            "--baseline" => {
+                baseline = Some(it.next().ok_or("--baseline needs a path")?);
+            }
+            "--inject-regression" => {
+                let v = it.next().ok_or("--inject-regression needs a percentage")?;
+                inject_regression = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --inject-regression {v}"))?,
+                );
+            }
+            "--bench-baseline" => {
+                bench_baseline = Some(it.next().ok_or("--bench-baseline needs a path")?);
+            }
+            "--bench-current" => {
+                bench_current = Some(it.next().ok_or("--bench-current needs a path")?);
+            }
             other if command.is_none() && !other.starts_with('-') => {
                 command = Some(other.to_string());
             }
@@ -132,6 +171,10 @@ fn parse_args() -> Result<Args, String> {
         envelope,
         replay_path,
         artifact_dir,
+        baseline,
+        inject_regression,
+        bench_baseline,
+        bench_current,
     })
 }
 
@@ -243,22 +286,124 @@ fn run_chaos(args: &Args, runner: &Runner) -> ExitCode {
     ExitCode::FAILURE
 }
 
-/// What `harness bench` writes to BENCH_sim.json.
-#[derive(serde::Serialize)]
-struct BenchReport {
-    requests: u32,
-    seed: u64,
-    jobs: usize,
-    grid_points: usize,
-    /// Simulations per timed pass (PF + NPF per grid point).
-    runs: usize,
-    serial_s: f64,
-    parallel_s: f64,
-    serial_runs_per_sec: f64,
-    parallel_runs_per_sec: f64,
-    speedup: f64,
-    /// Serialized serial and parallel results compared byte-for-byte.
-    byte_identical: bool,
+/// The regression gates of `harness report`: the REPORT_sim.json
+/// baseline comparison (with optional injected regression so CI can
+/// prove the gate fails) and the BENCH_sim.json throughput comparison.
+/// Exits non-zero on any regression.
+fn run_report(args: &Args, runner: &Runner) -> ExitCode {
+    use eevfs_audit::{compare_bench, compare_reports, AuditReport, BenchSnapshot};
+    use eevfs_bench::attribution::build_attribution_report;
+
+    // Bench-gate mode: compare two BENCH_sim.json snapshots and exit.
+    if args.bench_baseline.is_some() || args.bench_current.is_some() {
+        let (Some(base_path), Some(cur_path)) = (&args.bench_baseline, &args.bench_current) else {
+            eprintln!("error: --bench-baseline and --bench-current must be given together");
+            return ExitCode::FAILURE;
+        };
+        let read = |path: &str| -> Result<BenchSnapshot, String> {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+        };
+        let (base, cur) = match (read(base_path), read(cur_path)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let regs = compare_bench(&cur, &base);
+        if regs.is_empty() {
+            println!(
+                "bench gate passed: {:.1} runs/s parallel vs baseline {:.1} (floor {:.0}%)",
+                cur.parallel_runs_per_sec,
+                base.parallel_runs_per_sec,
+                eevfs_audit::report::BENCH_FLOOR * 100.0
+            );
+            return ExitCode::SUCCESS;
+        }
+        for r in &regs {
+            eprintln!("{}", r.describe());
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let p = &args.params;
+    eprintln!(
+        "report: attribution cells, {} requests/run, serial then --jobs {}",
+        p.requests,
+        runner.jobs()
+    );
+    let serial = build_attribution_report(&Runner::serial(), p);
+    let parallel = build_attribution_report(runner, p);
+    let ((report, tables), (par_report, _)) = match (serial, parallel) {
+        (Ok(s), Ok(q)) => (s, q),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (serial_json, parallel_json) = match (
+        serde_json::to_string_pretty(&report),
+        serde_json::to_string_pretty(&par_report),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("serialisation error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let byte_identical = serial_json == parallel_json;
+    print!("{tables}");
+    println!(
+        "serial vs --jobs {} byte-identical: {byte_identical}",
+        runner.jobs()
+    );
+    let path = args.json_path.as_deref().unwrap_or("REPORT_sim.json");
+    if let Err(e) = std::fs::write(path, &serial_json) {
+        eprintln!("error writing {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {path}");
+    if !byte_identical {
+        eprintln!("error: parallel results diverged from the serial path");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(base_path) = &args.baseline {
+        let text = match std::fs::read_to_string(base_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error reading {base_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let base: AuditReport = match serde_json::from_str(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error parsing {base_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // The written artifact stays truthful; only the compared copy is
+        // perturbed, so CI can prove the gate trips on a real regression.
+        let mut compared = report;
+        if let Some(pct) = args.inject_regression {
+            for cell in &mut compared.cells {
+                cell.energy_per_request_j *= 1.0 + pct / 100.0;
+            }
+            eprintln!("injected a {pct}% energy-per-request regression before the gate");
+        }
+        let regs = compare_reports(&compared, &base);
+        if regs.is_empty() {
+            println!("baseline gate passed against {base_path}");
+            return ExitCode::SUCCESS;
+        }
+        for r in &regs {
+            eprintln!("{}", r.describe());
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// Everything the harness can emit, JSON-serialisable for EXPERIMENTS.md.
@@ -654,7 +799,7 @@ fn main() -> ExitCode {
             };
             let byte_identical = serial_json == parallel_json;
 
-            let report = BenchReport {
+            let report = eevfs_audit::BenchSnapshot {
                 requests: p.requests,
                 seed: p.seed,
                 jobs: runner.jobs(),
@@ -701,11 +846,12 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         "chaos" => return run_chaos(&args, &runner),
+        "report" => return run_report(&args, &runner),
         other => {
             eprintln!(
                 "unknown command {other}; try: all, sweeps, fig3a-d, fig4, fig5, fig6, \
                  ablate, faults, resilience, scrub, power-curve, hist, trace, bench, power, \
-                 chaos"
+                 chaos, report"
             );
             return ExitCode::FAILURE;
         }

@@ -18,6 +18,10 @@
 //!   (grid-point, seed) cells across cores with results byte-identical to
 //!   the serial path (DESIGN.md §11).
 //! * [`report`] — text tables and JSON dumps for EXPERIMENTS.md.
+//! * [`attribution`] — the `harness report` energy-attribution cells:
+//!   observed runs folded through `eevfs-audit` into the versioned
+//!   `REPORT_sim.json` plus ASCII top-K tables, gated in CI against a
+//!   committed baseline.
 //!
 //! The `harness` binary drives all of it:
 //!
@@ -34,12 +38,14 @@
 #![warn(clippy::unwrap_used)]
 
 pub mod ablate;
+pub mod attribution;
 pub mod figures;
 pub mod power;
 pub mod report;
 pub mod runner;
 pub mod sweeps;
 
+pub use attribution::build_attribution_report;
 pub use figures::{fig3, fig4, fig5, fig6};
 pub use power::{run_power_grid, PowerPoint};
 pub use runner::{GridError, Runner};

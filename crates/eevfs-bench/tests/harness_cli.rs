@@ -47,6 +47,84 @@ fn unwritable_trace_out_exits_nonzero() {
 }
 
 #[test]
+fn report_is_byte_identical_across_jobs_and_gates_regressions() {
+    let (p1, p4) = (temp_path("r1.json"), temp_path("r4.json"));
+    let run = |path: &PathBuf, jobs: &str, extra: &[&str]| {
+        let mut args = vec![
+            "--requests",
+            "60",
+            "--seed",
+            "7",
+            "--jobs",
+            jobs,
+            "--json",
+            path.to_str().expect("utf8 path"),
+        ];
+        args.extend_from_slice(extra);
+        args.push("report");
+        harness(&args)
+    };
+    let out1 = run(&p1, "1", &[]);
+    assert!(
+        out1.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out1.stderr)
+    );
+    let out4 = run(&p4, "4", &[]);
+    assert!(
+        out4.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out4.stderr)
+    );
+    let (j1, j4) = (
+        std::fs::read(&p1).expect("read r1"),
+        std::fs::read(&p4).expect("read r4"),
+    );
+    assert!(!j1.is_empty(), "REPORT json must not be empty");
+    assert_eq!(
+        j1, j4,
+        "--jobs 1 and --jobs 4 reports must be byte-identical"
+    );
+    let text = String::from_utf8(out1.stdout).expect("utf8 report");
+    for needle in [
+        "energy component tree",
+        "joules per request",
+        "per-file energy vs hotness",
+        "per-disk residency",
+        "byte-identical: true",
+    ] {
+        assert!(text.contains(needle), "missing {needle}: {text}");
+    }
+
+    // Gate against our own report: identical ⇒ pass.
+    let base = p1.to_str().expect("utf8 path").to_string();
+    let gate = run(&p4, "2", &["--baseline", &base]);
+    assert!(
+        gate.status.success(),
+        "identical baseline must pass: {}",
+        String::from_utf8_lossy(&gate.stderr)
+    );
+    // An injected energy regression must trip the gate.
+    let tripped = run(&p4, "2", &["--baseline", &base, "--inject-regression", "5"]);
+    assert!(!tripped.status.success(), "injected regression must fail");
+    let err = String::from_utf8_lossy(&tripped.stderr);
+    assert!(
+        err.contains("REGRESSION") && err.contains("energy_per_request_j"),
+        "stderr: {err}"
+    );
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p4);
+}
+
+#[test]
+fn bench_gate_flags_must_come_in_pairs() {
+    let out = harness(&["--bench-baseline", "/nonexistent.json", "report"]);
+    assert!(!out.status.success(), "half a bench-gate pair must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--bench-current"), "stderr: {err}");
+}
+
+#[test]
 fn trace_is_bit_identical_across_same_seed_runs() {
     let (p1, p2) = (temp_path("t1.jsonl"), temp_path("t2.jsonl"));
     let run = |p: &PathBuf| {

@@ -91,6 +91,71 @@ pub fn execute(s: &ChaosSchedule) -> RunOutcome {
     }
 }
 
+/// How one *observed* schedule execution ended — [`execute`] with the
+/// structured trace captured for the audit plane.
+#[derive(Debug)]
+pub enum ObservedOutcome {
+    /// The run completed with its trace captured.
+    Done(Box<RunMetrics>, Box<eevfs::driver::ObsReport>),
+    /// The driver rejected the inputs with a typed error.
+    Rejected(String),
+    /// The simulator panicked mid-run.
+    Panicked(String),
+}
+
+/// Executes a schedule once with a [`Recorder`](eevfs_obs::Recorder)
+/// attached, so the ledger-closure invariant can reconstruct spans and
+/// residency from the trace. Observation is passive: the metrics are
+/// bit-identical to what [`execute`] returns for the same schedule.
+pub fn execute_observed(s: &ChaosSchedule) -> ObservedOutcome {
+    let trace = generate(&SyntheticSpec {
+        requests: s.requests,
+        seed: s.seed,
+        ..SyntheticSpec::paper_default()
+    });
+    let cluster = ClusterSpec::paper_testbed();
+    let cfg = EevfsConfig::paper_pf_replicated(70, s.replication);
+    let plans = match s.plans() {
+        Ok(p) => p,
+        Err(e) => return ObservedOutcome::Rejected(format!("bad schedule: {e}")),
+    };
+    let policy = s.rpc_policy();
+    let power = power_policy(s);
+    let setup = ChaosSetup {
+        resilience: Some(ResilienceSetup {
+            net_plan: &plans.net,
+            profile: &s.profile,
+            policy: &policy,
+        }),
+        durability: Some(DurabilitySetup {
+            corruption: &plans.corruption,
+            crashes: &plans.crashes,
+            scrub: if s.scrub {
+                ScrubPolicy::piggyback_default()
+            } else {
+                ScrubPolicy::Off
+            },
+            blocks_per_disk: BLOCKS_PER_DISK,
+        }),
+        power: power.as_ref(),
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        eevfs::driver::try_run_cluster_chaos_observed(
+            &cluster,
+            &cfg,
+            &trace,
+            &plans.faults,
+            setup,
+            eevfs_obs::Recorder::default(),
+        )
+    }));
+    match result {
+        Ok(Ok((metrics, report))) => ObservedOutcome::Done(Box::new(metrics), Box::new(report)),
+        Ok(Err(e)) => ObservedOutcome::Rejected(e.to_string()),
+        Err(payload) => ObservedOutcome::Panicked(panic_text(payload)),
+    }
+}
+
 fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()

@@ -67,6 +67,7 @@ impl InvariantSet {
                 Box::new(ResponseAccounting),
                 Box::new(TierLegality),
                 Box::new(Determinism),
+                Box::new(LedgerClosure),
             ],
         }
     }
@@ -504,6 +505,55 @@ impl Invariant for Determinism {
             return Err("same-input re-run produced different metrics".to_string());
         }
         Ok(())
+    }
+}
+
+/// The audit plane's hard invariant, attested under full adversarial
+/// composition: re-execute the schedule with the trace recorder
+/// attached, reconstruct per-request spans and disk residency, build the
+/// attribution ledger, and require that (1) observation is passive — the
+/// observed run's metrics are bit-identical to the plain run's — (2) the
+/// span reconstructor accounts for every request in the schedule, and
+/// (3) the ledger closes bit-exactly against the `RunMetrics` totals
+/// ([`eevfs_audit::EnergyLedger::verify_closure`]).
+struct LedgerClosure;
+impl Invariant for LedgerClosure {
+    fn name(&self) -> &'static str {
+        "ledger-closure"
+    }
+    fn check(&self, cx: &CheckContext<'_>) -> Result<(), String> {
+        use crate::exec::{execute_observed, ObservedOutcome};
+        let (metrics, report) = match execute_observed(cx.schedule) {
+            ObservedOutcome::Done(m, r) => (m, r),
+            ObservedOutcome::Rejected(e) => {
+                return Err(format!("observed re-run rejected: {e}"));
+            }
+            ObservedOutcome::Panicked(p) => {
+                return Err(format!("observed re-run panicked: {p}"));
+            }
+        };
+        let plain = serde_json::to_string(cx.metrics).map_err(|e| format!("serialize: {e}"))?;
+        let observed = serde_json::to_string(&*metrics).map_err(|e| format!("serialize: {e}"))?;
+        if plain != observed {
+            return Err("attaching the recorder changed the metrics".to_string());
+        }
+        let events: Vec<_> = report.recorder.events().cloned().collect();
+        let spans = eevfs_audit::reconstruct_spans(&events);
+        if spans.len() as u32 != cx.schedule.requests {
+            return Err(format!(
+                "span reconstructor lost requests: {} spans for {} requests",
+                spans.len(),
+                cx.schedule.requests
+            ));
+        }
+        let warmup_us = metrics.prefetch.warmup_us;
+        let end_us = warmup_us + (metrics.duration_s * 1e6).round() as u64;
+        let residency = eevfs_audit::ResidencyTable::from_events(&events, warmup_us, end_us);
+        let model = eevfs_audit::AttributionModel::from_cluster(
+            &eevfs::config::ClusterSpec::paper_testbed(),
+        );
+        let ledger = eevfs_audit::build_ledger(&metrics, &spans, &residency, &model);
+        ledger.verify_closure(&metrics)
     }
 }
 

@@ -79,15 +79,6 @@ impl MetricsRegistry {
             .record(x);
     }
 
-    /// The named histogram, if any value has been observed.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_histogram`, whose error names the missing metric"
-    )]
-    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
-    }
-
     /// The named histogram, or a typed error naming what is missing —
     /// prefer this over `histogram(..).unwrap()` at call sites that
     /// report to users.
@@ -111,15 +102,6 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_default()
             .push(at, value);
-    }
-
-    /// The named time series.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_series`, whose error names the missing metric"
-    )]
-    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
-        self.series.get(name)
     }
 
     /// Names of all recorded time series, lexicographically.

@@ -1849,6 +1849,39 @@ pub fn try_run_cluster_chaos(
     .0)
 }
 
+/// [`try_run_cluster_chaos`] with the structured trace streamed into
+/// `recorder` — the audit plane's entry point for replaying a chaos
+/// scenario with energy attribution enabled. Observation is passive: the
+/// returned metrics are bit-identical to the unobserved run's.
+pub fn try_run_cluster_chaos_observed(
+    cluster: &ClusterSpec,
+    cfg: &EevfsConfig,
+    trace: &Trace,
+    faults: &FaultPlan,
+    setup: ChaosSetup<'_>,
+    recorder: Recorder,
+) -> Result<(RunMetrics, ObsReport), DriverError> {
+    validate_inputs(
+        cluster,
+        trace,
+        faults,
+        setup.resilience.as_ref(),
+        setup.durability.as_ref(),
+    )?;
+    let (metrics, _, report) = run_validated(
+        cluster,
+        cfg,
+        trace,
+        false,
+        faults,
+        setup.resilience,
+        setup.durability,
+        Some(recorder),
+        setup.power,
+    );
+    Ok((metrics, report.expect("recorder was supplied")))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_cluster_inner(
     cluster: &ClusterSpec,
