@@ -31,11 +31,21 @@
 //!                --jobs, report + POWER_sim.json (--json overrides)
 //!   chaos        deterministic chaos search: --scenarios N seeded
 //!                composite fault schedules through the invariant plane
-//!                (--envelope r2 for the replicated+scrubbed envelope);
+//!                (--envelope r2 for the replicated+scrubbed envelope,
+//!                --envelope overloaded to gate every scenario);
 //!                a violation shrinks to a reproducer JSON (in
 //!                --artifact-dir) and exits non-zero. --canary arms the
 //!                deliberately broken invariant; --replay FILE re-executes
 //!                a reproducer and verifies it bit-for-bit.
+//!   load         overload control plane: closed-loop offered-load grid
+//!                (saturation curve, gated vs ungated), the four "known
+//!                deviation" figure cells re-run closed-loop, and a
+//!                wall-clock runtime campaign through the loadgen;
+//!                writes versioned BENCH_runtime.json (--json overrides)
+//!                and exits non-zero when the saturation gate trips
+//!                (open ledger, unbounded queue, p99 over --gate-p99-ms,
+//!                or no shedding at ≥2× the admission cap). --sim-only
+//!                skips the runtime campaign (CI determinism).
 //!   report       energy attribution report: per-request spans + closed
 //!                joule ledger over the paper/Berkeley cells, verified
 //!                byte-identical serial vs --jobs, ASCII top-K tables,
@@ -67,7 +77,7 @@ struct Args {
     scenarios: u32,
     /// `chaos`: arm the deliberately broken canary invariant.
     canary: bool,
-    /// `chaos`: severity envelope name ("default" or "r2").
+    /// `chaos`: severity envelope name ("default", "r2", "overloaded").
     envelope: String,
     /// `chaos`: replay a reproducer artifact instead of searching.
     replay_path: Option<String>,
@@ -82,6 +92,10 @@ struct Args {
     bench_baseline: Option<String>,
     /// `report`: current BENCH_sim.json for the throughput gate.
     bench_current: Option<String>,
+    /// `load`: skip the wall-clock runtime campaign.
+    sim_only: bool,
+    /// `load`: p99 bound (ms) the gated sim cells must stay under.
+    gate_p99_ms: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -99,6 +113,8 @@ fn parse_args() -> Result<Args, String> {
     let mut inject_regression = None;
     let mut bench_baseline = None;
     let mut bench_current = None;
+    let mut sim_only = false;
+    let mut gate_p99_ms = 60_000.0f64;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -110,8 +126,12 @@ fn parse_args() -> Result<Args, String> {
             "--envelope" => {
                 let v = it.next().ok_or("--envelope needs a value")?;
                 match v.as_str() {
-                    "default" | "r2" => envelope = v,
-                    other => return Err(format!("bad --envelope {other}; try: default, r2")),
+                    "default" | "r2" | "overloaded" => envelope = v,
+                    other => {
+                        return Err(format!(
+                            "bad --envelope {other}; try: default, r2, overloaded"
+                        ))
+                    }
                 }
             }
             "--replay" => {
@@ -154,6 +174,11 @@ fn parse_args() -> Result<Args, String> {
             "--bench-current" => {
                 bench_current = Some(it.next().ok_or("--bench-current needs a path")?);
             }
+            "--sim-only" => sim_only = true,
+            "--gate-p99-ms" => {
+                let v = it.next().ok_or("--gate-p99-ms needs a value")?;
+                gate_p99_ms = v.parse().map_err(|_| format!("bad --gate-p99-ms {v}"))?;
+            }
             other if command.is_none() && !other.starts_with('-') => {
                 command = Some(other.to_string());
             }
@@ -175,7 +200,110 @@ fn parse_args() -> Result<Args, String> {
         inject_regression,
         bench_baseline,
         bench_current,
+        sim_only,
+        gate_p99_ms,
     })
+}
+
+/// The `load` subcommand: closed-loop saturation curve (byte-identical
+/// at any `--jobs`), deviation cells, the runtime campaign, the
+/// versioned BENCH_runtime.json artifact, and the saturation gate.
+fn run_load(args: &Args, runner: &Runner) -> ExitCode {
+    use eevfs_bench::load::{
+        deviation_cells_on, render_load_report, run_load_grid, run_load_grid_on, runtime_gate,
+        saturation_gate, LoadSnapshot, GRID_MAX_INFLIGHT, LOAD_SNAPSHOT_VERSION,
+    };
+
+    let p = &args.params;
+    eprintln!(
+        "load: closed-loop grid, {} requests/run, serial then --jobs {}{}",
+        p.requests,
+        runner.jobs(),
+        if args.sim_only { " (sim only)" } else { "" }
+    );
+    let serial_pts = run_load_grid(p);
+    let parallel_pts = run_load_grid_on(runner, p);
+    let (serial_json, parallel_json) = match (
+        serde_json::to_string(&serial_pts),
+        serde_json::to_string(&parallel_pts),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("serialisation error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let byte_identical = serial_json == parallel_json;
+    let deviations = deviation_cells_on(runner, p);
+    let runtime = if args.sim_only {
+        Vec::new()
+    } else {
+        match eevfs_bench::load::run_runtime_campaign(12) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: runtime campaign: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let snapshot = LoadSnapshot {
+        version: LOAD_SNAPSHOT_VERSION,
+        requests: p.requests,
+        seed: p.seed,
+        max_inflight: GRID_MAX_INFLIGHT,
+        sim: serial_pts,
+        deviations,
+        runtime,
+    };
+    print!("{}", render_load_report(&snapshot));
+    println!(
+        "serial vs --jobs {} byte-identical: {byte_identical}",
+        runner.jobs()
+    );
+
+    let path = args.json_path.as_deref().unwrap_or("BENCH_runtime.json");
+    match serde_json::to_string_pretty(&snapshot) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("error writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        Err(e) => {
+            eprintln!("serialisation error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failed = false;
+    if !byte_identical {
+        eprintln!("error: parallel results diverged from the serial path");
+        failed = true;
+    }
+    let sim_violations = saturation_gate(&snapshot.sim, args.gate_p99_ms);
+    for v in &sim_violations {
+        eprintln!("saturation gate: {v}");
+    }
+    let runtime_violations = runtime_gate(&snapshot.runtime);
+    for v in &runtime_violations {
+        eprintln!("runtime gate: {v}");
+    }
+    if !sim_violations.is_empty() || !runtime_violations.is_empty() {
+        eprintln!("error: the saturation gate tripped");
+        failed = true;
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "saturation gate passed: {} sim cells, {} runtime points, p99 bound {:.0} ms",
+        snapshot.sim.len(),
+        snapshot.runtime.len(),
+        args.gate_p99_ms
+    );
+    ExitCode::SUCCESS
 }
 
 /// The `chaos` subcommand: search mode writes a reproducer and exits
@@ -232,6 +360,8 @@ fn run_chaos(args: &Args, runner: &Runner) -> ExitCode {
     let mut cfg = CampaignConfig::new(args.scenarios, args.params.seed);
     if args.envelope == "r2" {
         cfg.envelope = eevfs_chaos::SeverityEnvelope::r2_scrubbed();
+    } else if args.envelope == "overloaded" {
+        cfg.envelope = eevfs_chaos::SeverityEnvelope::overloaded();
     }
     eprintln!(
         "chaos: {} scenarios from seed {} ({} envelope), {} invariants{}, --jobs {}",
@@ -847,6 +977,7 @@ fn main() -> ExitCode {
         }
         "chaos" => return run_chaos(&args, &runner),
         "report" => return run_report(&args, &runner),
+        "load" => return run_load(&args, &runner),
         other => {
             eprintln!(
                 "unknown command {other}; try: all, sweeps, fig3a-d, fig4, fig5, fig6, \

@@ -40,6 +40,7 @@
 pub mod ablate;
 pub mod attribution;
 pub mod figures;
+pub mod load;
 pub mod power;
 pub mod report;
 pub mod runner;
@@ -47,6 +48,7 @@ pub mod sweeps;
 
 pub use attribution::build_attribution_report;
 pub use figures::{fig3, fig4, fig5, fig6};
+pub use load::{run_load_grid, LoadSnapshot};
 pub use power::{run_power_grid, PowerPoint};
 pub use runner::{GridError, Runner};
 pub use sweeps::{ExperimentPoint, SweepParams};

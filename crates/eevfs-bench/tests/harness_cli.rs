@@ -164,3 +164,77 @@ fn trace_is_bit_identical_across_same_seed_runs() {
     let jsonl = String::from_utf8(j1).expect("utf8 jsonl");
     assert!(jsonl.contains("DiskTransition"), "trace must cover disks");
 }
+
+#[test]
+fn load_is_byte_identical_across_jobs() {
+    let (p1, p4) = (temp_path("l1.json"), temp_path("l4.json"));
+    let run = |path: &PathBuf, jobs: &str| {
+        harness(&[
+            "--requests",
+            "120",
+            "--seed",
+            "9",
+            "--jobs",
+            jobs,
+            "--sim-only",
+            "--json",
+            path.to_str().expect("utf8 path"),
+            "load",
+        ])
+    };
+    let out1 = run(&p1, "1");
+    assert!(
+        out1.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out1.stderr)
+    );
+    let out4 = run(&p4, "4");
+    assert!(
+        out4.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out4.stderr)
+    );
+    let (j1, j4) = (
+        std::fs::read(&p1).expect("read l1"),
+        std::fs::read(&p4).expect("read l4"),
+    );
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p4);
+    assert!(!j1.is_empty(), "BENCH_runtime json must not be empty");
+    assert_eq!(
+        j1, j4,
+        "--jobs 1 and --jobs 4 load snapshots must be byte-identical"
+    );
+    let text = String::from_utf8(out1.stdout).expect("utf8 report");
+    for needle in [
+        "saturation curve",
+        "deviation cells",
+        "byte-identical: true",
+        "saturation gate passed",
+    ] {
+        assert!(text.contains(needle), "missing {needle}: {text}");
+    }
+}
+
+#[test]
+fn load_saturation_gate_trips_on_impossible_p99_bound() {
+    let path = temp_path("lgate.json");
+    // A 0 ms p99 bound is unsatisfiable: the gate must trip and the run
+    // must exit non-zero, because CI consumes exit codes, not tables.
+    let out = harness(&[
+        "--requests",
+        "120",
+        "--seed",
+        "9",
+        "--sim-only",
+        "--gate-p99-ms",
+        "0",
+        "--json",
+        path.to_str().expect("utf8 path"),
+        "load",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(!out.status.success(), "0 ms p99 bound must trip the gate");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("saturation gate"), "stderr: {err}");
+}

@@ -56,7 +56,8 @@ pub fn execute(s: &ChaosSchedule) -> RunOutcome {
         ..SyntheticSpec::paper_default()
     });
     let cluster = ClusterSpec::paper_testbed();
-    let cfg = EevfsConfig::paper_pf_replicated(70, s.replication);
+    let mut cfg = EevfsConfig::paper_pf_replicated(70, s.replication);
+    cfg.overload = s.overload.map(eevfs::config::OverloadConfig::bounded);
     let plans = match s.plans() {
         Ok(p) => p,
         Err(e) => return RunOutcome::Rejected(format!("bad schedule: {e}")),
@@ -114,7 +115,8 @@ pub fn execute_observed(s: &ChaosSchedule) -> ObservedOutcome {
         ..SyntheticSpec::paper_default()
     });
     let cluster = ClusterSpec::paper_testbed();
-    let cfg = EevfsConfig::paper_pf_replicated(70, s.replication);
+    let mut cfg = EevfsConfig::paper_pf_replicated(70, s.replication);
+    cfg.overload = s.overload.map(eevfs::config::OverloadConfig::bounded);
     let plans = match s.plans() {
         Ok(p) => p,
         Err(e) => return ObservedOutcome::Rejected(format!("bad schedule: {e}")),
@@ -181,6 +183,7 @@ mod tests {
             power_kind: 0,
             spin_cap: None,
             policy_kind: 1,
+            overload: None,
             faults: Vec::new(),
             net: Vec::new(),
             corruption: Vec::new(),

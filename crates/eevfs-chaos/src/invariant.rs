@@ -68,6 +68,8 @@ impl InvariantSet {
                 Box::new(TierLegality),
                 Box::new(Determinism),
                 Box::new(LedgerClosure),
+                Box::new(ShedLedger),
+                Box::new(BoundedQueue),
             ],
         }
     }
@@ -406,7 +408,10 @@ impl Invariant for JournalAccounting {
 }
 
 /// The run always terminates and accounts every request: the response
-/// summary covers exactly the trace's requests with finite samples.
+/// summary covers exactly the trace's requests with finite samples —
+/// minus the ones the overload plane refused (gate rejections, priority
+/// sheds, brownout node sheds), which terminate without a latency sample
+/// but still show up in the shed ledger.
 struct ResponseAccounting;
 impl Invariant for ResponseAccounting {
     fn name(&self) -> &'static str {
@@ -414,17 +419,27 @@ impl Invariant for ResponseAccounting {
     }
     fn check(&self, cx: &CheckContext<'_>) -> Result<(), String> {
         let m = cx.metrics;
-        let n = cx.schedule.requests as u64;
+        let o = &m.overload;
+        let refused = o.rejected + o.shed + o.node_shed;
+        let n = (cx.schedule.requests as u64)
+            .checked_sub(refused)
+            .ok_or_else(|| {
+                format!(
+                    "overload plane refused {refused} of {} requests",
+                    cx.schedule.requests
+                )
+            })?;
         if m.response.count != n {
             return Err(format!(
-                "response count {} != requests {n}",
-                m.response.count
+                "response count {} != requests {} - {refused} refused",
+                m.response.count, cx.schedule.requests
             ));
         }
         if m.response_samples_s.len() as u64 != n {
             return Err(format!(
-                "{} response samples != requests {n}",
-                m.response_samples_s.len()
+                "{} response samples != requests {} - {refused} refused",
+                m.response_samples_s.len(),
+                cx.schedule.requests
             ));
         }
         if let Some(bad) = m
@@ -557,6 +572,55 @@ impl Invariant for LedgerClosure {
     }
 }
 
+/// The overload plane's shed ledger closes exactly on every run:
+/// `offered == admitted + rejected + shed` and every admitted request is
+/// classified as exactly one of completed / node-shed / failed. Without
+/// a gate in the schedule no overload counter may move at all.
+struct ShedLedger;
+impl Invariant for ShedLedger {
+    fn name(&self) -> &'static str {
+        "shed-ledger"
+    }
+    fn check(&self, cx: &CheckContext<'_>) -> Result<(), String> {
+        let o = &cx.metrics.overload;
+        if !o.ledger_closes() {
+            return Err(format!("shed ledger does not close: {o:?}"));
+        }
+        if cx.schedule.overload.is_none() && *o != Default::default() {
+            return Err(format!("overload counters moved without a gate: {o:?}"));
+        }
+        Ok(())
+    }
+}
+
+/// With a bounded admission gate the server queue never grows past the
+/// configured inflight cap — the run sheds instead of queueing
+/// unboundedly — and every refused request is visible in the ledger.
+struct BoundedQueue;
+impl Invariant for BoundedQueue {
+    fn name(&self) -> &'static str {
+        "bounded-queue"
+    }
+    fn check(&self, cx: &CheckContext<'_>) -> Result<(), String> {
+        let Some(cap) = cx.schedule.overload else {
+            return Ok(());
+        };
+        let o = &cx.metrics.overload;
+        if o.queue_peak > cap as u64 {
+            return Err(format!(
+                "queue peak {} exceeds admission cap {cap}",
+                o.queue_peak
+            ));
+        }
+        if o.max_level >= 3 && o.rejected == 0 {
+            return Err(format!(
+                "ladder reached L3 but the gate rejected nothing: {o:?}"
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The deliberately broken canary: asserts the cluster never sees a
 /// fault, which any fired fault event refutes. Exists so the test suite
 /// and CI can prove the search finds violations and the shrinker
@@ -607,6 +671,35 @@ mod tests {
         // Overlap the two failures: the peak rises to 2.
         s.faults[1].at = SimTime::from_secs(4);
         assert_eq!(max_concurrent_outages(&s), 2);
+    }
+
+    #[test]
+    fn shed_ledger_and_bounded_queue_catch_doctored_runs() {
+        let env = SeverityEnvelope::default_search();
+        let mut s = generate_schedule(&env, 5, 0);
+        s.overload = None;
+        let crate::exec::RunOutcome::Done(mut m) = crate::exec::execute(&s) else {
+            panic!("scenario must complete");
+        };
+        // Gateless runs must keep the overload ledger untouched.
+        m.overload.offered = 1;
+        let cx = CheckContext {
+            schedule: &s,
+            metrics: &m,
+            second: None,
+        };
+        assert!(ShedLedger.check(&cx).is_err());
+        // A queue peak past the admission cap breaks the bound.
+        m.overload = Default::default();
+        m.overload.queue_peak = 9;
+        s.overload = Some(4);
+        let cx = CheckContext {
+            schedule: &s,
+            metrics: &m,
+            second: None,
+        };
+        assert!(BoundedQueue.check(&cx).is_err());
+        assert!(ShedLedger.check(&cx).is_ok(), "empty ledger still closes");
     }
 
     #[test]

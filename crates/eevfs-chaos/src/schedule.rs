@@ -54,6 +54,12 @@ pub struct ChaosSchedule {
     pub spin_cap: Option<u32>,
     /// RPC policy: 0 = no-retry, 1 = retrying, 2 = retrying + hedged.
     pub policy_kind: u8,
+    /// Bounded-admission gate: `Some(max_inflight)` runs the scenario
+    /// behind the overload control plane (`OverloadConfig::bounded`),
+    /// `None` keeps the legacy unbounded server queue. Defaults to
+    /// `None` so pre-overload reproducer artifacts still parse.
+    #[serde(default)]
+    pub overload: Option<u32>,
     /// Disk/node fail-stop events (replay-relative times).
     pub faults: Vec<FaultEvent>,
     /// Link partition/heal events.
@@ -192,6 +198,11 @@ pub struct SeverityEnvelope {
     pub power_prob: f64,
     /// Probability a powered scenario also gets a spin-cycle cap.
     pub spin_cap_prob: f64,
+    /// Probability a scenario runs behind a bounded admission gate
+    /// (the overload control plane). Defaults to 0 so envelopes
+    /// serialized before the overload plane existed still parse.
+    #[serde(default)]
+    pub overload_prob: f64,
 }
 
 impl SeverityEnvelope {
@@ -214,6 +225,7 @@ impl SeverityEnvelope {
             scrub_prob: 0.7,
             power_prob: 0.5,
             spin_cap_prob: 0.5,
+            overload_prob: 0.5,
         }
     }
 
@@ -225,6 +237,16 @@ impl SeverityEnvelope {
             replication_lo: 2,
             replication_hi: 3,
             scrub_prob: 1.0,
+            ..SeverityEnvelope::default_search()
+        }
+    }
+
+    /// The overload campaign envelope: every scenario runs behind a
+    /// bounded admission gate, so the shed-ledger and bounded-queue
+    /// invariants fire on every run instead of roughly half of them.
+    pub fn overloaded() -> SeverityEnvelope {
+        SeverityEnvelope {
+            overload_prob: 1.0,
             ..SeverityEnvelope::default_search()
         }
     }
@@ -254,6 +276,7 @@ pub fn generate_schedule(env: &SeverityEnvelope, base_seed: u64, index: u32) -> 
         rng.split(), // 3: corruption
         rng.split(), // 4: crashes
         rng.split(), // 5: link profile
+        rng.split(), // 6: overload gate
     ];
 
     let shape = &mut dim[0];
@@ -312,6 +335,9 @@ pub fn generate_schedule(env: &SeverityEnvelope, base_seed: u64, index: u32) -> 
         mean_restart: SimDuration::from_secs(xrng.uniform_range(15, 60)),
     };
 
+    let orng = &mut dim[6];
+    let overload = (orng.uniform() < env.overload_prob).then(|| orng.uniform_range(2, 24) as u32);
+
     let prng = &mut dim[5];
     let drop_prob = env.drop_prob.sample(prng);
     let profile = LinkFaultProfile {
@@ -330,6 +356,7 @@ pub fn generate_schedule(env: &SeverityEnvelope, base_seed: u64, index: u32) -> 
         power_kind,
         spin_cap,
         policy_kind,
+        overload,
         faults: FaultPlan::generate(&fault_spec).events().to_vec(),
         net: NetFaultPlan::generate(&net_spec).events().to_vec(),
         corruption: CorruptionPlan::generate(&corruption_spec).events().to_vec(),

@@ -344,4 +344,26 @@ mod tests {
         let report = run_campaign(&SerialPool, &InvariantSet::standard(), &cfg);
         assert!(report.clean(), "violations: {:?}", report.violating);
     }
+
+    #[test]
+    fn gated_campaign_keeps_the_shed_ledger_closed() {
+        // Every scenario runs behind a bounded admission gate; the
+        // shed-ledger and bounded-queue invariants must hold across the
+        // full adversarial envelope (faults, partitions, power planes).
+        let mut env = SeverityEnvelope::default_search();
+        env.overload_prob = 1.0;
+        env.requests_lo = 20;
+        env.requests_hi = 40;
+        let cfg = CampaignConfig {
+            envelope: env,
+            ..CampaignConfig::new(6, 23)
+        };
+        let report = run_campaign(&SerialPool, &InvariantSet::standard(), &cfg);
+        assert!(report.clean(), "violations: {:?}", report.violating);
+        // The envelope really did arm the gate on every scenario.
+        for i in 0..cfg.scenarios {
+            let s = generate_schedule(&cfg.envelope, cfg.base_seed, i);
+            assert!(s.overload.is_some(), "scenario {i} lost its gate");
+        }
+    }
 }

@@ -1,0 +1,11 @@
+//! Overload control plane — re-exported from [`eevfs::overload`].
+//!
+//! The admission gate and brownout ladder are *shared* with the DES
+//! driver: the same struct and the same transition rule run in both the
+//! threaded prototype and the simulator, which is what lets the
+//! simulator predict the prototype's shedding behaviour (same level
+//! sequence for the same observation sequence) rather than merely
+//! resemble it. This module keeps the runtime-local paths
+//! (`crate::admission::...`) stable.
+
+pub use eevfs::overload::{shed_code, AdmissionGate, AdmitError, GateCounters, OverloadOptions};

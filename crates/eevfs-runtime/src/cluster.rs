@@ -92,6 +92,30 @@ pub struct GetResult {
     pub response: Duration,
 }
 
+/// Outcome of a [`ClusterHandle::get_with`] under the overload control
+/// plane: served, refused with backpressure, or shed. Only `Data` carries
+/// file contents; the other two are *successful protocol exchanges*
+/// (distinct from `Err`, which means the exchange itself failed).
+#[derive(Debug, Clone)]
+pub enum GetOutcome {
+    /// The file was served.
+    Data(GetResult),
+    /// Admission refused the request; retry after the hint.
+    Busy {
+        /// Suggested retry delay, microseconds.
+        retry_after_us: u64,
+        /// Brownout level at the server.
+        level: u8,
+    },
+    /// The control plane shed the request; do not retry it as-is.
+    Shed {
+        /// Shed reason ([`crate::admission::shed_code`]).
+        code: u16,
+        /// Brownout level at the decision point.
+        level: u8,
+    },
+}
+
 /// Result of a trace replay.
 #[derive(Debug, Clone)]
 pub struct ReplayReport {
@@ -226,6 +250,15 @@ impl ClusterHandle {
         &self.clock
     }
 
+    /// The server's listen address, for extra client connections (the
+    /// closed-loop load generator dials its own workers here).
+    pub fn server_addr(&self) -> io::Result<SocketAddr> {
+        match &self.server {
+            Some(s) => Ok(s.addr),
+            None => Err(io::Error::other("server already shut down")),
+        }
+    }
+
     /// Blocks on the event channel until `deadline`.
     fn recv_event(&mut self, deadline: Instant) -> io::Result<ClientEvent> {
         let timeout = deadline.saturating_duration_since(Instant::now());
@@ -302,8 +335,32 @@ impl ClusterHandle {
     }
 
     /// Fetches one file end-to-end; verifies nothing (callers can check
-    /// [`verify_pattern`]).
+    /// [`verify_pattern`]). No deadline budget, default priority; a
+    /// backpressure or shed reply surfaces as an error (use
+    /// [`ClusterHandle::get_with`] to observe those as typed outcomes).
     pub fn get(&mut self, file: u32) -> io::Result<GetResult> {
+        match self.get_with(file, 0, 3)? {
+            GetOutcome::Data(r) => Ok(r),
+            GetOutcome::Busy { level, .. } => Err(io::Error::other(format!(
+                "server busy (brownout level {level})"
+            ))),
+            GetOutcome::Shed { code, level } => Err(io::Error::other(format!(
+                "request shed (code {code}, brownout level {level})"
+            ))),
+        }
+    }
+
+    /// Fetches one file with an explicit deadline budget (microseconds,
+    /// 0 = none) and priority (higher is more important; requests with
+    /// priority below the configured threshold are shed first under
+    /// brownout level 2). Backpressure and shedding come back as typed
+    /// outcomes rather than errors.
+    pub fn get_with(
+        &mut self,
+        file: u32,
+        deadline_us: u64,
+        priority: u8,
+    ) -> io::Result<GetOutcome> {
         self.drain_stale();
         let req_id = self.next_req_id;
         self.next_req_id += 1;
@@ -318,6 +375,8 @@ impl ClusterHandle {
                 req_id,
                 file,
                 client_port: addr.port(),
+                deadline_us,
+                priority,
             },
         ) {
             unblock_acceptor(addr, acceptor);
@@ -330,6 +389,22 @@ impl ClusterHandle {
             match self.recv_event(deadline) {
                 Ok(ClientEvent::Push(s)) => break s,
                 Ok(ClientEvent::Server(Message::Ok)) => acked = true,
+                // Busy/Shed *are* the routing reply: terminal, no data
+                // push follows and no further ack is owed.
+                Ok(ClientEvent::Server(Message::Busy {
+                    retry_after_us,
+                    level,
+                })) => {
+                    unblock_acceptor(addr, acceptor);
+                    return Ok(GetOutcome::Busy {
+                        retry_after_us,
+                        level,
+                    });
+                }
+                Ok(ClientEvent::Server(Message::Shed { code, level, .. })) => {
+                    unblock_acceptor(addr, acceptor);
+                    return Ok(GetOutcome::Shed { code, level });
+                }
                 Ok(ClientEvent::Server(Message::Err { code })) => {
                     unblock_acceptor(addr, acceptor);
                     return Err(io::Error::other(format!("server error {code}")));
@@ -364,7 +439,7 @@ impl ClusterHandle {
         if !acked {
             self.await_ack(deadline)?;
         }
-        Ok(GetResult { data, response })
+        Ok(GetOutcome::Data(GetResult { data, response }))
     }
 
     /// Writes a file through the cluster (the node pulls the payload from
@@ -385,6 +460,8 @@ impl ClusterHandle {
                 req_id,
                 file,
                 client_port: addr.port(),
+                deadline_us: 0,
+                priority: 3,
             },
         ) {
             unblock_acceptor(addr, acceptor);
@@ -610,38 +687,11 @@ impl ClusterHandle {
         let deadline = Instant::now() + self.cfg.client_deadline;
         loop {
             match self.recv_event(deadline)? {
-                ClientEvent::Server(Message::Stats {
-                    disk_joules,
-                    spin_ups,
-                    spin_downs,
-                    hits,
-                    misses,
-                    failovers,
-                    retries,
-                    hedges,
-                    hedges_won,
-                    breaker_trips,
-                    breaker_recoveries,
-                    deadline_misses,
-                    journal_replays,
-                    corruptions_detected,
-                }) => {
-                    return Ok(ClusterStats {
-                        disk_joules,
-                        spin_ups,
-                        spin_downs,
-                        hits,
-                        misses,
-                        failovers,
-                        retries,
-                        hedges,
-                        hedges_won,
-                        breaker_trips,
-                        breaker_recoveries,
-                        deadline_misses,
-                        journal_replays,
-                        corruptions_detected,
-                    })
+                ClientEvent::Server(reply @ Message::Stats { .. }) => {
+                    let counters = reply
+                        .into_stats()
+                        .map_err(|e| io::Error::other(e.to_string()))?;
+                    return Ok(ClusterStats::from_counters(counters));
                 }
                 ClientEvent::Server(other) => {
                     return Err(io::Error::other(format!(

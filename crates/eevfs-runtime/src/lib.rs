@@ -32,14 +32,19 @@
 //! effect, observable in integration tests.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
+pub mod admission;
 pub mod clock;
 pub mod cluster;
+pub mod loadgen;
 pub mod node;
 pub mod proto;
 pub mod server;
 pub mod store;
 pub mod transport;
 
-pub use cluster::{ClusterHandle, ReplayReport, RuntimeConfig};
+pub use admission::{AdmissionGate, AdmitError, OverloadOptions};
+pub use cluster::{ClusterHandle, GetOutcome, ReplayReport, RuntimeConfig};
+pub use loadgen::{LoadConfig, LoadReport};
 pub use server::{recover_placements, ResilienceOptions, RpcSpan, SpanKind, SpanSink};

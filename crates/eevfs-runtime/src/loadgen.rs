@@ -1,0 +1,317 @@
+//! Multi-client closed-loop load generator.
+//!
+//! The historical measurement path (`ClusterHandle::replay`) is a fully
+//! open loop: one client issues requests on the trace's schedule no
+//! matter how the cluster is doing — the modelling choice behind the
+//! documented deviations from the paper's figures. This module is the
+//! closed loop: `clients` worker threads each run
+//! *request → response → think time → next request*, so offered load is
+//! bounded by concurrency and responds to service times exactly like a
+//! population of real clients.
+//!
+//! Each worker owns one server connection and one callback listener
+//! (reused across its requests). After sending a `Get` the worker polls
+//! **both** the server connection and the listener: the owning node
+//! pushes file data to the listener *before* acking the server, so a
+//! worker that waited for the ack first could deadlock against a node
+//! blocked on a full push socket. Refusals (`Busy`), sheds (`Shed`), and
+//! errors arrive on the server connection and terminate the request —
+//! the control plane's replies are never retried by the generator, so
+//! the client-side tallies line up 1:1 with the server's shed ledger.
+
+use crate::proto::{read_message, write_message, Message};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Closed-loop campaign parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent closed-loop clients (each a thread).
+    pub clients: usize,
+    /// Requests each client issues before stopping.
+    pub requests_per_client: usize,
+    /// Think time between a response and the client's next request.
+    pub think: Duration,
+    /// Deadline budget stamped on every request, microseconds (0 = none).
+    pub deadline_us: u64,
+    /// Files to draw from (uniformly, seeded).
+    pub files: u32,
+    /// Seed for the per-worker file choice.
+    pub seed: u64,
+    /// Per-request hard wall-clock timeout (a stuck request is counted as
+    /// an error rather than hanging its worker).
+    pub request_timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            clients: 4,
+            requests_per_client: 25,
+            think: Duration::from_millis(1),
+            deadline_us: 0,
+            files: 16,
+            seed: 7,
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What one request came back as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqOutcome {
+    /// Data served and acked.
+    Done,
+    /// Refused at admission (`Busy`).
+    Busy,
+    /// Shed by the control plane (`Shed`).
+    Shed,
+    /// Error reply, timeout, or transport failure.
+    Error,
+}
+
+/// Aggregated campaign results (client-side view of the shed ledger).
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests sent (client-side offered load).
+    pub sent: u64,
+    /// Requests served with data.
+    pub completed: u64,
+    /// Requests refused with `Busy`.
+    pub busy: u64,
+    /// Requests shed by the control plane.
+    pub shed: u64,
+    /// Requests that errored or timed out.
+    pub errors: u64,
+    /// Wall-clock latency of each completed request.
+    pub latencies: Vec<Duration>,
+    /// Campaign wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// The client-side ledger closes exactly:
+    /// `sent == completed + busy + shed + errors`.
+    pub fn ledger_closes(&self) -> bool {
+        self.sent == self.completed + self.busy + self.shed + self.errors
+    }
+
+    /// Completed-request latency percentile (`q` in `[0, 1]`), or zero
+    /// when nothing completed.
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Completed requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / s
+        }
+    }
+}
+
+/// Per-worker tallies, merged into the [`LoadReport`].
+#[derive(Debug, Default)]
+struct WorkerTally {
+    sent: u64,
+    completed: u64,
+    busy: u64,
+    shed: u64,
+    errors: u64,
+    latencies: Vec<Duration>,
+}
+
+/// Runs a closed-loop campaign against a server and aggregates the
+/// worker tallies. Workers that die on a transport error contribute what
+/// they measured; their remaining requests are simply never offered, so
+/// the client ledger still closes.
+pub fn run(server: SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.clients);
+    for w in 0..cfg.clients {
+        let cfg = cfg.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("eevfs-loadgen-{w}"))
+            .spawn(move || worker(server, &cfg, w as u64));
+        if let Ok(h) = handle {
+            handles.push(h);
+        }
+    }
+    let mut report = LoadReport::default();
+    for h in handles {
+        if let Ok(t) = h.join() {
+            report.sent += t.sent;
+            report.completed += t.completed;
+            report.busy += t.busy;
+            report.shed += t.shed;
+            report.errors += t.errors;
+            report.latencies.extend(t.latencies);
+        }
+    }
+    report.elapsed = started.elapsed();
+    report
+}
+
+/// One closed-loop client: connect, then request → outcome → think,
+/// `requests_per_client` times.
+fn worker(server: SocketAddr, cfg: &LoadConfig, worker_id: u64) -> WorkerTally {
+    let mut tally = WorkerTally::default();
+    let Ok(mut conn) = TcpStream::connect(server) else {
+        return tally;
+    };
+    let Ok(listener) = TcpListener::bind("127.0.0.1:0") else {
+        return tally;
+    };
+    if listener.set_nonblocking(true).is_err() {
+        return tally;
+    }
+    let Ok(local) = listener.local_addr() else {
+        return tally;
+    };
+    // Deterministic per-worker file sequence (xorshift64*).
+    let mut rng = cfg
+        .seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(worker_id)
+        | 1;
+    for seq in 0..cfg.requests_per_client {
+        rng ^= rng >> 12;
+        rng ^= rng << 25;
+        rng ^= rng >> 27;
+        let file = (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) % u64::from(cfg.files.max(1))) as u32;
+        let req_id = (worker_id << 32) | seq as u64;
+        // Priorities cycle 0–3 (threshold 2 makes half the traffic
+        // sheddable at brownout L2) — mirrored by the simulator.
+        let priority = (seq % 4) as u8;
+        tally.sent += 1;
+        match one_request(
+            &mut conn,
+            &listener,
+            local.port(),
+            cfg,
+            req_id,
+            file,
+            priority,
+        ) {
+            Ok((ReqOutcome::Done, latency)) => {
+                tally.completed += 1;
+                tally.latencies.push(latency);
+            }
+            Ok((ReqOutcome::Busy, _)) => tally.busy += 1,
+            Ok((ReqOutcome::Shed, _)) => tally.shed += 1,
+            Ok((ReqOutcome::Error, _)) => tally.errors += 1,
+            // Transport died: count this request and stop the worker.
+            Err(_) => {
+                tally.errors += 1;
+                break;
+            }
+        }
+        if !cfg.think.is_zero() {
+            std::thread::sleep(cfg.think);
+        }
+    }
+    tally
+}
+
+/// Issues one `Get` and drives it to an outcome, polling the server
+/// connection and the callback listener together.
+fn one_request(
+    conn: &mut TcpStream,
+    listener: &TcpListener,
+    port: u16,
+    cfg: &LoadConfig,
+    req_id: u64,
+    file: u32,
+    priority: u8,
+) -> io::Result<(ReqOutcome, Duration)> {
+    write_message(
+        conn,
+        &Message::Get {
+            req_id,
+            file,
+            client_port: port,
+            deadline_us: cfg.deadline_us,
+            priority,
+        },
+    )
+    .map_err(|e| io::Error::other(e.to_string()))?;
+    let started = Instant::now();
+    let mut acked = false;
+    let mut latency = None;
+    loop {
+        if started.elapsed() > cfg.request_timeout {
+            return Ok((ReqOutcome::Error, Duration::ZERO));
+        }
+        // The node pushes data before acking the server, so the listener
+        // is polled first and read eagerly — never behind the ack.
+        if latency.is_none() {
+            match listener.accept() {
+                Ok((mut push, _)) => {
+                    push.set_nonblocking(false)?;
+                    match read_message(&mut push) {
+                        Ok(Message::FileData {
+                            req_id: got_id,
+                            file: got,
+                            ..
+                        }) if got_id == req_id && got == file => {
+                            latency = Some(started.elapsed());
+                        }
+                        _ => return Ok((ReqOutcome::Error, Duration::ZERO)),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if let (Some(lat), true) = (latency, acked) {
+            return Ok((ReqOutcome::Done, lat));
+        }
+        match poll_server(conn, Duration::from_millis(1))? {
+            Some(Message::Ok) => acked = true,
+            Some(Message::Busy { .. }) => return Ok((ReqOutcome::Busy, Duration::ZERO)),
+            Some(Message::Shed { .. }) => return Ok((ReqOutcome::Shed, Duration::ZERO)),
+            Some(Message::Err { .. }) | Some(_) => return Ok((ReqOutcome::Error, Duration::ZERO)),
+            None => {}
+        }
+    }
+}
+
+/// Timed single-frame read on the server connection: `Ok(None)` when
+/// nothing arrived in time. A timed 1-byte peek followed by a blocking
+/// frame read, so a timeout can never strand a half-read frame.
+fn poll_server(conn: &mut TcpStream, timeout: Duration) -> io::Result<Option<Message>> {
+    conn.set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+    let mut probe = [0u8; 1];
+    let ready = match conn.peek(&mut probe) {
+        Ok(0) => {
+            let _ = conn.set_read_timeout(None);
+            return Err(io::Error::other("server connection closed"));
+        }
+        Ok(_) => true,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            false
+        }
+        Err(e) => {
+            let _ = conn.set_read_timeout(None);
+            return Err(e);
+        }
+    };
+    conn.set_read_timeout(None)?;
+    if ready {
+        read_message(conn)
+            .map(Some)
+            .map_err(|e| io::Error::other(e.to_string()))
+    } else {
+        Ok(None)
+    }
+}

@@ -27,8 +27,9 @@
 //! power-management arming without any help from the server; the server
 //! only needs to re-send the soft-state hints (see `Message::Register`).
 
+use crate::admission::shed_code;
 use crate::clock::VirtualClock;
-use crate::proto::{read_message, write_message, CodecError, Message};
+use crate::proto::{read_message, write_message, CodecError, Message, StatsCounters};
 use crate::store::FileStore;
 use bytes::Bytes;
 use disk_model::perf::AccessKind;
@@ -81,6 +82,10 @@ struct NodeState {
     journal_replays: u64,
     /// Checksum mismatches caught on data-disk reads and prefetches.
     corruptions_detected: u64,
+    /// Cluster brownout level pushed by the server. At level ≥ 1 the node
+    /// serves buffer-disk content only: a `Get` that would have to wake a
+    /// data disk is refused with `Busy` instead.
+    brownout: u8,
 }
 
 impl NodeState {
@@ -105,6 +110,7 @@ impl NodeState {
             journal_path,
             journal_replays: 0,
             corruptions_detected: 0,
+            brownout: 0,
         };
         if let Ok(bytes) = std::fs::read(&state.journal_path) {
             state.replay_journal(&bytes)?;
@@ -204,7 +210,12 @@ impl NodeState {
         self.clock.sleep_virtual(comp.finish - now);
     }
 
-    fn handle(&mut self, msg: Message) -> Result<Message, CodecError> {
+    /// Retry hint quoted in `Busy` replies: long enough for a brownout
+    /// observation window to elapse at the server, short enough that a
+    /// polite client retries within the same campaign.
+    const RETRY_AFTER_US: u64 = 10_000;
+
+    fn handle(&mut self, msg: Message, arrived: std::time::Instant) -> Result<Message, CodecError> {
         match msg {
             Message::CreateFile { file, size, disk } => {
                 let disk = disk as usize;
@@ -290,7 +301,21 @@ impl NodeState {
                 req_id,
                 file,
                 client_port,
+                deadline_us,
+                priority: _,
             } => {
+                // Pre-service deadline check: the budget the server
+                // forwarded is what remains after its own hops; if it has
+                // already drained by the time this node gets to the frame,
+                // serving would only waste a disk access on a reply the
+                // client will discard.
+                if deadline_us > 0 && arrived.elapsed().as_micros() as u64 >= deadline_us {
+                    return Ok(Message::Shed {
+                        req_id,
+                        code: shed_code::DEADLINE,
+                        level: self.brownout,
+                    });
+                }
                 let fid = workload::record::FileId(file);
                 let Some(&disk) = self.disk_of_file.get(&file) else {
                     return Ok(Message::Err { code: 1 });
@@ -299,6 +324,14 @@ impl NodeState {
                 let data = if self.catalog.lookup(fid) {
                     self.access_buffer_disk(size, AccessKind::Random);
                     self.store.read_buffer(file)
+                } else if self.brownout >= 1 {
+                    // Brownout L1+: buffer-disk-only serving. A miss would
+                    // spin up a data disk — exactly the energy spike the
+                    // ladder exists to suppress — so refuse it instead.
+                    return Ok(Message::Busy {
+                        retry_after_us: Self::RETRY_AFTER_US,
+                        level: self.brownout,
+                    });
                 } else if self.failed_disks[disk] {
                     return Ok(Message::Err { code: 2 });
                 } else {
@@ -333,7 +366,16 @@ impl NodeState {
                 req_id,
                 file,
                 client_port,
+                deadline_us,
+                priority: _,
             } => {
+                if deadline_us > 0 && arrived.elapsed().as_micros() as u64 >= deadline_us {
+                    return Ok(Message::Shed {
+                        req_id,
+                        code: shed_code::DEADLINE,
+                        level: self.brownout,
+                    });
+                }
                 let fid = workload::record::FileId(file);
                 let Some(&disk) = self.disk_of_file.get(&file) else {
                     return Ok(Message::Err { code: 1 });
@@ -399,24 +441,25 @@ impl NodeState {
                 }
                 self.buffer_disk.finalize(now);
                 joules += self.buffer_disk.total_joules();
+                // The resilience and overload-ledger counters are
+                // server-side; nodes report zeros and the server adds its
+                // own when aggregating.
                 Ok(Message::Stats {
-                    disk_joules: joules,
-                    spin_ups: ups,
-                    spin_downs: downs,
-                    hits: self.catalog.hits(),
-                    misses: self.catalog.misses(),
-                    // The resilience counters are server-side; nodes
-                    // report zeros and the server adds its own.
-                    failovers: 0,
-                    retries: 0,
-                    hedges: 0,
-                    hedges_won: 0,
-                    breaker_trips: 0,
-                    breaker_recoveries: 0,
-                    deadline_misses: 0,
-                    journal_replays: self.journal_replays,
-                    corruptions_detected: self.corruptions_detected,
+                    counters: StatsCounters {
+                        disk_joules: joules,
+                        spin_ups: ups,
+                        spin_downs: downs,
+                        hits: self.catalog.hits(),
+                        misses: self.catalog.misses(),
+                        journal_replays: self.journal_replays,
+                        corruptions_detected: self.corruptions_detected,
+                        ..StatsCounters::default()
+                    },
                 })
+            }
+            Message::Brownout { level } => {
+                self.brownout = level;
+                Ok(Message::Ok)
             }
             Message::FailDisk { disk, .. } => {
                 let disk = disk as usize;
@@ -464,8 +507,12 @@ impl NodeDaemon {
                     let Ok(mut stream) = stream else { continue };
                     // A read error means the peer closed; await next conn.
                     while let Ok(msg) = read_message(&mut stream) {
+                        // Deadline budgets are measured from the moment the
+                        // frame left the wire, so queueing inside handle()
+                        // counts against the remaining budget.
+                        let arrived = std::time::Instant::now();
                         let is_shutdown = matches!(msg, Message::Shutdown);
-                        match state.handle(msg) {
+                        match state.handle(msg, arrived) {
                             Ok(reply) => {
                                 if write_message(&mut stream, &reply).is_err() {
                                     break;
@@ -559,6 +606,8 @@ mod tests {
                 req_id: 31,
                 file: 2,
                 client_port: port,
+                deadline_us: 0,
+                priority: 3,
             },
         )
         .expect("send");
@@ -610,6 +659,8 @@ mod tests {
                 req_id: 1,
                 file: 9,
                 client_port: port,
+                deadline_us: 0,
+                priority: 3,
             },
         )
         .expect("send");
@@ -670,6 +721,8 @@ mod tests {
                     req_id: u64::from(file),
                     file,
                     client_port: port,
+                    deadline_us: 0,
+                    priority: 3,
                 },
             )
             .expect("send");
@@ -698,6 +751,84 @@ mod tests {
     }
 
     #[test]
+    fn brownout_serves_buffer_hits_but_refuses_misses() {
+        let cfg = test_cfg("brownout");
+        let root = cfg.root.clone();
+        let node = NodeDaemon::spawn(cfg).expect("spawn");
+        let mut ctl = TcpStream::connect(node.addr).expect("connect");
+        for (file, disk) in [(1u32, 0u32), (2, 1)] {
+            rpc(
+                &mut ctl,
+                &Message::CreateFile {
+                    file,
+                    size: 512,
+                    disk,
+                },
+            );
+        }
+        rpc(&mut ctl, &Message::Prefetch { files: vec![1] });
+        assert_eq!(rpc(&mut ctl, &Message::Brownout { level: 1 }), Message::Ok);
+
+        // A miss would wake a data disk: refused with Busy, not served.
+        assert!(matches!(
+            rpc(
+                &mut ctl,
+                &Message::Get {
+                    req_id: 1,
+                    file: 2,
+                    client_port: 1,
+                    deadline_us: 0,
+                    priority: 3,
+                }
+            ),
+            Message::Busy { level: 1, .. }
+        ));
+        // A buffer hit still serves under brownout.
+        let client = TcpListener::bind("127.0.0.1:0").expect("listener");
+        let port = client.local_addr().expect("addr").port();
+        write_message(
+            &mut ctl,
+            &Message::Get {
+                req_id: 2,
+                file: 1,
+                client_port: port,
+                deadline_us: 0,
+                priority: 3,
+            },
+        )
+        .expect("send");
+        let (mut push, _) = client.accept().expect("accept");
+        assert!(matches!(
+            read_message(&mut push).expect("data"),
+            Message::FileData { file: 1, .. }
+        ));
+        assert_eq!(read_message(&mut ctl).expect("ack"), Message::Ok);
+
+        // Level 0 restores miss serving.
+        assert_eq!(rpc(&mut ctl, &Message::Brownout { level: 0 }), Message::Ok);
+        write_message(
+            &mut ctl,
+            &Message::Get {
+                req_id: 3,
+                file: 2,
+                client_port: port,
+                deadline_us: 0,
+                priority: 3,
+            },
+        )
+        .expect("send");
+        let (mut push, _) = client.accept().expect("accept");
+        assert!(matches!(
+            read_message(&mut push).expect("data"),
+            Message::FileData { file: 2, .. }
+        ));
+        assert_eq!(read_message(&mut ctl).expect("ack"), Message::Ok);
+        rpc(&mut ctl, &Message::Shutdown);
+        node.join();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
     fn unknown_file_yields_error() {
         let cfg = test_cfg("err");
         let root = cfg.root.clone();
@@ -709,7 +840,9 @@ mod tests {
                 &Message::Get {
                     req_id: 1,
                     file: 404,
-                    client_port: 1
+                    client_port: 1,
+                    deadline_us: 0,
+                    priority: 3,
                 }
             ),
             Message::Err { code: 1 }

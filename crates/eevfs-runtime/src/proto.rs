@@ -50,6 +50,13 @@ pub enum Message {
         file: u32,
         /// Client callback port.
         client_port: u16,
+        /// Remaining deadline budget, microseconds (0 = no deadline).
+        /// Shrinks hop-by-hop: the client stamps the total budget and
+        /// each hop forwards what is left after its own queueing.
+        deadline_us: u64,
+        /// Request priority, 0 (lowest) to 255. Under brownout level 2
+        /// the server sheds the lowest priorities first.
+        priority: u8,
     },
     /// Node → client: the file contents.
     FileData {
@@ -71,41 +78,13 @@ pub enum Message {
     },
     /// Server → node: report energy statistics.
     StatsRequest,
-    /// Node → server: energy statistics in response.
+    /// Node → server: energy statistics in response. Field meanings are
+    /// documented on [`StatsCounters`]; node replies leave the
+    /// server-side counters zero and the server adds its own when
+    /// aggregating.
     Stats {
-        /// Total joules across this node's disks (virtual time).
-        disk_joules: f64,
-        /// Spin-ups across data disks.
-        spin_ups: u64,
-        /// Spin-downs across data disks.
-        spin_downs: u64,
-        /// Buffer hits.
-        hits: u64,
-        /// Buffer misses.
-        misses: u64,
-        /// Requests the server served from a non-primary replica (zero in
-        /// node → server replies; the server adds its own count when
-        /// aggregating).
-        failovers: u64,
-        /// RPC flights re-sent after a drop, reset, or per-try timeout
-        /// (zero in node → server replies; server-side counter).
-        retries: u64,
-        /// Hedged reads issued against a second replica (server-side).
-        hedges: u64,
-        /// Hedged reads where the second replica answered first
-        /// (server-side).
-        hedges_won: u64,
-        /// Circuit-breaker trips, closed/half-open → open (server-side).
-        breaker_trips: u64,
-        /// Half-open probes that closed a breaker again (server-side).
-        breaker_recoveries: u64,
-        /// Requests that blew their end-to-end deadline (server-side).
-        deadline_misses: u64,
-        /// Journal replays this node performed at boot (1 after a
-        /// restart with an intact journal, 0 on a cold start).
-        journal_replays: u64,
-        /// Checksum mismatches caught on the node's data-disk reads.
-        corruptions_detected: u64,
+        /// The counters.
+        counters: StatsCounters,
     },
     /// Orderly shutdown.
     Shutdown,
@@ -120,6 +99,10 @@ pub enum Message {
         file: u32,
         /// Client callback port.
         client_port: u16,
+        /// Remaining deadline budget, microseconds (0 = no deadline).
+        deadline_us: u64,
+        /// Request priority, 0 (lowest) to 255.
+        priority: u8,
     },
     /// Client → server (admin / failure injection): shut down one storage
     /// node, leaving the rest of the cluster running.
@@ -176,6 +159,36 @@ pub enum Message {
         /// Control port of the restarted daemon.
         port: u16,
     },
+    /// Backpressure reply (server → client at admission, or node → server
+    /// under brownout): the request was **not** accepted and no work was
+    /// done for it; the sender suggests retrying after `retry_after_us`.
+    Busy {
+        /// Suggested wall-clock retry delay, microseconds.
+        retry_after_us: u64,
+        /// Brownout level at the sender when the request was refused.
+        level: u8,
+    },
+    /// Load-shedding reply (server → client): the request was dropped by
+    /// the overload control plane — deadline budget exhausted, priority
+    /// shed under brownout level 2, or refused downstream — and will not
+    /// be retried by the cluster.
+    Shed {
+        /// Request id echoed from the originating `Get`/`Put`.
+        req_id: u64,
+        /// Why it was shed (1 = deadline expired, 2 = priority shed,
+        /// 3 = refused downstream under brownout).
+        code: u16,
+        /// Brownout level at the decision point.
+        level: u8,
+    },
+    /// Server → node: the cluster's brownout level changed. At level ≥ 1
+    /// the node serves buffer-disk content only and refuses misses that
+    /// would spin up a data disk (replying [`Message::Busy`]); level 0
+    /// restores normal serving.
+    Brownout {
+        /// New brownout level, 0 (normal) to 3 (admission rejects all).
+        level: u8,
+    },
 }
 
 /// Payload of a [`Message::FileData`] frame, extracted by
@@ -191,24 +204,123 @@ pub struct FileDataPayload {
 }
 
 /// Counters of a [`Message::Stats`] frame, extracted by
-/// [`Message::into_stats`]. Field meanings match the variant.
+/// [`Message::into_stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[allow(missing_docs)]
 pub struct StatsCounters {
+    /// Total joules across this node's disks (virtual time).
     pub disk_joules: f64,
+    /// Spin-ups across data disks.
     pub spin_ups: u64,
+    /// Spin-downs across data disks.
     pub spin_downs: u64,
+    /// Buffer hits.
     pub hits: u64,
+    /// Buffer misses.
     pub misses: u64,
+    /// Requests the server served from a non-primary replica (zero in
+    /// node → server replies; the server adds its own when aggregating).
     pub failovers: u64,
+    /// RPC flights re-sent after a drop, reset, or per-try timeout
+    /// (server-side).
     pub retries: u64,
+    /// Hedged reads issued against a second replica (server-side).
     pub hedges: u64,
+    /// Hedged reads where the second replica answered first (server-side).
     pub hedges_won: u64,
+    /// Circuit-breaker trips, closed/half-open → open (server-side).
     pub breaker_trips: u64,
+    /// Half-open probes that closed a breaker again (server-side).
     pub breaker_recoveries: u64,
+    /// Requests that blew their end-to-end deadline (server-side).
     pub deadline_misses: u64,
+    /// Journal replays this node performed at boot (1 after a restart
+    /// with an intact journal, 0 on a cold start).
     pub journal_replays: u64,
+    /// Checksum mismatches caught on the node's data-disk reads.
     pub corruptions_detected: u64,
+    /// Requests offered to the server's admission gate (server-side; the
+    /// shed ledger closes as `offered == admitted + rejected + shed` and
+    /// `admitted == completed + node_shed + request_errors`).
+    pub offered: u64,
+    /// Requests that passed admission.
+    pub admitted: u64,
+    /// Requests refused at admission with [`Message::Busy`].
+    pub rejected: u64,
+    /// Requests dropped pre-admission with [`Message::Shed`] (deadline
+    /// expired or priority shed).
+    pub shed: u64,
+    /// Admitted requests a node refused under brownout.
+    pub node_shed: u64,
+    /// Admitted requests answered with data / `Ok`.
+    pub completed: u64,
+    /// Admitted requests that ended in an error reply.
+    pub request_errors: u64,
+    /// Brownout-ladder level changes (either direction).
+    pub brownout_transitions: u64,
+    /// Peak concurrent admitted requests observed at the server.
+    pub queue_peak: u64,
+}
+
+impl StatsCounters {
+    /// Number of `u64` counters following `disk_joules` on the wire.
+    pub const U64_FIELDS: usize = 22;
+
+    /// The `u64` counters in wire order (everything after `disk_joules`).
+    fn as_u64_fields(&self) -> [u64; Self::U64_FIELDS] {
+        [
+            self.spin_ups,
+            self.spin_downs,
+            self.hits,
+            self.misses,
+            self.failovers,
+            self.retries,
+            self.hedges,
+            self.hedges_won,
+            self.breaker_trips,
+            self.breaker_recoveries,
+            self.deadline_misses,
+            self.journal_replays,
+            self.corruptions_detected,
+            self.offered,
+            self.admitted,
+            self.rejected,
+            self.shed,
+            self.node_shed,
+            self.completed,
+            self.request_errors,
+            self.brownout_transitions,
+            self.queue_peak,
+        ]
+    }
+
+    /// Rebuilds counters from `disk_joules` plus the wire-order fields.
+    fn from_u64_fields(disk_joules: f64, f: [u64; Self::U64_FIELDS]) -> StatsCounters {
+        StatsCounters {
+            disk_joules,
+            spin_ups: f[0],
+            spin_downs: f[1],
+            hits: f[2],
+            misses: f[3],
+            failovers: f[4],
+            retries: f[5],
+            hedges: f[6],
+            hedges_won: f[7],
+            breaker_trips: f[8],
+            breaker_recoveries: f[9],
+            deadline_misses: f[10],
+            journal_replays: f[11],
+            corruptions_detected: f[12],
+            offered: f[13],
+            admitted: f[14],
+            rejected: f[15],
+            shed: f[16],
+            node_shed: f[17],
+            completed: f[18],
+            request_errors: f[19],
+            brownout_transitions: f[20],
+            queue_peak: f[21],
+        }
+    }
 }
 
 /// Codec errors.
@@ -276,16 +388,20 @@ impl Message {
             Message::PartitionLink { .. } => 16,
             Message::HealLink { .. } => 17,
             Message::Register { .. } => 18,
+            Message::Busy { .. } => 19,
+            Message::Shed { .. } => 20,
+            Message::Brownout { .. } => 21,
         }
     }
 
     /// The end-to-end request id carried by request/response frames
-    /// (`Get`, `Put`, `FileData`); `None` for control traffic.
+    /// (`Get`, `Put`, `FileData`, `Shed`); `None` for control traffic.
     pub fn req_id(&self) -> Option<u64> {
         match self {
             Message::Get { req_id, .. }
             | Message::Put { req_id, .. }
-            | Message::FileData { req_id, .. } => Some(*req_id),
+            | Message::FileData { req_id, .. }
+            | Message::Shed { req_id, .. } => Some(*req_id),
             _ => None,
         }
     }
@@ -311,6 +427,9 @@ impl Message {
             Message::PartitionLink { .. } => "PartitionLink",
             Message::HealLink { .. } => "HealLink",
             Message::Register { .. } => "Register",
+            Message::Busy { .. } => "Busy",
+            Message::Shed { .. } => "Shed",
+            Message::Brownout { .. } => "Brownout",
         }
     }
 
@@ -332,37 +451,7 @@ impl Message {
     /// [`CodecError::Unexpected`] naming what arrived instead.
     pub fn into_stats(self) -> Result<StatsCounters, CodecError> {
         match self {
-            Message::Stats {
-                disk_joules,
-                spin_ups,
-                spin_downs,
-                hits,
-                misses,
-                failovers,
-                retries,
-                hedges,
-                hedges_won,
-                breaker_trips,
-                breaker_recoveries,
-                deadline_misses,
-                journal_replays,
-                corruptions_detected,
-            } => Ok(StatsCounters {
-                disk_joules,
-                spin_ups,
-                spin_downs,
-                hits,
-                misses,
-                failovers,
-                retries,
-                hedges,
-                hedges_won,
-                breaker_trips,
-                breaker_recoveries,
-                deadline_misses,
-                journal_replays,
-                corruptions_detected,
-            }),
+            Message::Stats { counters } => Ok(counters),
             other => Err(CodecError::Unexpected {
                 expected: "Stats",
                 got: other.kind_name(),
@@ -397,10 +486,21 @@ impl Message {
                 req_id,
                 file,
                 client_port,
+                deadline_us,
+                priority,
+            }
+            | Message::Put {
+                req_id,
+                file,
+                client_port,
+                deadline_us,
+                priority,
             } => {
                 body.put_u64_le(*req_id);
                 body.put_u32_le(*file);
                 body.put_u16_le(*client_port);
+                body.put_u64_le(*deadline_us);
+                body.put_u8(*priority);
             }
             Message::FileData { req_id, file, data } => {
                 body.put_u64_le(*req_id);
@@ -409,15 +509,6 @@ impl Message {
                 body.extend_from_slice(data);
             }
             Message::Ok | Message::StatsRequest | Message::Shutdown => {}
-            Message::Put {
-                req_id,
-                file,
-                client_port,
-            } => {
-                body.put_u64_le(*req_id);
-                body.put_u32_le(*file);
-                body.put_u16_le(*client_port);
-            }
             Message::KillNode { node } => body.put_u32_le(*node),
             Message::FailDisk { node, disk } | Message::RepairDisk { node, disk } => {
                 body.put_u32_le(*node);
@@ -429,37 +520,29 @@ impl Message {
             }
             Message::PartitionLink { node } | Message::HealLink { node } => body.put_u32_le(*node),
             Message::Err { code } => body.put_u16_le(*code),
-            Message::Stats {
-                disk_joules,
-                spin_ups,
-                spin_downs,
-                hits,
-                misses,
-                failovers,
-                retries,
-                hedges,
-                hedges_won,
-                breaker_trips,
-                breaker_recoveries,
-                deadline_misses,
-                journal_replays,
-                corruptions_detected,
-            } => {
-                body.put_f64_le(*disk_joules);
-                body.put_u64_le(*spin_ups);
-                body.put_u64_le(*spin_downs);
-                body.put_u64_le(*hits);
-                body.put_u64_le(*misses);
-                body.put_u64_le(*failovers);
-                body.put_u64_le(*retries);
-                body.put_u64_le(*hedges);
-                body.put_u64_le(*hedges_won);
-                body.put_u64_le(*breaker_trips);
-                body.put_u64_le(*breaker_recoveries);
-                body.put_u64_le(*deadline_misses);
-                body.put_u64_le(*journal_replays);
-                body.put_u64_le(*corruptions_detected);
+            Message::Stats { counters: c } => {
+                body.put_f64_le(c.disk_joules);
+                for v in c.as_u64_fields() {
+                    body.put_u64_le(v);
+                }
             }
+            Message::Busy {
+                retry_after_us,
+                level,
+            } => {
+                body.put_u64_le(*retry_after_us);
+                body.put_u8(*level);
+            }
+            Message::Shed {
+                req_id,
+                code,
+                level,
+            } => {
+                body.put_u64_le(*req_id);
+                body.put_u16_le(*code);
+                body.put_u8(*level);
+            }
+            Message::Brownout { level } => body.put_u8(*level),
         }
         let mut framed = BytesMut::with_capacity(4 + body.len());
         framed.put_u32_le(body.len() as u32);
@@ -513,11 +596,13 @@ impl Message {
                 }
             }
             4 => {
-                need!(14, "Get");
+                need!(23, "Get");
                 Message::Get {
                     req_id: body.get_u64_le(),
                     file: body.get_u32_le(),
                     client_port: body.get_u16_le(),
+                    deadline_us: body.get_u64_le(),
+                    priority: body.get_u8(),
                 }
             }
             5 => {
@@ -545,31 +630,25 @@ impl Message {
             }
             8 => Message::StatsRequest,
             9 => {
-                need!(112, "Stats");
+                need!(8 + 8 * StatsCounters::U64_FIELDS, "Stats");
+                let disk_joules = body.get_f64_le();
+                let mut fields = [0u64; StatsCounters::U64_FIELDS];
+                for f in &mut fields {
+                    *f = body.get_u64_le();
+                }
                 Message::Stats {
-                    disk_joules: body.get_f64_le(),
-                    spin_ups: body.get_u64_le(),
-                    spin_downs: body.get_u64_le(),
-                    hits: body.get_u64_le(),
-                    misses: body.get_u64_le(),
-                    failovers: body.get_u64_le(),
-                    retries: body.get_u64_le(),
-                    hedges: body.get_u64_le(),
-                    hedges_won: body.get_u64_le(),
-                    breaker_trips: body.get_u64_le(),
-                    breaker_recoveries: body.get_u64_le(),
-                    deadline_misses: body.get_u64_le(),
-                    journal_replays: body.get_u64_le(),
-                    corruptions_detected: body.get_u64_le(),
+                    counters: StatsCounters::from_u64_fields(disk_joules, fields),
                 }
             }
             10 => Message::Shutdown,
             11 => {
-                need!(14, "Put");
+                need!(23, "Put");
                 Message::Put {
                     req_id: body.get_u64_le(),
                     file: body.get_u32_le(),
                     client_port: body.get_u16_le(),
+                    deadline_us: body.get_u64_le(),
+                    priority: body.get_u8(),
                 }
             }
             12 => {
@@ -616,6 +695,27 @@ impl Message {
                 Message::Register {
                     node: body.get_u32_le(),
                     port: body.get_u16_le(),
+                }
+            }
+            19 => {
+                need!(9, "Busy");
+                Message::Busy {
+                    retry_after_us: body.get_u64_le(),
+                    level: body.get_u8(),
+                }
+            }
+            20 => {
+                need!(11, "Shed");
+                Message::Shed {
+                    req_id: body.get_u64_le(),
+                    code: body.get_u16_le(),
+                    level: body.get_u8(),
+                }
+            }
+            21 => {
+                need!(1, "Brownout");
+                Message::Brownout {
+                    level: body.get_u8(),
                 }
             }
             other => return Err(CodecError::UnknownTag(other)),
@@ -677,6 +777,8 @@ mod tests {
             req_id: u64::MAX,
             file: 3,
             client_port: 54321,
+            deadline_us: 2_000_000,
+            priority: 3,
         });
         roundtrip(Message::FileData {
             req_id: 77,
@@ -692,27 +794,50 @@ mod tests {
         roundtrip(Message::Err { code: 2 });
         roundtrip(Message::StatsRequest);
         roundtrip(Message::Stats {
-            disk_joules: 1234.5,
-            spin_ups: 3,
-            spin_downs: 4,
-            hits: 10,
-            misses: 2,
-            failovers: 5,
-            retries: 7,
-            hedges: 2,
-            hedges_won: 1,
-            breaker_trips: 1,
-            breaker_recoveries: 1,
-            deadline_misses: 0,
-            journal_replays: 2,
-            corruptions_detected: 6,
+            counters: StatsCounters {
+                disk_joules: 1234.5,
+                spin_ups: 3,
+                spin_downs: 4,
+                hits: 10,
+                misses: 2,
+                failovers: 5,
+                retries: 7,
+                hedges: 2,
+                hedges_won: 1,
+                breaker_trips: 1,
+                breaker_recoveries: 1,
+                deadline_misses: 0,
+                journal_replays: 2,
+                corruptions_detected: 6,
+                offered: 100,
+                admitted: 90,
+                rejected: 7,
+                shed: 3,
+                node_shed: 2,
+                completed: 85,
+                request_errors: 3,
+                brownout_transitions: 4,
+                queue_peak: 16,
+            },
         });
         roundtrip(Message::Shutdown);
         roundtrip(Message::Put {
             req_id: 12345,
             file: 8,
             client_port: 4242,
+            deadline_us: 0,
+            priority: 0,
         });
+        roundtrip(Message::Busy {
+            retry_after_us: 50_000,
+            level: 1,
+        });
+        roundtrip(Message::Shed {
+            req_id: 99,
+            code: 2,
+            level: 2,
+        });
+        roundtrip(Message::Brownout { level: 3 });
         roundtrip(Message::KillNode { node: 3 });
         roundtrip(Message::FailDisk { node: 1, disk: 0 });
         roundtrip(Message::RepairDisk { node: 1, disk: 0 });
@@ -734,17 +859,22 @@ mod tests {
             req_id: 42,
             file: 1,
             client_port: 2,
+            deadline_us: 0,
+            priority: 0,
         };
         assert_eq!(get.req_id(), Some(42));
-        // length prefix + tag + u64 req_id + u32 file + u16 port.
-        assert_eq!(get.encode().len(), 4 + 1 + 14);
+        // length prefix + tag + u64 req_id + u32 file + u16 port
+        // + u64 deadline + u8 priority.
+        assert_eq!(get.encode().len(), 4 + 1 + 23);
         let put = Message::Put {
             req_id: 43,
             file: 1,
             client_port: 2,
+            deadline_us: 0,
+            priority: 0,
         };
         assert_eq!(put.req_id(), Some(43));
-        assert_eq!(put.encode().len(), 4 + 1 + 14);
+        assert_eq!(put.encode().len(), 4 + 1 + 23);
         let fd = Message::FileData {
             req_id: 44,
             file: 1,
@@ -753,7 +883,22 @@ mod tests {
         assert_eq!(fd.req_id(), Some(44));
         // length prefix + tag + 20-byte header + payload.
         assert_eq!(fd.encode().len(), 4 + 1 + 20 + 3);
+        let shed = Message::Shed {
+            req_id: 45,
+            code: 1,
+            level: 2,
+        };
+        assert_eq!(shed.req_id(), Some(45));
+        assert_eq!(shed.encode().len(), 4 + 1 + 11);
         assert_eq!(Message::Ok.req_id(), None);
+        assert_eq!(
+            Message::Busy {
+                retry_after_us: 1,
+                level: 0
+            }
+            .req_id(),
+            None
+        );
     }
 
     #[test]
@@ -765,6 +910,8 @@ mod tests {
                 req_id: 9,
                 file: 1,
                 client_port: 1000,
+                deadline_us: 750_000,
+                priority: 2,
             },
             Message::FileData {
                 req_id: 9,
@@ -798,8 +945,8 @@ mod tests {
         ));
         // The first unassigned tag after the current protocol revision.
         assert!(matches!(
-            Message::decode(Bytes::from_static(&[19])),
-            Err(CodecError::UnknownTag(19))
+            Message::decode(Bytes::from_static(&[22])),
+            Err(CodecError::UnknownTag(22))
         ));
     }
 
@@ -863,20 +1010,38 @@ mod tests {
                     .prop_map(|files| Message::Prefetch { files }),
                 proptest::collection::vec((any::<u64>(), any::<u32>()), 0..64)
                     .prop_map(|pattern| Message::Hints { pattern }),
-                (any::<u64>(), any::<u32>(), any::<u16>()).prop_map(
-                    |(req_id, file, client_port)| Message::Get {
-                        req_id,
-                        file,
-                        client_port
-                    }
-                ),
-                (any::<u64>(), any::<u32>(), any::<u16>()).prop_map(
-                    |(req_id, file, client_port)| Message::Put {
-                        req_id,
-                        file,
-                        client_port
-                    }
-                ),
+                (
+                    any::<u64>(),
+                    any::<u32>(),
+                    any::<u16>(),
+                    any::<u64>(),
+                    any::<u8>()
+                )
+                    .prop_map(
+                        |(req_id, file, client_port, deadline_us, priority)| Message::Get {
+                            req_id,
+                            file,
+                            client_port,
+                            deadline_us,
+                            priority
+                        }
+                    ),
+                (
+                    any::<u64>(),
+                    any::<u32>(),
+                    any::<u16>(),
+                    any::<u64>(),
+                    any::<u8>()
+                )
+                    .prop_map(
+                        |(req_id, file, client_port, deadline_us, priority)| Message::Put {
+                            req_id,
+                            file,
+                            client_port,
+                            deadline_us,
+                            priority
+                        }
+                    ),
                 any::<u32>().prop_map(|node| Message::KillNode { node }),
                 (any::<u32>(), any::<u32>())
                     .prop_map(|(node, disk)| Message::FailDisk { node, disk }),
@@ -903,24 +1068,27 @@ mod tests {
                 Just(Message::StatsRequest),
                 (
                     any::<f64>().prop_filter("finite", |f| f.is_finite()),
-                    proptest::collection::vec(any::<u64>(), 13usize)
+                    proptest::collection::vec(any::<u64>(), StatsCounters::U64_FIELDS)
                 )
-                    .prop_map(|(disk_joules, c)| Message::Stats {
-                        disk_joules,
-                        spin_ups: c[0],
-                        spin_downs: c[1],
-                        hits: c[2],
-                        misses: c[3],
-                        failovers: c[4],
-                        retries: c[5],
-                        hedges: c[6],
-                        hedges_won: c[7],
-                        breaker_trips: c[8],
-                        breaker_recoveries: c[9],
-                        deadline_misses: c[10],
-                        journal_replays: c[11],
-                        corruptions_detected: c[12],
+                    .prop_map(|(disk_joules, c)| {
+                        let mut fields = [0u64; StatsCounters::U64_FIELDS];
+                        fields.copy_from_slice(&c);
+                        Message::Stats {
+                            counters: StatsCounters::from_u64_fields(disk_joules, fields),
+                        }
                     }),
+                (any::<u64>(), any::<u8>()).prop_map(|(retry_after_us, level)| Message::Busy {
+                    retry_after_us,
+                    level
+                }),
+                (any::<u64>(), any::<u16>(), any::<u8>()).prop_map(|(req_id, code, level)| {
+                    Message::Shed {
+                        req_id,
+                        code,
+                        level,
+                    }
+                }),
+                any::<u8>().prop_map(|level| Message::Brownout { level }),
                 Just(Message::Shutdown),
             ]
         }

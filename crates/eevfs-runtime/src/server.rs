@@ -15,7 +15,8 @@
 //! interpreted as **wall-clock** durations here; the default options
 //! reproduce the historical fail-fast behaviour exactly.
 
-use crate::proto::{read_message, write_message, CodecError, Message};
+use crate::admission::{shed_code, AdmissionGate, AdmitError, GateCounters, OverloadOptions};
+use crate::proto::{read_message, write_message, CodecError, Message, StatsCounters};
 use crate::transport::{FaultyTransport, SendError};
 use eevfs::config::PlacementPolicy;
 use eevfs::journal::{encode, JournalRecord, MetaState};
@@ -26,6 +27,7 @@ use sim_core::{SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -68,6 +70,25 @@ pub struct ClusterStats {
     pub journal_replays: u64,
     /// Checksum mismatches nodes caught on data-disk reads.
     pub corruptions_detected: u64,
+    /// Requests offered to the server's admission gate.
+    pub offered: u64,
+    /// Requests admitted past the gate.
+    pub admitted: u64,
+    /// Requests refused at admission with `Busy`.
+    pub rejected: u64,
+    /// Requests shed pre-admission (deadline or priority).
+    pub shed: u64,
+    /// Admitted requests shed after admission: a node refused them under
+    /// brownout, or the deadline budget drained while queued.
+    pub node_shed: u64,
+    /// Admitted requests answered with a terminal non-error reply.
+    pub completed: u64,
+    /// Admitted requests that ended in an error reply.
+    pub request_errors: u64,
+    /// Brownout-ladder level changes, either direction.
+    pub brownout_transitions: u64,
+    /// Peak concurrent admitted requests at the server.
+    pub queue_peak: u64,
 }
 
 impl std::ops::Sub for ClusterStats {
@@ -94,6 +115,79 @@ impl std::ops::Sub for ClusterStats {
             corruptions_detected: self
                 .corruptions_detected
                 .saturating_sub(earlier.corruptions_detected),
+            offered: self.offered.saturating_sub(earlier.offered),
+            admitted: self.admitted.saturating_sub(earlier.admitted),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            shed: self.shed.saturating_sub(earlier.shed),
+            node_shed: self.node_shed.saturating_sub(earlier.node_shed),
+            completed: self.completed.saturating_sub(earlier.completed),
+            request_errors: self.request_errors.saturating_sub(earlier.request_errors),
+            brownout_transitions: self
+                .brownout_transitions
+                .saturating_sub(earlier.brownout_transitions),
+            // Peaks are high-water marks, not monotone counters; a window
+            // difference is meaningless, so keep the later snapshot's.
+            queue_peak: self.queue_peak,
+        }
+    }
+}
+
+impl ClusterStats {
+    /// Wire form for a client-facing `Stats` reply.
+    pub fn to_counters(self) -> StatsCounters {
+        StatsCounters {
+            disk_joules: self.disk_joules,
+            spin_ups: self.spin_ups,
+            spin_downs: self.spin_downs,
+            hits: self.hits,
+            misses: self.misses,
+            failovers: self.failovers,
+            retries: self.retries,
+            hedges: self.hedges,
+            hedges_won: self.hedges_won,
+            breaker_trips: self.breaker_trips,
+            breaker_recoveries: self.breaker_recoveries,
+            deadline_misses: self.deadline_misses,
+            journal_replays: self.journal_replays,
+            corruptions_detected: self.corruptions_detected,
+            offered: self.offered,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            shed: self.shed,
+            node_shed: self.node_shed,
+            completed: self.completed,
+            request_errors: self.request_errors,
+            brownout_transitions: self.brownout_transitions,
+            queue_peak: self.queue_peak,
+        }
+    }
+
+    /// Rebuilds cluster stats from a `Stats` reply's counters.
+    pub fn from_counters(c: StatsCounters) -> ClusterStats {
+        ClusterStats {
+            disk_joules: c.disk_joules,
+            spin_ups: c.spin_ups,
+            spin_downs: c.spin_downs,
+            hits: c.hits,
+            misses: c.misses,
+            failovers: c.failovers,
+            retries: c.retries,
+            hedges: c.hedges,
+            hedges_won: c.hedges_won,
+            breaker_trips: c.breaker_trips,
+            breaker_recoveries: c.breaker_recoveries,
+            deadline_misses: c.deadline_misses,
+            journal_replays: c.journal_replays,
+            corruptions_detected: c.corruptions_detected,
+            offered: c.offered,
+            admitted: c.admitted,
+            rejected: c.rejected,
+            shed: c.shed,
+            node_shed: c.node_shed,
+            completed: c.completed,
+            request_errors: c.request_errors,
+            brownout_transitions: c.brownout_transitions,
+            queue_peak: c.queue_peak,
         }
     }
 }
@@ -148,6 +242,9 @@ pub struct ResilienceOptions {
     /// the file → node map from it after a server crash; identical
     /// trace + config produce byte-identical journals.
     pub placement_journal: Option<PathBuf>,
+    /// Overload control plane: admission gate + brownout ladder. The
+    /// default is disabled (legacy unbounded admission).
+    pub overload: OverloadOptions,
 }
 
 impl Default for ResilienceOptions {
@@ -159,6 +256,7 @@ impl Default for ResilienceOptions {
             profile: LinkFaultProfile::none(),
             spans: None,
             placement_journal: None,
+            overload: OverloadOptions::default(),
         }
     }
 }
@@ -212,6 +310,13 @@ struct ServerState {
     hedges: u64,
     hedges_won: u64,
     deadline_misses: u64,
+    /// Admitted-side ledger: `admitted == completed + node_shed +
+    /// request_errors` once the cluster is quiescent.
+    completed: u64,
+    node_shed: u64,
+    request_errors: u64,
+    /// Last brownout level broadcast to the nodes.
+    brownout_level: u8,
 }
 
 impl ServerState {
@@ -378,7 +483,7 @@ impl ServerState {
                 Err(last) => {
                     let give_up = |state: &mut ServerState| {
                         state.deadline_misses += 1;
-                        last.unwrap_or(Message::Err { code: 2 })
+                        last.map_or(Message::Err { code: 2 }, |b| *b)
                     };
                     let Some(delay) = schedule.delay(retry) else {
                         return give_up(self);
@@ -401,7 +506,11 @@ impl ServerState {
     /// One pass over the healthy, breaker-admitted copies. `Ok` carries a
     /// terminal reply; `Err` means every copy failed transiently (with
     /// the last node-level error, if any, for the give-up reply).
-    fn route_once(&mut self, msg: &Message, started: Instant) -> Result<Message, Option<Message>> {
+    fn route_once(
+        &mut self,
+        msg: &Message,
+        started: Instant,
+    ) -> Result<Message, Option<Box<Message>>> {
         let (file, is_read) = match msg {
             Message::Get { file, .. } => (*file, true),
             Message::Put { file, .. } => (*file, false),
@@ -438,10 +547,17 @@ impl ServerState {
                 }) => {
                     // This copy cannot serve (failed disk, lost file);
                     // transient from the route's point of view.
-                    last = Some(Message::Err { code });
+                    last = Some(Box::new(Message::Err { code }));
                 }
                 Ok(reply) => {
-                    if node != copies[0].0 && !matches!(reply, Message::Err { .. }) {
+                    // Busy/Shed are terminal refusals, not served data: a
+                    // backup refusing under brownout is no failover.
+                    if node != copies[0].0
+                        && !matches!(
+                            reply,
+                            Message::Err { .. } | Message::Busy { .. } | Message::Shed { .. }
+                        )
+                    {
                         self.failovers += 1;
                     }
                     self.span(node as u32, SpanKind::Complete);
@@ -627,7 +743,27 @@ impl ServerState {
         Ok(())
     }
 
-    fn collect_stats(&mut self) -> Result<ClusterStats, CodecError> {
+    /// Lazily broadcasts a changed brownout level to every routable node
+    /// (bypassing fault injection — losing a control broadcast to an
+    /// injected drop would desynchronise the cluster's degradation
+    /// state). Nodes that cannot be reached drop out of routing, exactly
+    /// as they would on the next forwarded request.
+    fn sync_brownout(&mut self, level: u8) {
+        if level == self.brownout_level {
+            return;
+        }
+        for node in 0..self.links.len() {
+            if !self.node_up[node] {
+                continue;
+            }
+            if self.rpc(node, &Message::Brownout { level }).is_err() {
+                self.node_up[node] = false;
+            }
+        }
+        self.brownout_level = level;
+    }
+
+    fn collect_stats(&mut self, gate: GateCounters) -> Result<ClusterStats, CodecError> {
         let mut total = ClusterStats {
             failovers: self.failovers,
             retries: self.retries,
@@ -636,6 +772,15 @@ impl ServerState {
             breaker_trips: self.breakers.iter().map(|b| b.trips()).sum(),
             breaker_recoveries: self.breakers.iter().map(|b| b.recoveries()).sum(),
             deadline_misses: self.deadline_misses,
+            offered: gate.offered,
+            admitted: gate.admitted,
+            rejected: gate.rejected,
+            shed: gate.shed,
+            node_shed: self.node_shed,
+            completed: self.completed,
+            request_errors: self.request_errors,
+            brownout_transitions: gate.brownout_transitions,
+            queue_peak: gate.queue_peak,
             ..ClusterStats::default()
         };
         for node in 0..self.links.len() {
@@ -736,6 +881,10 @@ impl ServerDaemon {
             hedges: 0,
             hedges_won: 0,
             deadline_misses: 0,
+            completed: 0,
+            node_shed: 0,
+            request_errors: 0,
+            brownout_level: 0,
         };
         state
             .setup(
@@ -749,104 +898,27 @@ impl ServerDaemon {
 
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
+        let shared = Arc::new(SharedServer {
+            state: Mutex::new(state),
+            gate: Mutex::new(AdmissionGate::new(opts.overload)),
+            shutting_down: AtomicBool::new(false),
+        });
         let handle = std::thread::Builder::new()
             .name("eevfs-server".into())
             .spawn(move || {
-                'outer: for stream in listener.incoming() {
-                    let Ok(mut stream) = stream else { continue };
-                    while let Ok(msg) = read_message(&mut stream) {
-                        let reply = match msg {
-                            msg @ (Message::Get { .. } | Message::Put { .. }) => state.route(msg),
-                            Message::StatsRequest => match state.collect_stats() {
-                                Ok(s) => Message::Stats {
-                                    disk_joules: s.disk_joules,
-                                    spin_ups: s.spin_ups,
-                                    spin_downs: s.spin_downs,
-                                    hits: s.hits,
-                                    misses: s.misses,
-                                    failovers: s.failovers,
-                                    retries: s.retries,
-                                    hedges: s.hedges,
-                                    hedges_won: s.hedges_won,
-                                    breaker_trips: s.breaker_trips,
-                                    breaker_recoveries: s.breaker_recoveries,
-                                    deadline_misses: s.deadline_misses,
-                                    journal_replays: s.journal_replays,
-                                    corruptions_detected: s.corruptions_detected,
-                                },
-                                Err(_) => Message::Err { code: 2 },
-                            },
-                            Message::KillNode { node } => {
-                                let n = node as usize;
-                                if n < state.links.len() {
-                                    // Best effort: the node acks Shutdown
-                                    // and its thread exits. Routing skips
-                                    // it from here on.
-                                    let _ = state.rpc(n, &Message::Shutdown);
-                                    state.node_up[n] = false;
-                                    Message::Ok
-                                } else {
-                                    Message::Err { code: 3 }
-                                }
-                            }
-                            msg @ (Message::PartitionLink { .. } | Message::HealLink { .. }) => {
-                                let (node, up) = match msg {
-                                    Message::PartitionLink { node } => (node as usize, false),
-                                    Message::HealLink { node } => (node as usize, true),
-                                    _ => unreachable!(),
-                                };
-                                if node < state.links.len() {
-                                    state.injector.set_link(node, up);
-                                    Message::Ok
-                                } else {
-                                    Message::Err { code: 3 }
-                                }
-                            }
-                            msg @ (Message::FailDisk { .. } | Message::RepairDisk { .. }) => {
-                                let node = match msg {
-                                    Message::FailDisk { node, .. }
-                                    | Message::RepairDisk { node, .. } => node as usize,
-                                    _ => unreachable!(),
-                                };
-                                if node < state.links.len() && state.node_up[node] {
-                                    state.rpc(node, &msg).unwrap_or(Message::Err { code: 2 })
-                                } else {
-                                    Message::Err { code: 3 }
-                                }
-                            }
-                            Message::ReviveNode { node, port } => {
-                                let n = node as usize;
-                                if n < state.links.len() {
-                                    match state.revive(n, port) {
-                                        Ok(()) => Message::Ok,
-                                        Err(_) => Message::Err { code: 2 },
-                                    }
-                                } else {
-                                    Message::Err { code: 3 }
-                                }
-                            }
-                            Message::Register { node, port } => {
-                                let n = node as usize;
-                                if n < state.links.len() {
-                                    match state.register(n, port) {
-                                        Ok(()) => Message::Ok,
-                                        Err(_) => Message::Err { code: 2 },
-                                    }
-                                } else {
-                                    Message::Err { code: 3 }
-                                }
-                            }
-                            Message::Shutdown => {
-                                state.shutdown_nodes();
-                                let _ = write_message(&mut stream, &Message::Shutdown);
-                                break 'outer;
-                            }
-                            _ => Message::Err { code: 3 },
-                        };
-                        if write_message(&mut stream, &reply).is_err() {
-                            break;
-                        }
+                for stream in listener.incoming() {
+                    if shared.shutting_down.load(Ordering::SeqCst) {
+                        break;
                     }
+                    let Ok(stream) = stream else { continue };
+                    // Thread-per-connection: concurrency is bounded by the
+                    // admission gate, not by the accept loop — a refused
+                    // request gets its Busy/Shed reply without ever
+                    // waiting on the routing lock.
+                    let conn_shared = Arc::clone(&shared);
+                    let _ = std::thread::Builder::new()
+                        .name("eevfs-server-conn".into())
+                        .spawn(move || serve_connection(&conn_shared, stream, addr));
                 }
             })?;
         Ok(ServerDaemon { addr, handle })
@@ -855,6 +927,251 @@ impl ServerDaemon {
     /// Waits for the server thread to exit.
     pub fn join(self) {
         let _ = self.handle.join();
+    }
+}
+
+/// Shared server context: routing state, the admission gate (under its
+/// own lock, so admission refusals never wait on a routing pass), and the
+/// shutdown latch.
+struct SharedServer {
+    state: Mutex<ServerState>,
+    gate: Mutex<AdmissionGate>,
+    shutting_down: AtomicBool,
+}
+
+/// Mutex lock that survives a poisoned peer: a panicked handler thread
+/// must not wedge every other connection.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Suggested client retry delay quoted in server-side `Busy` replies.
+const SERVER_RETRY_AFTER_US: u64 = 5_000;
+
+/// Serves one client connection until it closes or the cluster shuts
+/// down. Admitted `Get`/`Put` requests serialise on the routing lock —
+/// the runtime analogue of the simulated server's serial service queue —
+/// while admission decisions take only the gate lock.
+fn serve_connection(shared: &SharedServer, mut stream: TcpStream, self_addr: SocketAddr) {
+    while let Ok(msg) = read_message(&mut stream) {
+        let arrived = Instant::now();
+        let reply = match msg {
+            msg @ (Message::Get { .. } | Message::Put { .. }) => {
+                route_admitted(shared, msg, arrived)
+            }
+            Message::StatsRequest => {
+                let gate = lock(&shared.gate).counters;
+                match lock(&shared.state).collect_stats(gate) {
+                    Ok(s) => Message::Stats {
+                        counters: s.to_counters(),
+                    },
+                    Err(_) => Message::Err { code: 2 },
+                }
+            }
+            Message::KillNode { node } => {
+                let n = node as usize;
+                let mut state = lock(&shared.state);
+                if n < state.links.len() {
+                    // Best effort: the node acks Shutdown and its thread
+                    // exits. Routing skips it from here on.
+                    let _ = state.rpc(n, &Message::Shutdown);
+                    state.node_up[n] = false;
+                    Message::Ok
+                } else {
+                    Message::Err { code: 3 }
+                }
+            }
+            msg @ (Message::PartitionLink { .. } | Message::HealLink { .. }) => {
+                let (node, up) = match msg {
+                    Message::PartitionLink { node } => (node as usize, false),
+                    Message::HealLink { node } => (node as usize, true),
+                    _ => unreachable!(),
+                };
+                let mut state = lock(&shared.state);
+                if node < state.links.len() {
+                    state.injector.set_link(node, up);
+                    Message::Ok
+                } else {
+                    Message::Err { code: 3 }
+                }
+            }
+            msg @ (Message::FailDisk { .. } | Message::RepairDisk { .. }) => {
+                let node = match msg {
+                    Message::FailDisk { node, .. } | Message::RepairDisk { node, .. } => {
+                        node as usize
+                    }
+                    _ => unreachable!(),
+                };
+                let mut state = lock(&shared.state);
+                if node < state.links.len() && state.node_up[node] {
+                    state.rpc(node, &msg).unwrap_or(Message::Err { code: 2 })
+                } else {
+                    Message::Err { code: 3 }
+                }
+            }
+            Message::ReviveNode { node, port } => {
+                let n = node as usize;
+                let mut state = lock(&shared.state);
+                if n < state.links.len() {
+                    match state.revive(n, port) {
+                        Ok(()) => Message::Ok,
+                        Err(_) => Message::Err { code: 2 },
+                    }
+                } else {
+                    Message::Err { code: 3 }
+                }
+            }
+            Message::Register { node, port } => {
+                let n = node as usize;
+                let mut state = lock(&shared.state);
+                if n < state.links.len() {
+                    match state.register(n, port) {
+                        Ok(()) => Message::Ok,
+                        Err(_) => Message::Err { code: 2 },
+                    }
+                } else {
+                    Message::Err { code: 3 }
+                }
+            }
+            Message::Shutdown => {
+                shared.shutting_down.store(true, Ordering::SeqCst);
+                lock(&shared.state).shutdown_nodes();
+                let _ = write_message(&mut stream, &Message::Shutdown);
+                // Unblock the accept loop so the daemon thread exits.
+                let _ = TcpStream::connect(self_addr);
+                return;
+            }
+            _ => Message::Err { code: 3 },
+        };
+        if write_message(&mut stream, &reply).is_err() {
+            break;
+        }
+    }
+}
+
+/// Step 5 under the overload control plane: admission, hop-by-hop
+/// deadline shrinking, brownout broadcast, routing, and the
+/// admitted-side ledger classification of the reply.
+fn route_admitted(shared: &SharedServer, msg: Message, arrived: Instant) -> Message {
+    let req_id = msg.req_id().unwrap_or(0);
+    let priority = match &msg {
+        Message::Get { priority, .. } | Message::Put { priority, .. } => *priority,
+        _ => 3,
+    };
+    let level = {
+        let mut gate = lock(&shared.gate);
+        match gate.try_admit(priority) {
+            Ok(()) => gate.level(),
+            Err(AdmitError::Busy) => {
+                return Message::Busy {
+                    retry_after_us: SERVER_RETRY_AFTER_US,
+                    level: gate.level(),
+                }
+            }
+            Err(AdmitError::PriorityShed) => {
+                return Message::Shed {
+                    req_id,
+                    code: shed_code::PRIORITY,
+                    level: gate.level(),
+                }
+            }
+        }
+    };
+    let reply = {
+        let mut state = lock(&shared.state);
+        state.sync_brownout(level);
+        match shrink_deadline(msg, arrived) {
+            Err(req_id) => {
+                // The budget drained while queued for the routing lock.
+                state.deadline_misses += 1;
+                state.node_shed += 1;
+                Message::Shed {
+                    req_id,
+                    code: shed_code::DEADLINE,
+                    level,
+                }
+            }
+            Ok(msg) => match state.route(msg) {
+                // A node refusing under brownout becomes a typed Shed so
+                // the client can tell "degraded, don't retry here" from
+                // "server full, back off and retry".
+                Message::Busy {
+                    level: node_level, ..
+                } => {
+                    state.node_shed += 1;
+                    Message::Shed {
+                        req_id,
+                        code: shed_code::DOWNSTREAM,
+                        level: node_level,
+                    }
+                }
+                reply @ Message::Shed { .. } => {
+                    state.node_shed += 1;
+                    reply
+                }
+                reply @ Message::Err { .. } => {
+                    state.request_errors += 1;
+                    reply
+                }
+                reply => {
+                    state.completed += 1;
+                    reply
+                }
+            },
+        }
+    };
+    lock(&shared.gate).release();
+    reply
+}
+
+/// Shrinks a request's deadline budget by the time it has already spent
+/// inside this server (admission plus routing-lock wait). `Err` carries
+/// the request id of an already-expired budget. At least 1 us is always
+/// charged: truncating a sub-microsecond hop to zero would let a 1 us
+/// budget ride through for free on a fast enough machine, making the
+/// shed/serve outcome depend on host speed instead of the budget.
+fn shrink_deadline(msg: Message, arrived: Instant) -> Result<Message, u64> {
+    let elapsed = (arrived.elapsed().as_micros() as u64).max(1);
+    match msg {
+        Message::Get {
+            req_id,
+            file,
+            client_port,
+            deadline_us,
+            priority,
+        } if deadline_us > 0 => {
+            if elapsed >= deadline_us {
+                Err(req_id)
+            } else {
+                Ok(Message::Get {
+                    req_id,
+                    file,
+                    client_port,
+                    deadline_us: deadline_us - elapsed,
+                    priority,
+                })
+            }
+        }
+        Message::Put {
+            req_id,
+            file,
+            client_port,
+            deadline_us,
+            priority,
+        } if deadline_us > 0 => {
+            if elapsed >= deadline_us {
+                Err(req_id)
+            } else {
+                Ok(Message::Put {
+                    req_id,
+                    file,
+                    client_port,
+                    deadline_us: deadline_us - elapsed,
+                    priority,
+                })
+            }
+        }
+        other => Ok(other),
     }
 }
 

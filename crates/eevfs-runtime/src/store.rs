@@ -190,6 +190,9 @@ impl FileStore {
     }
 }
 
+// The tests return `io::Result` and propagate failures with `?` instead
+// of unwrap/expect, keeping the crate-level `clippy::unwrap_used` gate
+// clean without an allow on this module.
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +205,18 @@ mod tests {
         ));
         let _ = fs::remove_dir_all(&dir);
         dir
+    }
+
+    /// Asserts an operation failed with [`io::ErrorKind::InvalidData`],
+    /// surfacing anything else as the test's own typed error.
+    fn expect_invalid<T>(r: io::Result<T>, what: &str) -> io::Result<()> {
+        match r {
+            Ok(_) => Err(io::Error::other(format!("{what}: expected InvalidData"))),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => Ok(()),
+            Err(e) => Err(io::Error::other(format!(
+                "{what}: expected InvalidData, got {e}"
+            ))),
+        }
     }
 
     #[test]
@@ -222,77 +237,80 @@ mod tests {
     }
 
     #[test]
-    fn create_read_roundtrip() {
-        let store = FileStore::create(tmp(), 2).expect("create store");
-        store.create_file(1, 42, 4096).expect("create file");
-        let data = store.read_data(1, 42).expect("read");
+    fn create_read_roundtrip() -> io::Result<()> {
+        let store = FileStore::create(tmp(), 2)?;
+        store.create_file(1, 42, 4096)?;
+        let data = store.read_data(1, 42)?;
         assert_eq!(data.len(), 4096);
         assert!(verify_pattern(42, &data));
         assert_eq!(store.data_size(1, 42), Some(4096));
         assert_eq!(store.data_size(0, 42), None);
         let _ = fs::remove_dir_all(store.root());
+        Ok(())
     }
 
     #[test]
-    fn prefetch_copies_into_buffer() {
-        let store = FileStore::create(tmp(), 1).expect("create store");
-        store.create_file(0, 7, 1024).expect("create");
+    fn prefetch_copies_into_buffer() -> io::Result<()> {
+        let store = FileStore::create(tmp(), 1)?;
+        store.create_file(0, 7, 1024)?;
         assert!(!store.in_buffer(7));
-        let copied = store.prefetch(0, 7).expect("prefetch");
+        let copied = store.prefetch(0, 7)?;
         assert_eq!(copied, 1024);
         assert!(store.in_buffer(7));
-        let data = store.read_buffer(7).expect("read buffer");
+        let data = store.read_buffer(7)?;
         assert!(verify_pattern(7, &data));
         let _ = fs::remove_dir_all(store.root());
+        Ok(())
     }
 
     #[test]
-    fn client_writes_roundtrip() {
-        let store = FileStore::create(tmp(), 1).expect("create store");
-        store.create_file(0, 3, 64).expect("create");
+    fn client_writes_roundtrip() -> io::Result<()> {
+        let store = FileStore::create(tmp(), 1)?;
+        store.create_file(0, 3, 64)?;
         let payload = vec![0xABu8; 64];
-        store.write_buffer_file(3, &payload).expect("buffer write");
-        assert_eq!(store.read_buffer(3).expect("read"), payload);
-        store.write_data(0, 3, &payload).expect("data write");
-        assert_eq!(store.read_data(0, 3).expect("read"), payload);
+        store.write_buffer_file(3, &payload)?;
+        assert_eq!(store.read_buffer(3)?, payload);
+        store.write_data(0, 3, &payload)?;
+        assert_eq!(store.read_data(0, 3)?, payload);
         let _ = fs::remove_dir_all(store.root());
+        Ok(())
     }
 
     #[test]
-    fn corruption_is_detected_on_read() {
-        let store = FileStore::create(tmp(), 1).expect("create store");
-        store.create_file(0, 5, 2048).expect("create");
+    fn corruption_is_detected_on_read() -> io::Result<()> {
+        let store = FileStore::create(tmp(), 1)?;
+        store.create_file(0, 5, 2048)?;
         assert!(store.read_data(0, 5).is_ok());
-        store.corrupt_data(0, 5, 1024).expect("corrupt");
-        let err = store.read_data(0, 5).expect_err("must detect");
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        store.corrupt_data(0, 5, 1024)?;
+        expect_invalid(store.read_data(0, 5), "read of corrupt file")?;
         // Prefetch of the corrupt file is refused too, so the damage is
         // never promoted into the buffer area.
-        let err = store.prefetch(0, 5).expect_err("prefetch must detect");
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        expect_invalid(store.prefetch(0, 5), "prefetch of corrupt file")?;
         assert!(!store.in_buffer(5));
         // An overwrite refreshes the sidecar and clears the condition.
         let payload = file_pattern(5, 2048);
-        store.write_data(0, 5, &payload).expect("rewrite");
-        assert_eq!(store.read_data(0, 5).expect("read"), payload);
+        store.write_data(0, 5, &payload)?;
+        assert_eq!(store.read_data(0, 5)?, payload);
         let _ = fs::remove_dir_all(store.root());
+        Ok(())
     }
 
     #[test]
-    fn missing_sidecar_is_invalid_data() {
-        let store = FileStore::create(tmp(), 1).expect("create store");
-        store.create_file(0, 6, 128).expect("create");
-        fs::remove_file(store.crc_path(0, 6)).expect("drop sidecar");
-        let err = store.read_data(0, 6).expect_err("must refuse");
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    fn missing_sidecar_is_invalid_data() -> io::Result<()> {
+        let store = FileStore::create(tmp(), 1)?;
+        store.create_file(0, 6, 128)?;
+        fs::remove_file(store.crc_path(0, 6))?;
+        expect_invalid(store.read_data(0, 6), "read without sidecar")?;
         let _ = fs::remove_dir_all(store.root());
+        Ok(())
     }
 
     #[test]
-    fn missing_file_is_io_error() {
-        let store = FileStore::create(tmp(), 1).expect("create store");
+    fn missing_file_is_io_error() -> io::Result<()> {
+        let store = FileStore::create(tmp(), 1)?;
         assert!(store.read_data(0, 999).is_err());
         assert!(store.read_buffer(999).is_err());
         let _ = fs::remove_dir_all(store.root());
+        Ok(())
     }
 }

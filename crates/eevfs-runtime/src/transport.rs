@@ -54,6 +54,15 @@ impl std::fmt::Display for SendError {
     }
 }
 
+impl std::error::Error for SendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SendError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// One node's control connection, with fault injection on the send path.
 pub struct FaultyTransport {
     conn: TcpStream,
@@ -163,39 +172,53 @@ impl FaultyTransport {
     }
 }
 
+// The tests return `Result` and propagate failures with `?` instead of
+// unwrap/expect, keeping the crate-level `clippy::unwrap_used` gate clean
+// without an allow on this module.
 #[cfg(test)]
 mod tests {
     use super::*;
     use fault_model::{LinkFaultProfile, NetFaultPlan};
     use std::net::TcpListener;
 
-    fn pair() -> (TcpStream, TcpStream) {
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let addr = listener.local_addr().expect("addr");
-        let a = TcpStream::connect(addr).expect("connect");
-        let (b, _) = listener.accept().expect("accept");
-        (a, b)
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn pair() -> io::Result<(TcpStream, TcpStream)> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let a = TcpStream::connect(addr)?;
+        let (b, _) = listener.accept()?;
+        Ok((a, b))
     }
 
     fn perfect(links: usize) -> NetFaultInjector {
         NetFaultInjector::new(LinkFaultProfile::none(), NetFaultPlan::none(), links)
     }
 
-    #[test]
-    fn deliver_roundtrips() {
-        let (client, mut server) = pair();
-        let mut t = FaultyTransport::new(client, 0);
-        let mut inj = perfect(1);
-        t.send(&mut inj, &Message::Ok, Duration::from_secs(1))
-            .expect("send");
-        assert_eq!(read_message(&mut server).expect("read"), Message::Ok);
-        write_message(&mut server, &Message::Ok).expect("reply");
-        assert_eq!(t.recv().expect("recv"), Message::Ok);
+    /// Unwraps `recv_timeout`'s inner option, turning "no frame arrived"
+    /// into a typed error instead of a panic.
+    fn must_arrive(got: Option<Message>) -> Result<Message, CodecError> {
+        got.ok_or(CodecError::Unexpected {
+            expected: "a frame before the timeout",
+            got: "silence",
+        })
     }
 
     #[test]
-    fn partitioned_link_drops_without_writing() {
-        let (client, mut server) = pair();
+    fn deliver_roundtrips() -> TestResult {
+        let (client, mut server) = pair()?;
+        let mut t = FaultyTransport::new(client, 0);
+        let mut inj = perfect(1);
+        t.send(&mut inj, &Message::Ok, Duration::from_secs(1))?;
+        assert_eq!(read_message(&mut server)?, Message::Ok);
+        write_message(&mut server, &Message::Ok)?;
+        assert_eq!(t.recv()?, Message::Ok);
+        Ok(())
+    }
+
+    #[test]
+    fn partitioned_link_drops_without_writing() -> TestResult {
+        let (client, mut server) = pair()?;
         let mut t = FaultyTransport::new(client, 0);
         let mut inj = perfect(1);
         inj.set_link(0, false);
@@ -205,41 +228,34 @@ mod tests {
         ));
         // Nothing reached the peer: a heal and resend pairs up cleanly.
         inj.set_link(0, true);
-        t.send(&mut inj, &Message::StatsRequest, Duration::from_secs(1))
-            .expect("send after heal");
-        assert_eq!(
-            read_message(&mut server).expect("read"),
-            Message::StatsRequest
-        );
+        t.send(&mut inj, &Message::StatsRequest, Duration::from_secs(1))?;
+        assert_eq!(read_message(&mut server)?, Message::StatsRequest);
+        Ok(())
     }
 
     #[test]
-    fn recv_timeout_returns_none_then_the_frame() {
-        let (client, mut server) = pair();
+    fn recv_timeout_returns_none_then_the_frame() -> TestResult {
+        let (client, mut server) = pair()?;
         let mut t = FaultyTransport::new(client, 0);
-        assert!(t
-            .recv_timeout(Duration::from_millis(10))
-            .expect("timeout")
-            .is_none());
-        write_message(&mut server, &Message::Err { code: 7 }).expect("write");
-        let got = t
-            .recv_timeout(Duration::from_millis(500))
-            .expect("recv")
-            .expect("frame");
+        assert!(t.recv_timeout(Duration::from_millis(10))?.is_none());
+        write_message(&mut server, &Message::Err { code: 7 })?;
+        let got = must_arrive(t.recv_timeout(Duration::from_millis(500))?)?;
         assert_eq!(got, Message::Err { code: 7 });
+        Ok(())
     }
 
     #[test]
-    fn abandoned_replies_are_drained_before_the_next_exchange() {
-        let (client, mut server) = pair();
+    fn abandoned_replies_are_drained_before_the_next_exchange() -> TestResult {
+        let (client, mut server) = pair()?;
         let mut t = FaultyTransport::new(client, 0);
         // Two stale replies sit on the wire (a lost hedge race).
-        write_message(&mut server, &Message::Ok).expect("stale 1");
-        write_message(&mut server, &Message::Ok).expect("stale 2");
+        write_message(&mut server, &Message::Ok)?;
+        write_message(&mut server, &Message::Ok)?;
         t.abandon_reply();
         t.abandon_reply();
         // The real answer follows; recv must skip the stale ones.
-        write_message(&mut server, &Message::Err { code: 9 }).expect("real");
-        assert_eq!(t.recv().expect("recv"), Message::Err { code: 9 });
+        write_message(&mut server, &Message::Err { code: 9 })?;
+        assert_eq!(t.recv()?, Message::Err { code: 9 });
+        Ok(())
     }
 }

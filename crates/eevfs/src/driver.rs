@@ -33,8 +33,10 @@ use crate::config::{BufferPolicy, ClusterSpec, EevfsConfig, ReplicaSelection};
 use crate::journal::{Journal, JournalRecord};
 use crate::metadata::ServerMetadata;
 use crate::metrics::{
-    DurabilityStats, NodeMetrics, PrefetchStats, ResilienceStats, ResponseStats, RunMetrics,
+    DurabilityStats, NodeMetrics, OverloadStats, PrefetchStats, ResilienceStats, ResponseStats,
+    RunMetrics,
 };
+use crate::overload::AdmissionGate;
 use crate::placement::{place, PlacementPlan};
 use crate::power::{DiskPredictor, PowerManager, SleepDecision};
 use crate::prefetch::{plan_topk, predict_benefit, PrefetchPlan};
@@ -98,7 +100,26 @@ struct ReqState {
     /// A hedge has been armed for this request (at most one per request).
     hedge_armed: bool,
     response_s: Option<f64>,
+    /// Request priority (0 = lowest), cycling 0–3 by trace index — the
+    /// same assignment the runtime load generator stamps, so L2 sheds
+    /// the same half of the traffic in both worlds.
+    priority: u8,
+    /// Holds an admission-gate slot (released when the response lands).
+    gate_admitted: bool,
+    /// Refused by the overload control plane — the "response" is the
+    /// refusal, excluded from latency samples.
+    overload_dropped: bool,
+    /// Post-admission ledger class, written at the terminal site:
+    /// [`OUTCOME_COMPLETED`], [`OUTCOME_NODE_SHED`], or [`OUTCOME_FAILED`].
+    overload_outcome: u8,
 }
+
+/// Admitted and served: counts into `OverloadStats::completed`.
+const OUTCOME_COMPLETED: u8 = 0;
+/// Admitted but refused by the node under brownout (buffer miss at L1+).
+const OUTCOME_NODE_SHED: u8 = 1;
+/// Admitted but failed downstream (route/retry budget exhausted).
+const OUTCOME_FAILED: u8 = 2;
 
 /// Live observability capture for one run. `None` on unobserved paths,
 /// which therefore pay nothing beyond an `Option` check per site.
@@ -249,6 +270,16 @@ struct ClusterSim {
     /// path with DRAM/SSD tier lookups; `None` leaves the legacy paths
     /// bit-identical.
     plane: Option<PolicyPlane>,
+    /// Overload control plane — the *same* [`AdmissionGate`] struct the
+    /// prototype's server runs, observed in event order. `None` leaves
+    /// the legacy unbounded admission bit-identical.
+    gate: Option<AdmissionGate>,
+    /// Post-admission ledger halves (the gate holds the admission half).
+    overload_completed: u64,
+    overload_node_shed: u64,
+    overload_failed: u64,
+    /// Highest brownout level reached during the run.
+    overload_max_level: u8,
 }
 
 impl ClusterSim {
@@ -660,6 +691,39 @@ impl ClusterSim {
         queue.schedule(now + self.arrival_gaps[i], Ev::Issue(i as u32));
     }
 
+    /// Offers `req` to the overload gate at its first server arrival.
+    /// Returns true when the request may proceed to routing: the gate is
+    /// absent, the request already holds a slot (RPC retries re-enter
+    /// routing without paying again), or it is a hedge mirror riding its
+    /// original's admission. Returns false when the request was refused —
+    /// the refusal *is* its response (recorded so the run terminates and
+    /// the closed loop chains), excluded from latency samples.
+    fn gate_admit(&mut self, req: u32, now: SimTime, queue: &mut EventQueue<Ev>) -> bool {
+        let Some(gate) = self.gate.as_mut() else {
+            return true;
+        };
+        {
+            let r = &self.reqs[req as usize];
+            if r.mirror_of.is_some() || r.gate_admitted {
+                return true;
+            }
+        }
+        let priority = self.reqs[req as usize].priority;
+        let admitted = gate.try_admit(priority).is_ok();
+        self.overload_max_level = self.overload_max_level.max(gate.level());
+        if admitted {
+            self.reqs[req as usize].gate_admitted = true;
+            return true;
+        }
+        // Rejected (Busy) or priority-shed: the gate's own counters
+        // already classified it; the request just finishes here.
+        self.reqs[req as usize].overload_dropped = true;
+        if self.record_response(req, now) {
+            self.maybe_issue_next(now, queue);
+        }
+        false
+    }
+
     /// Records the response for `req` (or, for a hedge mirror, for the
     /// original it races). Returns false when the response was already
     /// recorded — the racing flight lost, and the caller must not act on
@@ -678,6 +742,18 @@ impl ClusterSim {
         let elapsed = now - self.reqs[root as usize].submitted;
         self.reqs[root as usize].response_s = Some(elapsed.as_secs_f64());
         self.responses_recorded += 1;
+        // Close the overload ledger for the root request: release its
+        // gate slot exactly once and classify the admitted outcome.
+        if self.reqs[root as usize].gate_admitted {
+            match self.reqs[root as usize].overload_outcome {
+                OUTCOME_NODE_SHED => self.overload_node_shed += 1,
+                OUTCOME_FAILED => self.overload_failed += 1,
+                _ => self.overload_completed += 1,
+            }
+            if let Some(gate) = self.gate.as_mut() {
+                gate.release();
+            }
+        }
         if is_mirror {
             self.res.hedges_won += 1;
         }
@@ -796,6 +872,7 @@ impl ClusterSim {
                 // Retry budget (bounded by the deadline) exhausted.
                 self.res.deadline_misses += 1;
                 self.failed_requests += 1;
+                self.reqs[req as usize].overload_outcome = OUTCOME_FAILED;
                 if self.record_response(req, now) {
                     self.maybe_issue_next(now, queue);
                 }
@@ -852,6 +929,10 @@ impl ClusterSim {
             mirror_of: Some(req),
             hedge_armed: true,
             response_s: None,
+            priority: self.reqs[req as usize].priority,
+            gate_admitted: false,
+            overload_dropped: false,
+            overload_outcome: OUTCOME_COMPLETED,
         });
         self.res.hedges += 1;
         self.obs_event(
@@ -890,6 +971,7 @@ impl ClusterSim {
         }
         if attempts >= MAX_ROUTE_ATTEMPTS {
             self.failed_requests += 1;
+            self.reqs[req as usize].overload_outcome = OUTCOME_FAILED;
             if self.record_response(req, now) {
                 self.maybe_issue_next(now, queue);
             }
@@ -933,6 +1015,9 @@ impl Model for ClusterSim {
             }
 
             Ev::ServerArrive(req) => {
+                if !self.gate_admit(req, now, queue) {
+                    return;
+                }
                 let breaker_ok = self.breaker_admissions(now);
                 match self.select_for(req, breaker_ok.as_deref()) {
                     Some(sel) => {
@@ -1044,6 +1129,25 @@ impl Model for ClusterSim {
                 // Delivery succeeded: the link and node answered, which is
                 // what the circuit breaker tracks.
                 self.breaker_success(node);
+                // Brownout L1+: the node serves buffer-resident data only
+                // and refuses misses instead of spinning data disks up —
+                // the same refusal the prototype's node sends as `Busy`.
+                // Hedge mirrors are exempt (the original owns accounting).
+                if let Some(gate) = self.gate.as_ref() {
+                    if gate.level() >= 1
+                        && op == Op::Read
+                        && self.reqs[req as usize].mirror_of.is_none()
+                        && !self.nodes[node].catalog.contains(file)
+                    {
+                        let r = &mut self.reqs[req as usize];
+                        r.overload_outcome = OUTCOME_NODE_SHED;
+                        r.overload_dropped = true;
+                        if self.record_response(req, now) {
+                            self.maybe_issue_next(now, queue);
+                        }
+                        return;
+                    }
+                }
                 match op {
                     Op::Read => {
                         // Cache tiers (eevfs-power) front everything: a
@@ -2239,7 +2343,8 @@ fn run_validated(
     let reqs: Vec<ReqState> = trace
         .records
         .iter()
-        .map(|r| ReqState {
+        .enumerate()
+        .map(|(i, r)| ReqState {
             trace_at: r.at + warmup,
             submitted: r.at + warmup,
             node: usize::MAX,
@@ -2254,6 +2359,10 @@ fn run_validated(
             mirror_of: None,
             hedge_armed: false,
             response_s: None,
+            priority: (i % 4) as u8,
+            gate_admitted: false,
+            overload_dropped: false,
+            overload_outcome: OUTCOME_COMPLETED,
         })
         .collect();
     let n_requests = reqs.len();
@@ -2320,6 +2429,11 @@ fn run_validated(
         obs: obs_state,
         dur: dur_state,
         plane,
+        gate: cfg.overload.map(|o| AdmissionGate::new(o.to_options())),
+        overload_completed: 0,
+        overload_node_shed: 0,
+        overload_failed: 0,
+        overload_max_level: 0,
     };
 
     // Pre-size the queue for everything scheduled up front (issues or
@@ -2497,13 +2611,34 @@ fn run_validated(
     base_energy += cluster.server_base_power_w * duration_s;
 
     // Hedge mirrors record into their original's slot; only trace
-    // requests contribute response samples.
+    // requests contribute response samples, and refusals (rejected,
+    // shed, node-shed) are excluded — their "response" is the refusal
+    // itself, reported through the overload ledger instead.
     let samples: Vec<f64> = sim
         .reqs
         .iter()
-        .filter(|r| r.mirror_of.is_none())
+        .filter(|r| r.mirror_of.is_none() && !r.overload_dropped)
         .map(|r| r.response_s.expect("all responses recorded"))
         .collect();
+
+    let overload = match &sim.gate {
+        Some(g) => {
+            let c = g.counters;
+            OverloadStats {
+                offered: c.offered,
+                admitted: c.admitted,
+                rejected: c.rejected,
+                shed: c.shed,
+                completed: sim.overload_completed,
+                node_shed: sim.overload_node_shed,
+                failed: sim.overload_failed,
+                brownout_transitions: c.brownout_transitions,
+                max_level: sim.overload_max_level,
+                queue_peak: c.queue_peak,
+            }
+        }
+        None => OverloadStats::default(),
+    };
 
     let resilience = ResilienceStats {
         breaker_trips: sim.breakers.iter().map(|b| b.trips()).sum(),
@@ -2671,6 +2806,7 @@ fn run_validated(
         scrub_energy_j,
         prediction,
         tier,
+        overload,
         per_node,
     };
     (metrics, curve, report)
@@ -3602,5 +3738,92 @@ mod tests {
         let npf = run_cluster(&cluster, &EevfsConfig::paper_npf(), &trace);
         assert_eq!(npf.prediction.sleeps, 0);
         assert_eq!(npf.prediction.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn overload_gate_sheds_at_saturation_and_ledger_closes() {
+        // A zero-gap burst is the paper's worst case: every request lands
+        // at once. With a bounded gate the server refuses the overflow
+        // instead of queueing it, and the shed ledger closes exactly.
+        let trace = generate(&SyntheticSpec {
+            inter_arrival: SimDuration::ZERO,
+            requests: 300,
+            ..SyntheticSpec::paper_default()
+        });
+        let cluster = ClusterSpec::paper_testbed();
+        let mut cfg = EevfsConfig::paper_pf(70);
+        cfg.overload = Some(crate::config::OverloadConfig::bounded(8));
+        let a = run_cluster(&cluster, &cfg, &trace);
+        let o = a.overload;
+        assert!(o.ledger_closes(), "shed ledger must close: {o:?}");
+        assert_eq!(o.offered, 300);
+        assert!(
+            o.rejected + o.shed > 0,
+            "saturation must refuse work: {o:?}"
+        );
+        assert!(o.queue_peak <= 8, "queue bounded by max_inflight: {o:?}");
+        assert!(o.brownout_transitions > 0 && o.max_level >= 1, "{o:?}");
+        // Latency samples cover exactly the requests the gate admitted and
+        // the node did not shed; refused work never pollutes the tail.
+        assert_eq!(a.response.count as u64, o.completed + o.failed);
+        let b = run_cluster(&cluster, &cfg, &trace);
+        assert_eq!(a, b, "overloaded runs must stay deterministic");
+    }
+
+    #[test]
+    fn overload_closed_loop_sheds_and_stays_deterministic() {
+        // Closed loop with 32 streams against 8 admission slots: the loop
+        // keeps re-offering, the gate keeps the queue bounded.
+        let trace = generate(&SyntheticSpec {
+            inter_arrival: SimDuration::ZERO,
+            requests: 300,
+            ..SyntheticSpec::paper_default()
+        });
+        let cluster = ClusterSpec::paper_testbed();
+        let cfg = EevfsConfig::paper_pf_overload(70, 32, 8);
+        let a = run_cluster(&cluster, &cfg, &trace);
+        assert!(a.overload.ledger_closes(), "{:?}", a.overload);
+        assert_eq!(a.overload.offered, 300);
+        assert!(
+            a.overload.rejected + a.overload.shed > 0,
+            "{:?}",
+            a.overload
+        );
+        assert!(a.overload.queue_peak <= 8);
+        let b = run_cluster(&cluster, &cfg, &trace);
+        assert_eq!(a, b, "closed-loop overload must stay deterministic");
+    }
+
+    #[test]
+    fn brownout_level_one_sheds_buffer_misses_at_the_node() {
+        // No prefetch at all: every read misses the buffer tier, so once
+        // the ladder reaches L1 the node refuses spin-up work downstream
+        // of admission and the run books it as node_shed.
+        let trace = generate(&SyntheticSpec {
+            inter_arrival: SimDuration::ZERO,
+            requests: 300,
+            write_fraction: 0.0,
+            ..SyntheticSpec::paper_default()
+        });
+        let cluster = ClusterSpec::paper_testbed();
+        let cfg = EevfsConfig::paper_pf_overload(0, 32, 8);
+        let m = run_cluster(&cluster, &cfg, &trace);
+        assert!(m.overload.ledger_closes(), "{:?}", m.overload);
+        assert!(
+            m.overload.node_shed > 0,
+            "L1 must shed misses: {:?}",
+            m.overload
+        );
+    }
+
+    #[test]
+    fn legacy_configs_report_zero_overload_stats() {
+        // `overload: None` keeps the legacy unbounded-queue behaviour:
+        // every request completes and the overload ledger stays empty.
+        let trace = small_trace(100.0, 200);
+        let cluster = ClusterSpec::paper_testbed();
+        let m = run_cluster(&cluster, &EevfsConfig::paper_pf(70), &trace);
+        assert_eq!(m.overload, crate::metrics::OverloadStats::default());
+        assert_eq!(m.response.count, 200);
     }
 }

@@ -53,6 +53,7 @@ pub mod driver;
 pub mod journal;
 pub mod metadata;
 pub mod metrics;
+pub mod overload;
 pub mod placement;
 pub mod power;
 pub mod prefetch;

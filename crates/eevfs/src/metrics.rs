@@ -19,6 +19,10 @@ pub struct ResponseStats {
     pub p50_s: f64,
     /// 95th percentile.
     pub p95_s: f64,
+    /// 99th percentile (absent in pre-overload summaries, so defaulted
+    /// for old serialized runs).
+    #[serde(default)]
+    pub p99_s: f64,
     /// Worst case.
     pub max_s: f64,
 }
@@ -40,8 +44,52 @@ impl ResponseStats {
             mean_s: s.mean(),
             p50_s: percentile_sorted(&sorted, 0.50).expect("non-empty"),
             p95_s: percentile_sorted(&sorted, 0.95).expect("non-empty"),
+            p99_s: percentile_sorted(&sorted, 0.99).expect("non-empty"),
             max_s: s.max(),
         }
+    }
+}
+
+/// Overload-control ledger for one run (all zero when no
+/// `OverloadConfig` was supplied — the legacy open-loop replay).
+///
+/// Two equations close exactly, enforced as a chaos invariant:
+/// `offered == admitted + rejected + shed` at the admission gate, and
+/// `admitted == completed + node_shed + failed` past it — the same split
+/// the prototype's `ClusterStats` reports, so sim and runtime ledgers
+/// are comparable term by term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct OverloadStats {
+    /// Requests that reached the admission gate.
+    pub offered: u64,
+    /// Requests admitted into the server queue.
+    pub admitted: u64,
+    /// Requests refused outright (gate full or L3).
+    pub rejected: u64,
+    /// Requests shed pre-admission by the brownout ladder (priority).
+    pub shed: u64,
+    /// Admitted requests served to completion.
+    pub completed: u64,
+    /// Admitted requests a node refused under brownout (buffer miss at
+    /// L1+).
+    pub node_shed: u64,
+    /// Admitted requests that failed downstream (route/retry budget
+    /// exhausted).
+    pub failed: u64,
+    /// Brownout ladder transitions (both directions).
+    pub brownout_transitions: u64,
+    /// Highest brownout level reached.
+    pub max_level: u8,
+    /// High-water mark of concurrently admitted requests (bounded by
+    /// `max_inflight` by construction).
+    pub queue_peak: u64,
+}
+
+impl OverloadStats {
+    /// Whether both ledger equations close exactly.
+    pub fn ledger_closes(&self) -> bool {
+        self.offered == self.admitted + self.rejected + self.shed
+            && self.admitted == self.completed + self.node_shed + self.failed
     }
 }
 
@@ -218,6 +266,10 @@ pub struct RunMetrics {
     /// Cache-tier and spin-budget outcomes from the `eevfs-power` policy
     /// plane (all zero when no `PowerPolicy` was supplied).
     pub tier: TierStats,
+    /// Overload-control ledger (all zero when no `OverloadConfig` was
+    /// supplied; defaulted for pre-overload serialized runs).
+    #[serde(default)]
+    pub overload: OverloadStats,
     /// Per-node breakdown.
     pub per_node: Vec<NodeMetrics>,
 }
@@ -281,6 +333,7 @@ mod tests {
                 mean_s: mean_rt,
                 p50_s: mean_rt,
                 p95_s: mean_rt,
+                p99_s: mean_rt,
                 max_s: mean_rt,
             },
             response_samples_s: vec![mean_rt; 10],
@@ -303,6 +356,7 @@ mod tests {
             scrub_energy_j: 0.0,
             prediction: PredictionSummary::default(),
             tier: TierStats::default(),
+            overload: OverloadStats::default(),
             per_node: vec![],
         }
     }

@@ -123,6 +123,19 @@ pub fn de_field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T,
     }
 }
 
+/// [`de_field`] for `#[serde(default)]` fields: a missing key yields the
+/// type's default instead of an error, so old serialised documents keep
+/// decoding after a struct grows a field.
+pub fn de_field_or_default<T: Deserialize + Default>(
+    map: &[(String, Value)],
+    key: &str,
+) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::deserialize(v),
+        None => Ok(T::default()),
+    }
+}
+
 macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -5,15 +5,17 @@
 //! This macro parses the item declaration directly off the token stream.
 //! It supports exactly the shapes this workspace derives: non-generic
 //! named/tuple/unit structs and enums with unit, tuple, and struct
-//! variants. Container/field attributes (`#[serde(...)]`) are not
-//! supported and the workspace does not use them.
+//! variants. The only recognised serde attribute is `#[serde(default)]`
+//! on a named struct field, which makes deserialisation substitute the
+//! field type's `Default` when the key is absent (schema evolution for
+//! persisted documents); all other attributes are rejected.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Shape {
     Named {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<FieldSpec>,
     },
     Tuple {
         name: String,
@@ -31,6 +33,12 @@ enum Shape {
 struct Variant {
     name: String,
     kind: VariantKind,
+}
+
+/// One named-struct field and whether it carries `#[serde(default)]`.
+struct FieldSpec {
+    name: String,
+    default: bool,
 }
 
 enum VariantKind {
@@ -115,13 +123,52 @@ fn parse_enum<I: Iterator<Item = TokenTree>>(toks: &mut std::iter::Peekable<I>) 
     }
 }
 
+/// Consumes any attributes at the cursor, reporting whether one of them
+/// was `#[serde(default)]` (the single field attribute the shim honours;
+/// any other `#[serde(...)]` panics so unsupported semantics fail the
+/// build instead of being silently ignored).
+fn take_field_attrs<I: Iterator<Item = TokenTree>>(toks: &mut std::iter::Peekable<I>) -> bool {
+    let mut default = false;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                let Some(TokenTree::Group(g)) = toks.next() else {
+                    panic!("serde shim derive: malformed attribute");
+                };
+                let mut inner = g.stream().into_iter();
+                match inner.next() {
+                    Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {
+                        let args: Vec<String> = match inner.next() {
+                            Some(TokenTree::Group(a)) => {
+                                a.stream().into_iter().map(|t| t.to_string()).collect()
+                            }
+                            _ => Vec::new(),
+                        };
+                        if args == ["default"] {
+                            default = true;
+                        } else {
+                            panic!(
+                                "serde shim derive: unsupported serde attribute {args:?} \
+                                 (only `default` is implemented)"
+                            );
+                        }
+                    }
+                    _ => {} // doc comments, cfg, etc: ignore
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
 /// Field names of a named-fields body, skipping attributes, visibility, and
 /// type tokens (commas inside `<...>` do not split fields).
-fn parse_field_names(stream: TokenStream) -> Vec<String> {
+fn parse_field_names(stream: TokenStream) -> Vec<FieldSpec> {
     let mut fields = Vec::new();
     let mut toks = stream.into_iter().peekable();
     loop {
-        skip_attrs(&mut toks);
+        let default = take_field_attrs(&mut toks);
         let name = loop {
             match toks.next() {
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -134,7 +181,7 @@ fn parse_field_names(stream: TokenStream) -> Vec<String> {
                 None => return fields,
             }
         };
-        fields.push(name);
+        fields.push(FieldSpec { name, default });
         // Consume `: Type,` tracking angle-bracket depth so generic
         // arguments do not terminate the field early.
         let mut angle = 0i64;
@@ -197,7 +244,12 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
                 VariantKind::Tuple(arity)
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                let fields = parse_field_names(g.stream());
+                // Variant fields don't support `#[serde(default)]`; only
+                // the names matter here.
+                let fields = parse_field_names(g.stream())
+                    .into_iter()
+                    .map(|f| f.name)
+                    .collect();
                 toks.next();
                 VariantKind::Named(fields)
             }
@@ -215,13 +267,14 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     }
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let body = match parse_shape(input) {
         Shape::Named { name, fields } => {
             let pairs: String = fields
                 .iter()
-                .map(|f| {
+                .map(|spec| {
+                    let f = &spec.name;
                     format!("(String::from({f:?}), ::serde::Serialize::serialize(&self.{f})),")
                 })
                 .collect();
@@ -297,13 +350,20 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde shim derive: generated invalid Rust")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let body = match parse_shape(input) {
         Shape::Named { name, fields } => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::de_field(m, {f:?})?,"))
+                .map(|spec| {
+                    let f = &spec.name;
+                    if spec.default {
+                        format!("{f}: ::serde::de_field_or_default(m, {f:?})?,")
+                    } else {
+                        format!("{f}: ::serde::de_field(m, {f:?})?,")
+                    }
+                })
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\

@@ -92,7 +92,8 @@ fn response_stats_match_samples() {
         .fold(f64::MIN, f64::max);
     assert!((max - m.response.max_s).abs() < 1e-12);
     assert!(m.response.p50_s <= m.response.p95_s);
-    assert!(m.response.p95_s <= m.response.max_s);
+    assert!(m.response.p95_s <= m.response.p99_s);
+    assert!(m.response.p99_s <= m.response.max_s);
 }
 
 #[test]

@@ -322,6 +322,56 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The overload plane's shed ledger closes exactly under arbitrary
+    /// seeded overload schedules: any workload shape, any admission cap,
+    /// any closed-loop width. Every offered request is classified exactly
+    /// once (admitted/rejected/shed), every admitted one resolves exactly
+    /// once (completed/node-shed/failed), the queue never exceeds the
+    /// cap, and the run stays deterministic.
+    #[test]
+    fn shed_ledger_closes_under_arbitrary_overload(
+        requests in 20u32..150,
+        mu in 0.5f64..200.0,
+        gap_ms in 0u64..200,
+        wf in 0.0f64..0.4,
+        seed in any::<u64>(),
+        max_inflight in 1u32..32,
+        streams in 1u32..16,
+        closed in any::<bool>(),
+        k in 0u32..80,
+    ) {
+        use eevfs::config::{ArrivalMode, OverloadConfig};
+        let trace = generate(&SyntheticSpec {
+            requests,
+            mu,
+            inter_arrival: SimDuration::from_millis(gap_ms),
+            write_fraction: wf,
+            seed,
+            ..SyntheticSpec::paper_default()
+        });
+        let cluster = ClusterSpec::paper_testbed();
+        let mut cfg = EevfsConfig::paper_pf(k);
+        if closed {
+            cfg.arrival = ArrivalMode::ClosedLoop { streams };
+        }
+        cfg.overload = Some(OverloadConfig::bounded(max_inflight));
+        let m = run_cluster(&cluster, &cfg, &trace);
+        let o = m.overload;
+        prop_assert!(o.ledger_closes(), "ledger open: {:?}", o);
+        prop_assert_eq!(o.offered, requests as u64, "every request is offered once");
+        prop_assert!(o.queue_peak <= max_inflight as u64,
+            "queue peak {} > cap {}", o.queue_peak, max_inflight);
+        prop_assert_eq!(m.response.count, o.completed + o.failed,
+            "samples must cover exactly the admitted, non-shed requests");
+        prop_assert_eq!(m.response_samples_s.len() as u64, m.response.count);
+        let b = run_cluster(&cluster, &cfg, &trace);
+        prop_assert_eq!(m, b, "overloaded replay must be bit-identical");
+    }
+}
+
 /// An arbitrary journal record of any of the four kinds.
 fn arb_journal_record() -> impl Strategy<Value = eevfs::journal::JournalRecord> {
     use eevfs::journal::JournalRecord as R;
